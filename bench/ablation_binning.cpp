@@ -1,0 +1,109 @@
+// Ablation: bitmap-index binning strategies (google-benchmark).
+//
+// DESIGN.md calls out the binning choices inherited from FastBit: bin count,
+// uniform vs quantile boundaries, and precision binning (which answers
+// low-precision range queries from the index alone, with no candidate
+// check). This bench measures index build time, range-query time and the
+// candidate-check volume across those choices.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bitmap_index.hpp"
+#include "bitmap/bins.hpp"
+
+namespace {
+
+using namespace qdv;
+
+std::vector<double> make_column(std::size_t n, std::uint64_t seed) {
+  std::vector<double> values(n);
+  std::uint64_t state = seed;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (double& v : values) {
+    // Heavy-tailed mixture resembling the momentum column: mostly small,
+    // a few percent spread to large values.
+    const double u = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    const double t = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    v = (u < 0.95) ? t * 2e9 : 2e9 + t * 1.1e11;
+  }
+  return values;
+}
+
+Bins bins_for_strategy(int strategy, std::span<const double> values, std::size_t nbins) {
+  switch (strategy) {
+    case 0:
+      return make_uniform_bins(0.0, 1.15e11, nbins);
+    case 1:
+      return make_quantile_bins(values, nbins);
+    default:
+      return make_precision_bins(0.0, 1.15e11, 3, nbins);
+  }
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nbins = static_cast<std::size_t>(state.range(1));
+  const int strategy = static_cast<int>(state.range(2));
+  const std::vector<double> values = make_column(n, 11);
+  const Bins bins = bins_for_strategy(strategy, values, nbins);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitmapIndex::build(values, bins));
+  }
+  state.counters["rows"] = static_cast<double>(n);
+  state.counters["bins"] = static_cast<double>(bins.num_bins());
+}
+
+void BM_RangeQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nbins = static_cast<std::size_t>(state.range(1));
+  const int strategy = static_cast<int>(state.range(2));
+  const std::vector<double> values = make_column(n, 13);
+  const BitmapIndex index =
+      BitmapIndex::build(values, bins_for_strategy(strategy, values, nbins));
+  // Mid-bin threshold: forces a candidate check for non-precision bins.
+  const Interval iv = Interval::greater_than(7.05e10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.evaluate(iv, values));
+  }
+  state.counters["candidates"] =
+      static_cast<double>(index.evaluate_approx(iv).candidates.count());
+  state.counters["index_mb"] =
+      static_cast<double>(index.memory_bytes()) / (1024.0 * 1024.0);
+}
+
+void BM_PrecisionBinningAnswersIndexOnly(benchmark::State& state) {
+  // Low-precision constant (1-digit: 7e10) against a precision-binned
+  // index: the candidate set must be empty, making the query index-only.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> values = make_column(n, 17);
+  const BitmapIndex index =
+      BitmapIndex::build(values, make_precision_bins(0.0, 1.15e11, 2, 1u << 14));
+  const Interval iv = Interval::greater_than(7e10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.evaluate(iv, values));
+  }
+  state.counters["candidates"] =
+      static_cast<double>(index.evaluate_approx(iv).candidates.count());
+}
+
+}  // namespace
+
+// strategy: 0 = uniform, 1 = quantile, 2 = precision
+BENCHMARK(BM_IndexBuild)
+    ->ArgsProduct({{1 << 20}, {64, 1024}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RangeQuery)
+    ->ArgsProduct({{1 << 20}, {64, 256, 1024}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PrecisionBinningAnswersIndexOnly)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Ablation: equality-encoded vs range-encoded bitmap indices
+// (google-benchmark).
+//
+// FastBit's default equality encoding ORs O(bins-in-range) bitmaps per
+// range condition; range encoding answers any contiguous bin range with two
+// cumulative bitmaps but stores denser, less compressible bitmaps. This
+// bench quantifies both sides of that trade for the paper's dominant query
+// shape (`px > t` thresholds).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bitmap_index.hpp"
+#include "bitmap/interval_index.hpp"
+#include "bitmap/range_index.hpp"
+
+namespace {
+
+using namespace qdv;
+
+std::vector<double> make_column(std::size_t n, std::uint64_t seed) {
+  std::vector<double> values(n);
+  std::uint64_t state = seed;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (double& v : values)
+    v = static_cast<double>(next() >> 11) * 0x1.0p-53 * 1e11;
+  return values;
+}
+
+// Threshold sweeping selectivity: fraction of the domain above the cut.
+double threshold_for(int permille) { return 1e11 * (1.0 - permille / 1000.0); }
+
+void BM_EqualityThreshold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nbins = static_cast<std::size_t>(state.range(1));
+  const Interval iv = Interval::greater_than(threshold_for(state.range(2)));
+  const std::vector<double> values = make_column(n, 21);
+  const BitmapIndex index =
+      BitmapIndex::build(values, make_uniform_bins(0.0, 1e11, nbins));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.evaluate(iv, values));
+  }
+  state.counters["index_mb"] =
+      static_cast<double>(index.memory_bytes()) / (1024.0 * 1024.0);
+}
+
+void BM_RangeEncodedThreshold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nbins = static_cast<std::size_t>(state.range(1));
+  const Interval iv = Interval::greater_than(threshold_for(state.range(2)));
+  const std::vector<double> values = make_column(n, 21);
+  const RangeEncodedIndex index =
+      RangeEncodedIndex::build(values, make_uniform_bins(0.0, 1e11, nbins));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.evaluate(iv, values));
+  }
+  state.counters["index_mb"] =
+      static_cast<double>(index.memory_bytes()) / (1024.0 * 1024.0);
+}
+
+void BM_IntervalEncodedThreshold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nbins = static_cast<std::size_t>(state.range(1));
+  const Interval iv = Interval::greater_than(threshold_for(state.range(2)));
+  const std::vector<double> values = make_column(n, 21);
+  const IntervalEncodedIndex index =
+      IntervalEncodedIndex::build(values, make_uniform_bins(0.0, 1e11, nbins));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.evaluate(iv, values));
+  }
+  state.counters["index_mb"] =
+      static_cast<double>(index.memory_bytes()) / (1024.0 * 1024.0);
+}
+
+void BM_EqualityBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nbins = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> values = make_column(n, 22);
+  const Bins bins = make_uniform_bins(0.0, 1e11, nbins);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitmapIndex::build(values, bins));
+  }
+}
+
+void BM_RangeEncodedBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nbins = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> values = make_column(n, 22);
+  const Bins bins = make_uniform_bins(0.0, 1e11, nbins);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RangeEncodedIndex::build(values, bins));
+  }
+}
+
+}  // namespace
+
+// args: rows, bins, selectivity (permille of domain above the threshold)
+BENCHMARK(BM_EqualityThreshold)
+    ->ArgsProduct({{1 << 20}, {128, 1024}, {1, 100, 500}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RangeEncodedThreshold)
+    ->ArgsProduct({{1 << 20}, {128, 1024}, {1, 100, 500}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IntervalEncodedThreshold)
+    ->ArgsProduct({{1 << 20}, {128, 1024}, {1, 100, 500}})
+    ->Unit(benchmark::kMicrosecond);
+// Builds sweep fewer bins: range-encoded construction is O(bins x rows).
+BENCHMARK(BM_EqualityBuild)
+    ->ArgsProduct({{1 << 19}, {32, 128}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RangeEncodedBuild)
+    ->ArgsProduct({{1 << 19}, {32, 128}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

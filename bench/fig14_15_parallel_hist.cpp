@@ -1,0 +1,123 @@
+// Figures 14 and 15 of the paper: parallel computation of unconditional and
+// conditional histograms over a multi-timestep dataset, and the resulting
+// strong-scaling speedups for 1..100 virtual nodes.
+//
+// The measurement model matches the paper's setup: per-timestep files are
+// statically assigned to nodes in a strided fashion and nodes work
+// independently, so time(P) = max over nodes of that node's summed task
+// time (see DESIGN.md Section 6). Each task computes five 1024^2 histogram
+// pairs for the position and momentum fields of one timestep, exactly the
+// paper's workload; the conditional variant uses `px > 7e10`.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/custom_scan.hpp"
+#include "parallel/par_ops.hpp"
+
+namespace {
+
+using namespace qdv;
+
+const std::vector<std::pair<std::string, std::string>> kPairs = {
+    {"x", "px"}, {"y", "py"}, {"z", "pz"}, {"x", "y"}, {"px", "py"}};
+constexpr std::size_t kBins = 1024;
+
+/// Custom baseline task set: sequential-scan histograms per timestep.
+par::ClusterRun run_custom(const io::Dataset& dataset, const QueryPtr& condition,
+                           par::VirtualCluster& cluster) {
+  return cluster.run(dataset.num_timesteps(), [&](std::size_t t) {
+    const auto table = dataset.open_table(t);
+    const core::CustomScan scan(*table);
+    for (const auto& [vx, vy] : kPairs)
+      (void)scan.histogram2d(vx, vy, kBins, kBins,
+                             condition ? condition.get() : nullptr);
+  });
+}
+
+void print_series(const char* label, const par::ClusterRun& run,
+                  const std::vector<std::size_t>& nodes) {
+  std::printf("%-16s", label);
+  for (const std::size_t p : nodes) std::printf(" %12.4f", run.makespan(p));
+  std::printf("\n");
+}
+
+void print_speedup(const char* label, const par::ClusterRun& run,
+                   const std::vector<std::size_t>& nodes) {
+  std::printf("%-16s", label);
+  for (const std::size_t p : nodes) std::printf(" %12.2f", run.speedup(p));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto dir = bench::ensure_scaling_dataset();
+  const io::Dataset dataset = io::Dataset::open(dir);
+  // One host thread: per-task timings free of host-core contention (the
+  // makespan model composes them into virtual-node times; DESIGN.md S6).
+  par::VirtualCluster cluster(1);
+
+  const QueryPtr condition = parse_query("px > 7e10");
+  const std::vector<std::size_t> nodes = {1, 2, 5, 10, 20, 50, 100};
+
+  std::printf("# Figures 14/15: parallel histogram computation\n");
+  std::printf("# dataset: %zu timesteps; workload: 5 pairs @ 1024^2 per timestep\n",
+              dataset.num_timesteps());
+  std::printf("# conditional query: px > 7e10\n");
+  std::printf("# time(P) = modeled makespan under strided assignment (DESIGN.md S6)\n\n");
+
+  // Warm the page cache once (freshly generated datasets otherwise charge
+  // writeback and cold-read costs to whichever batch runs first).
+  cluster.run(dataset.num_timesteps(), [&](std::size_t t) {
+    const auto table = dataset.open_table(t);
+    for (const auto& [vx, vy] : kPairs) {
+      (void)table->column(vx);
+      (void)table->column(vy);
+    }
+  });
+
+  par::HistogramWorkload fb_uncond;
+  fb_uncond.pairs = kPairs;
+  fb_uncond.nbins = kBins;
+  const auto r_fb_uncond = bench::best_cluster_run(
+      [&] { return par::parallel_histograms(dataset, fb_uncond, cluster).run; });
+
+  par::HistogramWorkload fb_cond = fb_uncond;
+  fb_cond.condition = condition;
+  const auto r_fb_cond = bench::best_cluster_run(
+      [&] { return par::parallel_histograms(dataset, fb_cond, cluster).run; });
+
+  const auto r_custom_uncond =
+      bench::best_cluster_run([&] { return run_custom(dataset, nullptr, cluster); });
+  const auto r_custom_cond =
+      bench::best_cluster_run([&] { return run_custom(dataset, condition, cluster); });
+
+  std::printf("# Figure 14: timings (seconds)\n%-16s", "nodes");
+  for (const std::size_t p : nodes) std::printf(" %12zu", p);
+  std::printf("\n");
+  print_series("FastBit-Uncond", r_fb_uncond, nodes);
+  print_series("Custom-Uncond", r_custom_uncond, nodes);
+  print_series("FastBit-Cond", r_fb_cond, nodes);
+  print_series("Custom-Cond", r_custom_cond, nodes);
+
+  std::printf("\n# Figure 15: speedup relative to 1 node (ideal = node count)\n%-16s",
+              "nodes");
+  for (const std::size_t p : nodes) std::printf(" %12zu", p);
+  std::printf("\n");
+  print_speedup("FastBit-Uncond", r_fb_uncond, nodes);
+  print_speedup("Custom-Uncond", r_custom_uncond, nodes);
+  print_speedup("FastBit-Cond", r_fb_cond, nodes);
+  print_speedup("Custom-Cond", r_custom_cond, nodes);
+
+  std::printf("\n# shape checks (paper Section V-C):\n");
+  std::printf("#   unconditional: FastBit ~ Custom (both examine all records): %.2fx\n",
+              r_custom_uncond.makespan(1) / r_fb_uncond.makespan(1));
+  std::printf("#   conditional: FastBit keeps its advantage in parallel: %.2fx\n",
+              r_custom_cond.makespan(1) / r_fb_cond.makespan(1));
+  std::printf("#   speedup at 100 nodes: FastBit-Cond %.1f, Custom-Cond %.1f\n",
+              r_fb_cond.speedup(100), r_custom_cond.speedup(100));
+  std::printf("#   (host wall time for the FastBit-Uncond batch: %.2fs on %zu threads)\n",
+              r_fb_uncond.wall_seconds, cluster.host_threads());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the example applications: dataset caching and output
+// directory handling.
+//
+// Examples generate their synthetic wakefield datasets once into
+// `./qdv_example_data/<name>` (override with QDV_DATA_DIR) and write images
+// into `./qdv_output` (override with QDV_OUTPUT_DIR).
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "io/dataset.hpp"
+#include "sim/wakefield.hpp"
+
+namespace qdv::examples {
+
+inline std::filesystem::path data_root() {
+  if (const char* env = std::getenv("QDV_DATA_DIR")) return env;
+  return "qdv_example_data";
+}
+
+inline std::filesystem::path output_dir() {
+  const std::filesystem::path dir = [] {
+    if (const char* env = std::getenv("QDV_OUTPUT_DIR")) return std::filesystem::path(env);
+    return std::filesystem::path("qdv_output");
+  }();
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Generate (or reuse) a dataset under data_root()/name.
+inline std::filesystem::path ensure_dataset(const std::string& name,
+                                            const sim::WakefieldConfig& config) {
+  const std::filesystem::path dir = data_root() / name;
+  if (std::filesystem::exists(dir / "qdv_manifest.txt")) {
+    std::cout << "[data] reusing dataset " << dir << "\n";
+    return dir;
+  }
+  std::cout << "[data] generating dataset " << dir << " ("
+            << config.num_timesteps << " timesteps)...\n";
+  io::IndexConfig index_config;
+  index_config.nbins = 512;
+  const std::uint64_t bytes = sim::generate_dataset(config, dir, index_config);
+  std::cout << "[data] wrote " << (bytes >> 20) << " MiB\n";
+  return dir;
+}
+
+/// The paper-like 2D dataset shared by the use-case examples.
+inline std::filesystem::path ensure_2d_dataset(std::size_t particles = 100000) {
+  return ensure_dataset("wakefield2d", sim::WakefieldConfig::preset_2d(particles));
+}
+
+/// The paper-like 3D dataset.
+inline std::filesystem::path ensure_3d_dataset(std::size_t particles = 150000) {
+  return ensure_dataset("wakefield3d", sim::WakefieldConfig::preset_3d(particles));
+}
+
+inline void report_image(const std::filesystem::path& path, const std::string& what) {
+  std::cout << "[image] " << what << " -> " << path << "\n";
+}
+
+}  // namespace qdv::examples

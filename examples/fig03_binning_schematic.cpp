@@ -1,0 +1,89 @@
+// Regenerates the Figure 3 schematic of the paper: the same two-axis
+// relationship rendered once with uniformly binned histogram quads
+// (parallelograms connecting equal-size ranges) and once with adaptively
+// binned quads (trapezoids connecting different-size ranges). With higher
+// resolution in the dense region, the adaptive version represents the data
+// trend more accurately at the same bin budget.
+#include <iostream>
+
+#include "bitmap/histogram.hpp"
+#include "example_common.hpp"
+#include "render/pc_plot.hpp"
+
+int main() {
+  using namespace qdv;
+
+  // A synthetic two-variable relationship: 90% of records in a tight
+  // correlated band, 10% spread widely.
+  std::vector<double> a, b;
+  std::uint64_t state = 12345;
+  auto uniform = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    if (uniform() < 0.9) {
+      const double t = 0.2 + 0.1 * uniform();
+      a.push_back(t);
+      b.push_back(t + 0.02 * (uniform() - 0.5));
+    } else {
+      a.push_back(uniform());
+      b.push_back(uniform());
+    }
+  }
+
+  // Histogram both ways at a 6-bin budget.
+  const Bins uniform_bins = make_uniform_bins(0.0, 1.0, 6);
+  Histogram1D fine;
+  fine.bins = make_uniform_bins(0.0, 1.0, 64);
+  fine.counts.assign(64, 0);
+  for (const double v : a) {
+    const auto bin = fine.bins.locate(v);
+    if (bin >= 0) ++fine.counts[static_cast<std::size_t>(bin)];
+  }
+  const Bins adaptive_bins = make_equal_weight_bins(fine, 6);
+
+  const auto count2d = [&](const Bins& xb, const Bins& yb) {
+    Histogram2D h;
+    h.xbins = xb;
+    h.ybins = yb;
+    h.counts.assign(xb.num_bins() * yb.num_bins(), 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const auto bx = xb.locate(a[i]);
+      const auto by = yb.locate(b[i]);
+      if (bx >= 0 && by >= 0)
+        ++h.at(static_cast<std::size_t>(bx), static_cast<std::size_t>(by));
+    }
+    return h;
+  };
+
+  render::PcStyle style;
+  style.color = render::colors::kWhite;
+  const std::vector<render::PcAxis> axes = {{"a", 0.0, 1.0}, {"b", 0.0, 1.0}};
+
+  {
+    render::ParallelCoordinatesPlot plot(axes);
+    plot.draw_frame();
+    const std::vector<Histogram2D> hists = {count2d(uniform_bins, uniform_bins)};
+    plot.draw_histogram_layer(hists, style);
+    const auto out = examples::output_dir() / "fig03a_uniform_schematic.ppm";
+    plot.image().write_ppm(out);
+    examples::report_image(out, "Fig 3 left: uniform 6-bin quads");
+  }
+  {
+    render::ParallelCoordinatesPlot plot(axes);
+    plot.draw_frame();
+    const std::vector<Histogram2D> hists = {count2d(adaptive_bins, adaptive_bins)};
+    plot.draw_histogram_layer(hists, style);
+    const auto out = examples::output_dir() / "fig03b_adaptive_schematic.ppm";
+    plot.image().write_ppm(out);
+    examples::report_image(out, "Fig 3 right: adaptive 6-bin trapezoids");
+  }
+
+  std::cout << "adaptive edges over the dense band [0.2, 0.3]:";
+  for (const double e : adaptive_bins.edges()) std::cout << ' ' << e;
+  std::cout << "\n(most of the 6 bins land inside the band, as in Figure 3)\n";
+  return 0;
+}

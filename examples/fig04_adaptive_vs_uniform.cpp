@@ -1,0 +1,49 @@
+// Regenerates Figures 3/4 of the paper: 32x32 uniformly binned versus
+// adaptively (equal-weight) binned histogram parallel coordinates, with a
+// focus selection (red) overlaid on the context. Adaptive binning spends its
+// bins in dense regions, preserving the main data trends at low level of
+// detail.
+#include <iostream>
+
+#include "core/session.hpp"
+#include "example_common.hpp"
+
+int main() {
+  using namespace qdv;
+
+  const auto dir = examples::ensure_2d_dataset();
+  core::ExplorationSession session = core::ExplorationSession::open(dir);
+  const std::vector<std::string> axes = {"x", "y", "px", "py"};
+  const std::size_t t = 24;
+
+  session.set_focus("px > 5e10");
+
+  const auto render_variant = [&](BinningMode binning, const std::string& filename,
+                                  const std::string& label) {
+    core::PcViewOptions options;
+    options.context_bins = 32;
+    options.focus_bins = 32;
+    options.binning = binning;
+    options.context_color = render::colors::kGray;
+    options.focus_color = render::colors::kRed;
+    const render::Image img = session.render_parallel_coordinates(t, axes, options);
+    const auto out = examples::output_dir() / filename;
+    img.write_ppm(out);
+    examples::report_image(out, label);
+  };
+
+  render_variant(BinningMode::kUniform, "fig04a_uniform32.ppm",
+                 "Fig 4 left: 32x32 uniform bins");
+  render_variant(BinningMode::kAdaptive, "fig04b_adaptive32.ppm",
+                 "Fig 4 right: 32x32 adaptive bins");
+
+  // Quantify what adaptive binning buys: bin-count concentration.
+  const HistogramEngine engine = session.dataset().table(t).engine();
+  const Histogram1D uniform = engine.histogram1d("px", 32);
+  const Histogram1D adaptive =
+      engine.histogram1d("px", 32, nullptr, BinningMode::kAdaptive);
+  std::cout << "px, 32 bins  | max bin count: uniform=" << uniform.max_count()
+            << " adaptive=" << adaptive.max_count()
+            << " (adaptive flattens the distribution; narrow bins in dense areas)\n";
+  return 0;
+}

@@ -1,0 +1,286 @@
+// qdv_tool — command-line front end to the library.
+//
+// Subcommands:
+//   generate <dir> [--preset 2d|3d|bench] [--particles N] [--timesteps N]
+//            [--seed S] [--index-bins N]
+//   info     <dir>
+//   query    <dir> -t <timestep> -q "<query>" [--scan] [--count-only]
+//   histogram <dir> -t <timestep> -x <var> -y <var> [--bins N] [--adaptive]
+//            [-q "<query>"] [--csv <file>]
+//   stats    <dir> -t <timestep> -v <var> [-q "<query>"]
+//   track    <dir> -q "<query>" --select-at <t> [--from <t>] [--to <t>]
+//            [--vars a,b,c] [--limit N]
+//   render   <dir> -t <timestep> --axes a,b,c [-q "<query>"] [--bins N]
+//            [--gamma G] -o <out.ppm>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/statistics.hpp"
+#include "io/export.hpp"
+#include "sim/wakefield.hpp"
+
+namespace {
+
+using namespace qdv;
+
+/// Tiny argument cursor: positional + --flag [value] parsing.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::optional<std::string> option(const std::string& name) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i)
+      if (args_[i] == name) return args_[i + 1];
+    return std::nullopt;
+  }
+
+  bool flag(const std::string& name) const {
+    for (const std::string& a : args_)
+      if (a == name) return true;
+    return false;
+  }
+
+  std::string option_or(const std::string& name, const std::string& fallback) const {
+    return option(name).value_or(fallback);
+  }
+
+  std::size_t size_option(const std::string& name, std::size_t fallback) const {
+    const auto v = option(name);
+    return v ? static_cast<std::size_t>(std::stoull(*v)) : fallback;
+  }
+
+  double double_option(const std::string& name, double fallback) const {
+    const auto v = option(name);
+    return v ? std::stod(*v) : fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+int cmd_generate(const std::string& dir, const Args& args) {
+  const std::string preset = args.option_or("--preset", "2d");
+  const std::size_t particles = args.size_option("--particles", 100000);
+  const std::uint64_t seed = args.size_option("--seed", 42);
+  sim::WakefieldConfig cfg;
+  if (preset == "2d") {
+    cfg = sim::WakefieldConfig::preset_2d(particles, seed);
+  } else if (preset == "3d") {
+    cfg = sim::WakefieldConfig::preset_3d(particles, seed);
+  } else if (preset == "bench") {
+    cfg = sim::WakefieldConfig::preset_bench(particles,
+                                             args.size_option("--timesteps", 10), seed);
+  } else {
+    std::cerr << "unknown preset '" << preset << "' (use 2d | 3d | bench)\n";
+    return 2;
+  }
+  if (const auto t = args.option("--timesteps"); t && preset != "bench")
+    cfg.num_timesteps = std::stoull(*t);
+  io::IndexConfig index_config;
+  index_config.nbins = args.size_option("--index-bins", 1024);
+  const std::uint64_t bytes = sim::generate_dataset(cfg, dir, index_config);
+  std::cout << "wrote " << cfg.num_timesteps << " timesteps, " << (bytes >> 20)
+            << " MiB (data + indices) to " << dir << "\n";
+  return 0;
+}
+
+int cmd_info(const std::string& dir) {
+  const io::Dataset ds = io::Dataset::open(dir);
+  std::cout << "dataset:    " << dir << "\n";
+  std::cout << "timesteps:  " << ds.num_timesteps() << "\n";
+  std::cout << "variables: ";
+  for (const auto& v : ds.variables()) std::cout << ' ' << v;
+  std::cout << "\n";
+  std::uint64_t rows = 0;
+  for (std::size_t t = 0; t < ds.num_timesteps(); ++t) rows += ds.table(t).num_rows();
+  std::cout << "records:    " << rows << " total ("
+            << rows / std::max<std::size_t>(1, ds.num_timesteps()) << " per step)\n";
+  std::cout << "disk:       " << (ds.disk_bytes() >> 20) << " MiB\n";
+  std::cout << "indices:    " << (ds.table(0).has_indices() ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int cmd_query(const std::string& dir, const Args& args) {
+  const auto text = args.option("-q");
+  if (!text) {
+    std::cerr << "query: missing -q \"<query>\"\n";
+    return 2;
+  }
+  const io::Dataset ds = io::Dataset::open(dir);
+  const std::size_t t = args.size_option("-t", 0);
+  const EvalMode mode = args.flag("--scan") ? EvalMode::kScan : EvalMode::kAuto;
+  const io::TimestepTable& table = ds.table(t);
+  const BitVector hits = table.query(*text, mode);
+  std::cout << hits.count() << " of " << table.num_rows() << " records match at t="
+            << t << "\n";
+  if (!args.flag("--count-only")) {
+    std::size_t shown = 0;
+    const auto ids = table.id_column("id");
+    hits.for_each_set([&](std::uint64_t row) {
+      if (shown < 10) std::cout << "  row " << row << "  id " << ids[row] << "\n";
+      ++shown;
+    });
+    if (shown > 10) std::cout << "  ... " << (shown - 10) << " more\n";
+  }
+  return 0;
+}
+
+int cmd_histogram(const std::string& dir, const Args& args) {
+  const auto vx = args.option("-x");
+  const auto vy = args.option("-y");
+  if (!vx || !vy) {
+    std::cerr << "histogram: missing -x/-y variables\n";
+    return 2;
+  }
+  const io::Dataset ds = io::Dataset::open(dir);
+  const std::size_t t = args.size_option("-t", 0);
+  const std::size_t bins = args.size_option("--bins", 64);
+  QueryPtr cond;
+  if (const auto q = args.option("-q")) cond = parse_query(*q);
+  const HistogramEngine engine = ds.table(t).engine();
+  const Histogram2D h = engine.histogram2d(
+      *vx, *vy, bins, bins, cond ? cond.get() : nullptr,
+      args.flag("--adaptive") ? BinningMode::kAdaptive : BinningMode::kUniform);
+  std::cout << "histogram " << *vx << " x " << *vy << " @ t=" << t << ": "
+            << h.total() << " records, " << h.nonempty_bins() << "/"
+            << h.nx() * h.ny() << " bins occupied, max count " << h.max_count()
+            << "\n";
+  if (const auto csv = args.option("--csv")) {
+    io::export_csv(std::filesystem::path(*csv), h);
+    std::cout << "wrote " << *csv << "\n";
+  }
+  return 0;
+}
+
+int cmd_stats(const std::string& dir, const Args& args) {
+  const auto var = args.option("-v");
+  if (!var) {
+    std::cerr << "stats: missing -v <variable>\n";
+    return 2;
+  }
+  const io::Dataset ds = io::Dataset::open(dir);
+  const std::size_t t = args.size_option("-t", 0);
+  QueryPtr cond;
+  if (const auto q = args.option("-q")) cond = parse_query(*q);
+  const core::SummaryStats s =
+      core::conditional_stats(ds.table(t), *var, cond ? cond.get() : nullptr);
+  std::cout << *var << " @ t=" << t << (cond ? " | " + cond->to_string() : "") << "\n";
+  std::cout << "  count  " << s.count << "\n  min    " << s.min << "\n  max    "
+            << s.max << "\n  mean   " << s.mean << "\n  stddev " << s.stddev << "\n";
+  return 0;
+}
+
+int cmd_track(const std::string& dir, const Args& args) {
+  const auto text = args.option("-q");
+  if (!text) {
+    std::cerr << "track: missing -q \"<selection query>\"\n";
+    return 2;
+  }
+  core::ExplorationSession session = core::ExplorationSession::open(dir);
+  const std::size_t t_sel =
+      args.size_option("--select-at", session.num_timesteps() - 1);
+  session.set_focus(*text);
+  std::vector<std::uint64_t> ids = session.selected_ids(t_sel);
+  const std::size_t limit = args.size_option("--limit", 1000);
+  if (ids.size() > limit) ids.resize(limit);
+  const std::size_t t_from = args.size_option("--from", 0);
+  const std::size_t t_to = args.size_option("--to", session.num_timesteps() - 1);
+  const std::vector<std::string> vars =
+      split_csv(args.option_or("--vars", "x,px"));
+  const core::ParticleTracks tracks = session.track(ids, t_from, t_to, vars);
+  std::cout << "tracking " << ids.size() << " particles selected at t=" << t_sel
+            << " over t=[" << t_from << ", " << t_to << "]\n";
+  std::cout << "t,present";
+  for (const auto& v : vars) std::cout << ",mean_" << v;
+  std::cout << "\n";
+  for (std::size_t ti = 0; ti < tracks.timesteps().size(); ++ti) {
+    std::cout << tracks.timesteps()[ti] << ',' << tracks.count_present(ti);
+    for (const auto& v : vars) std::cout << ',' << tracks.mean(ti, v);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_render(const std::string& dir, const Args& args) {
+  const auto axes_text = args.option("--axes");
+  const auto out = args.option("-o");
+  if (!axes_text || !out) {
+    std::cerr << "render: missing --axes a,b,c or -o <out.ppm>\n";
+    return 2;
+  }
+  core::ExplorationSession session = core::ExplorationSession::open(dir);
+  const std::size_t t = args.size_option("-t", 0);
+  if (const auto q = args.option("-q")) session.set_focus(*q);
+  core::PcViewOptions options;
+  options.context_bins = args.size_option("--bins", 120);
+  options.focus_bins = args.size_option("--focus-bins", 256);
+  options.context_gamma = args.double_option("--gamma", 1.0);
+  const render::Image img =
+      session.render_parallel_coordinates(t, split_csv(*axes_text), options);
+  img.write_ppm(*out);
+  std::cout << "wrote " << *out << " (" << img.width() << "x" << img.height()
+            << ")\n";
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      R"(qdv_tool — query-driven exploration of particle datasets
+
+usage: qdv_tool <command> <dataset-dir> [options]
+
+commands:
+  generate   create a synthetic wakefield dataset (+ indices)
+  info       dataset summary
+  query      evaluate a Boolean range / id query at one timestep
+  histogram  conditional 2D histogram (optionally exported as CSV)
+  stats      conditional summary statistics of one variable
+  track      select particles, trace them across timesteps
+  render     histogram-based parallel coordinates to a PPM image
+
+run a command without options to see its required arguments.
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return argc < 2 ? 0 : 2;
+  }
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  const Args args(argc - 2, argv + 2);
+  try {
+    if (command == "generate") return cmd_generate(dir, args);
+    if (command == "info") return cmd_info(dir);
+    if (command == "query") return cmd_query(dir, args);
+    if (command == "histogram") return cmd_histogram(dir, args);
+    if (command == "stats") return cmd_stats(dir, args);
+    if (command == "track") return cmd_track(dir, args);
+    if (command == "render") return cmd_render(dir, args);
+    std::cerr << "unknown command '" << command << "'\n";
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

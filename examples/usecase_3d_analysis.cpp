@@ -1,0 +1,73 @@
+// Section IV-F of the paper (Figure 10): the 3D analysis example.
+//
+// Two-stage selection on the 3D dataset at t=12: first remove the background
+// (px > 2e9, the context view), then select the compact first-bucket beam
+// with px > 4.856e10 && x above a position threshold; trace the selection
+// backwards to t=9 (injection) and forwards to t=14.
+#include <algorithm>
+#include <iostream>
+
+#include "core/session.hpp"
+#include "example_common.hpp"
+
+int main() {
+  using namespace qdv;
+
+  const auto dir = examples::ensure_3d_dataset();
+  core::ExplorationSession session = core::ExplorationSession::open(dir);
+  const std::size_t t_sel = 12;
+
+  // Background removal for the context view (paper: px > 2e9).
+  session.set_context("px > 2e9");
+  // Beam selection: momentum plus position threshold to exclude particles in
+  // the secondary wake periods. The paper uses x > 5.649e-4 on its grid; we
+  // compute the equivalent on ours from the window position.
+  const io::TimestepTable& table = session.dataset().table(t_sel);
+  const auto xs = table.column("x");
+  double xmin = xs[0], xmax = xs[0];
+  for (const double v : xs) {
+    xmin = std::min(xmin, v);
+    xmax = std::max(xmax, v);
+  }
+  const double x_threshold = xmin + 0.7 * (xmax - xmin);
+  const std::string focus_text =
+      "px > 4.856e10 && x > " + std::to_string(x_threshold);
+  session.set_focus(focus_text);
+
+  const std::uint64_t context_count =
+      evaluate(*session.context(), table).count();
+  const std::uint64_t focus_count = session.focus_count(t_sel);
+  std::cout << "t=12: context (px > 2e9) keeps " << context_count
+            << " particles; focus (" << focus_text << ") selects " << focus_count
+            << "\n";
+
+  // Figure 10a: parallel coordinates with context (gray) and focus (red).
+  core::PcViewOptions options;
+  options.context_bins = 120;
+  options.focus_bins = 256;
+  options.context_color = render::colors::kGray;
+  options.focus_color = render::colors::kRed;
+  const render::Image pc = session.render_parallel_coordinates(
+      t_sel, {"x", "y", "z", "px", "py", "pz"}, options);
+  const auto out_pc = examples::output_dir() / "fig10a_pc_3d.ppm";
+  pc.write_ppm(out_pc);
+  examples::report_image(out_pc, "Fig 10a: 3D beam selection parallel coordinates");
+
+  // Figure 10b stand-in: physical-space pseudocolor view of the selection.
+  const render::Image sc = session.render_scatter(t_sel, "x", "y", "px");
+  const auto out_sc = examples::output_dir() / "fig10b_scatter_3d.ppm";
+  sc.write_ppm(out_sc);
+  examples::report_image(out_sc, "Fig 10b: selected beam in physical space");
+
+  // Figure 10c: traces from t=9 (injection) to t=14, constant acceleration.
+  std::vector<std::uint64_t> ids = session.selected_ids(t_sel);
+  if (ids.size() > 300) ids.resize(300);
+  const core::ParticleTracks tracks = session.track(ids, 9, 14, {"x", "px"});
+  std::cout << "\n  t    present    mean px\n";
+  for (std::size_t ti = 0; ti < tracks.timesteps().size(); ++ti)
+    std::cout << "  " << tracks.timesteps()[ti] << "    "
+              << tracks.count_present(ti) << "    " << tracks.mean(ti, "px") << "\n";
+  std::cout << "(particles enter the window around t=9-10 and are constantly "
+               "accelerated through t=14, as in Figure 10c)\n";
+  return 0;
+}
