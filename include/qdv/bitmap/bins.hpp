@@ -1,0 +1,51 @@
+// Bin boundary sets for bitmap indices and histograms: uniform, quantile
+// (equal-count), and precision binning (bin edges on round decimal values, so
+// low-precision range constants are answered from the index alone).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qdv {
+
+class Bins {
+ public:
+  Bins() = default;
+  explicit Bins(std::vector<double> edges);
+
+  std::size_t num_bins() const { return edges_.empty() ? 0 : edges_.size() - 1; }
+  const std::vector<double>& edges() const { return edges_; }
+  double lo() const { return edges_.front(); }
+  double hi() const { return edges_.back(); }
+  double width(std::size_t bin) const { return edges_[bin + 1] - edges_[bin]; }
+
+  /// Bin index of @p value, or -1 if outside [lo, hi]. Bins are half-open
+  /// [e_i, e_{i+1}) except the last, which is closed. Uniform bin sets use an
+  /// O(1) arithmetic path.
+  std::ptrdiff_t locate(double value) const;
+
+  bool is_uniform() const { return uniform_; }
+
+  bool operator==(const Bins& other) const { return edges_ == other.edges_; }
+
+ private:
+  std::vector<double> edges_;
+  bool uniform_ = false;
+  double inv_width_ = 0.0;  // 1 / uniform bin width
+};
+
+/// @p nbins equal-width bins over [lo, hi].
+Bins make_uniform_bins(double lo, double hi, std::size_t nbins);
+
+/// Equal-count bins from the empirical distribution of @p values.
+Bins make_quantile_bins(std::span<const double> values, std::size_t nbins);
+
+/// Bin edges on multiples of a power-of-ten step so that any range constant
+/// with at most @p digits significant decimal digits falls exactly on an
+/// edge (no candidate check needed). The step is coarsened until the bin
+/// count fits within @p max_bins.
+Bins make_precision_bins(double lo, double hi, int digits, std::size_t max_bins);
+
+}  // namespace qdv

@@ -1,0 +1,121 @@
+// Equality-encoded bitmap index (FastBit's default): one WAH-compressed
+// bitmap per bin. Range queries OR the bitmaps of bins fully inside the
+// interval and verify the (at most two) boundary bins against the raw
+// column — the two-step evaluation described in DESIGN.md Section 3.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "bitmap/bins.hpp"
+#include "bitmap/bitvector.hpp"
+
+namespace qdv {
+
+/// A one-dimensional range condition with optional open/closed endpoints.
+struct Interval {
+  double lo;
+  double hi;
+  bool lo_open = true;  // lo excluded from the interval
+  bool hi_open = true;  // hi excluded from the interval
+
+  static Interval greater_than(double v);
+  static Interval at_least(double v);
+  static Interval less_than(double v);
+  static Interval at_most(double v);
+  /// [lo, hi)
+  static Interval between(double lo, double hi);
+
+  bool contains(double x) const {
+    return (lo_open ? x > lo : x >= lo) && (hi_open ? x < hi : x <= hi);
+  }
+};
+
+/// Index-only answer of a range condition: rows certainly matching plus rows
+/// that need a candidate check against the raw column.
+struct ApproxAnswer {
+  BitVector hits;
+  BitVector candidates;
+};
+
+namespace detail {
+/// Classification of the bin range covered by an interval: bins
+/// [full_lo, full_hi] are certain hits (empty when full_lo > full_hi);
+/// partial bins need a candidate check.
+struct BinCoverage {
+  std::ptrdiff_t full_lo = 0;
+  std::ptrdiff_t full_hi = -1;
+  std::vector<std::size_t> partial;
+};
+BinCoverage classify_bins(const Bins& bins, const Interval& iv);
+
+/// Per-row bin assignment used by all index builders: positions grouped by
+/// bin (ascending within each bin) plus the rows outside the bin range.
+struct BinnedRows {
+  std::vector<std::uint32_t> grouped;     // row ids, grouped by bin
+  std::vector<std::size_t> offsets;       // per-bin [offsets[b], offsets[b+1])
+  std::vector<std::uint32_t> outside;     // rows not covered by the bins
+};
+BinnedRows bin_rows(std::span<const double> values, const Bins& bins);
+
+/// Second step of the two-step evaluation, shared by every index encoding:
+/// verify the candidate rows against the raw column and fold the survivors
+/// into the hits.
+BitVector resolve_candidates(const Interval& iv, ApproxAnswer approx,
+                             std::span<const double> values,
+                             std::uint64_t nrows);
+}  // namespace detail
+
+class BitmapIndex {
+ public:
+  static BitmapIndex build(std::span<const double> values, const Bins& bins);
+
+  /// Index-only evaluation: hits plus candidate rows (boundary bins and rows
+  /// outside the binned range).
+  ApproxAnswer evaluate_approx(const Interval& iv) const;
+
+  /// Full two-step evaluation: index answer plus candidate check against the
+  /// raw column values.
+  BitVector evaluate(const Interval& iv, std::span<const double> values) const;
+
+  const Bins& bins() const { return bins_; }
+  std::uint64_t num_rows() const { return nrows_; }
+  const BitVector& bin_bitmap(std::size_t bin) const { return bitmaps_[bin]; }
+  std::size_t memory_bytes() const;
+
+  void save(std::ostream& out) const;
+  static BitmapIndex load(std::istream& in);
+
+ private:
+  Bins bins_;
+  std::uint64_t nrows_ = 0;
+  std::vector<BitVector> bitmaps_;  // one per bin
+  BitVector outside_;               // rows outside [bins.lo, bins.hi]
+};
+
+/// Row lookup index over an unsigned integer identifier column.
+class IdIndex {
+ public:
+  static IdIndex build(std::span<const std::uint64_t> ids);
+
+  /// Rows whose id is in @p search, ascending and deduplicated — the same
+  /// result (and order) a sequential scan would produce.
+  std::vector<std::uint32_t> lookup_rows(std::span<const std::uint64_t> search) const;
+
+  /// Row of a single id, or -1 if absent.
+  std::ptrdiff_t lookup_row(std::uint64_t id) const;
+
+  std::uint64_t num_rows() const { return rows_.size(); }
+  std::size_t memory_bytes() const;
+
+  void save(std::ostream& out) const;
+  static IdIndex load(std::istream& in);
+
+ private:
+  std::vector<std::uint64_t> sorted_ids_;
+  std::vector<std::uint32_t> rows_;  // rows_[i] = row of sorted_ids_[i]
+};
+
+}  // namespace qdv

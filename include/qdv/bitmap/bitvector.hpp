@@ -1,0 +1,118 @@
+// WAH-compressed bitvector: the core data structure of the query engine.
+//
+// Bits are grouped into 31-bit groups packed into 32-bit words (see
+// DESIGN.md Section 1 for the word layout). Logical operations cost
+// O(compressed words), not O(bits), which is what makes bitmap indices
+// viable for the paper's query-driven workloads.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace qdv {
+
+class BitVector {
+ public:
+  /// Number of payload bits per compressed word.
+  static constexpr std::uint32_t kGroupBits = 31;
+
+  BitVector() = default;
+
+  /// Append @p count copies of @p value at the end of the vector.
+  void append_run(bool value, std::uint64_t count);
+
+  /// Append a single bit.
+  void append_bit(bool value) { append_run(value, 1); }
+
+  /// A vector of @p nbits zeros / ones.
+  static BitVector zeros(std::uint64_t nbits);
+  static BitVector ones(std::uint64_t nbits);
+
+  /// Build from a sorted list of set-bit positions, padded to @p nbits.
+  static BitVector from_positions(std::span<const std::uint32_t> positions,
+                                  std::uint64_t nbits);
+
+  /// Logical operations; operands of different lengths are zero-extended.
+  friend BitVector operator&(const BitVector& a, const BitVector& b);
+  friend BitVector operator|(const BitVector& a, const BitVector& b);
+  friend BitVector operator^(const BitVector& a, const BitVector& b);
+  BitVector operator~() const;
+
+  bool operator==(const BitVector& other) const = default;
+
+  /// Number of set bits.
+  std::uint64_t count() const;
+
+  /// Total number of bits appended so far.
+  std::uint64_t size() const { return nbits_; }
+
+  /// Number of compressed words (excluding the partial tail group).
+  std::size_t word_count() const { return words_.size(); }
+
+  /// Heap bytes used by the compressed representation.
+  std::size_t memory_bytes() const { return words_.capacity() * sizeof(std::uint32_t); }
+
+  /// Positions of all set bits, ascending.
+  std::vector<std::uint32_t> to_positions() const;
+
+  /// Value of bit @p pos (linear in compressed words; intended for tests).
+  bool test(std::uint64_t pos) const;
+
+  /// Invoke @p fn(position) for every set bit, ascending.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    std::uint64_t pos = 0;
+    for (const std::uint32_t w : words_) {
+      if (w & kFillFlag) {
+        const std::uint64_t run_bits = static_cast<std::uint64_t>(w & kCountMask) * kGroupBits;
+        if (w & kFillValueBit)
+          for (std::uint64_t i = 0; i < run_bits; ++i) fn(pos + i);
+        pos += run_bits;
+      } else {
+        std::uint32_t bits = w;
+        while (bits) {
+          fn(pos + static_cast<std::uint32_t>(std::countr_zero(bits)));
+          bits &= bits - 1;
+        }
+        pos += kGroupBits;
+      }
+    }
+    std::uint32_t bits = active_;
+    while (bits) {
+      fn(pos + static_cast<std::uint32_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+
+  /// Binary serialization (used by the on-disk index format).
+  void save(std::ostream& out) const;
+  static BitVector load(std::istream& in);
+
+ private:
+  static constexpr std::uint32_t kFillFlag = 0x80000000u;
+  static constexpr std::uint32_t kFillValueBit = 0x40000000u;
+  static constexpr std::uint32_t kCountMask = 0x3FFFFFFFu;
+  static constexpr std::uint32_t kLiteralMask = 0x7FFFFFFFu;
+
+  void append_fill(bool value, std::uint64_t groups);
+  void append_group(std::uint32_t literal);
+  void flush_active();
+
+  friend class BitRunDecoder;
+  template <typename Op>
+  friend BitVector combine(const BitVector& a, const BitVector& b, Op op);
+
+  std::vector<std::uint32_t> words_;
+  std::uint32_t active_ = 0;  // partial tail group, LSB-first
+  std::uint32_t active_bits_ = 0;
+  std::uint64_t nbits_ = 0;
+};
+
+/// K-way OR via pairwise tree reduction: used to assemble range queries from
+/// many per-bin bitmaps. Inputs shorter than @p nbits are zero-extended.
+BitVector or_many(std::vector<const BitVector*> operands, std::uint64_t nbits);
+
+}  // namespace qdv

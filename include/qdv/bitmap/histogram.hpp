@@ -1,0 +1,87 @@
+// Conditional histograms through the FastBit-style two-step evaluation:
+// the condition is answered by the bitmap indices first, then only the
+// matching records are gathered and binned (DESIGN.md Section 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitmap/bins.hpp"
+#include "core/query.hpp"
+
+namespace qdv {
+
+namespace io {
+class TimestepTable;
+}  // namespace io
+
+enum class BinningMode {
+  kUniform,   // equal-width bins over the variable's domain
+  kAdaptive,  // equal-weight bins via oversample + merge
+};
+
+struct Histogram1D {
+  Bins bins;
+  std::vector<std::uint64_t> counts;
+
+  std::uint64_t total() const;
+  std::uint64_t max_count() const;
+  std::size_t nonempty_bins() const;
+};
+
+struct Histogram2D {
+  Bins xbins;
+  Bins ybins;
+  std::vector<std::uint64_t> counts;  // row-major: counts[ix * ny + iy]
+
+  std::size_t nx() const { return xbins.num_bins(); }
+  std::size_t ny() const { return ybins.num_bins(); }
+  std::uint64_t& at(std::size_t ix, std::size_t iy) { return counts[ix * ny() + iy]; }
+  std::uint64_t at(std::size_t ix, std::size_t iy) const { return counts[ix * ny() + iy]; }
+  /// Count per unit area — comparable across non-uniform (adaptive) bins.
+  double density(std::size_t ix, std::size_t iy) const;
+
+  std::uint64_t total() const;
+  std::uint64_t max_count() const;
+  std::size_t nonempty_bins() const;
+};
+
+/// Equal-weight bins derived from a finer histogram: greedily merge fine
+/// bins until each merged bin holds ~total/nbins records (the paper's
+/// adaptive binning, Section III-B).
+Bins make_equal_weight_bins(const Histogram1D& fine, std::size_t nbins);
+
+/// Adaptive bins over [lo, hi]: oversample @p values with a fine uniform
+/// histogram, then merge to @p nbins equal-weight bins. Shared by the
+/// table-domain engine and the session's global-domain axes.
+Bins make_adaptive_bins(double lo, double hi, std::span<const double> values,
+                        std::size_t nbins);
+
+/// Index-backed histogram computation over one timestep table. Lightweight
+/// handle: obtained from TimestepTable::engine().
+class HistogramEngine {
+ public:
+  HistogramEngine(const io::TimestepTable& table, EvalMode mode)
+      : table_(&table), mode_(mode) {}
+
+  Histogram1D histogram1d(const std::string& variable, std::size_t nbins,
+                          const Query* condition = nullptr,
+                          BinningMode binning = BinningMode::kUniform) const;
+
+  Histogram2D histogram2d(const std::string& x, const std::string& y,
+                          std::size_t nxbins, std::size_t nybins,
+                          const Query* condition = nullptr,
+                          BinningMode binning = BinningMode::kUniform) const;
+
+  EvalMode mode() const { return mode_; }
+
+ private:
+  Bins bins_for(const std::string& variable, std::size_t nbins,
+                BinningMode binning) const;
+
+  const io::TimestepTable* table_;
+  EvalMode mode_;
+};
+
+}  // namespace qdv

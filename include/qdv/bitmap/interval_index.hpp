@@ -1,0 +1,39 @@
+// Interval-encoded bitmap index (Chan & Ioannidis): stores bitmaps
+// I_k = rows with a value in bins [k, k + m - 1] for a sliding window of
+// m = ceil(nbins / 2) bins. Threshold queries are answered with at most two
+// stored bitmaps; arbitrary interior ranges with at most four (see
+// DESIGN.md Section 4), with roughly half the storage of range encoding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/bitmap_index.hpp"
+
+namespace qdv {
+
+class IntervalEncodedIndex {
+ public:
+  static IntervalEncodedIndex build(std::span<const double> values, const Bins& bins);
+
+  ApproxAnswer evaluate_approx(const Interval& iv) const;
+  BitVector evaluate(const Interval& iv, std::span<const double> values) const;
+
+  const Bins& bins() const { return bins_; }
+  std::uint64_t num_rows() const { return nrows_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  /// Bitmap of the suffix bin range [first, nbins - 1]; composed from at
+  /// most two stored window bitmaps.
+  BitVector suffix(std::ptrdiff_t first) const;
+
+  Bins bins_;
+  std::uint64_t nrows_ = 0;
+  std::size_t window_ = 0;          // m
+  std::vector<BitVector> windows_;  // I_0 .. I_{nbins - m}
+  BitVector outside_;
+};
+
+}  // namespace qdv

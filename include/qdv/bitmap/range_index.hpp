@@ -1,0 +1,38 @@
+// Range-encoded bitmap index: stores cumulative bitmaps C_i = rows with a
+// value in bins [0, i]. Any contiguous bin range is answered with two
+// cumulative bitmaps (one for the paper's dominant `px > t` threshold
+// shape), at the cost of denser, less compressible bitmaps than the
+// equality encoding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/bitmap_index.hpp"
+
+namespace qdv {
+
+class RangeEncodedIndex {
+ public:
+  static RangeEncodedIndex build(std::span<const double> values, const Bins& bins);
+
+  ApproxAnswer evaluate_approx(const Interval& iv) const;
+  BitVector evaluate(const Interval& iv, std::span<const double> values) const;
+
+  const Bins& bins() const { return bins_; }
+  std::uint64_t num_rows() const { return nrows_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  /// Bitmap of rows whose bin is in [0, i]; i == num_bins()-1 is implicit
+  /// (all binned rows) and synthesized on demand.
+  BitVector prefix(std::ptrdiff_t i) const;
+
+  Bins bins_;
+  std::uint64_t nrows_ = 0;
+  std::vector<BitVector> cumulative_;  // C_0 .. C_{nbins-2}
+  BitVector outside_;
+};
+
+}  // namespace qdv

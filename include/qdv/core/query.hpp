@@ -1,0 +1,114 @@
+// Boolean multivariate query AST: range comparisons, identifier-set
+// membership, and logical connectives, plus a small expression parser for
+// strings like "px > 8.872e10 && y > 0".
+//
+// Queries are immutable and shared (QueryPtr); evaluation against a
+// timestep table lives in io/timestep_table.hpp so the AST stays free of
+// I/O dependencies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qdv {
+
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq };
+
+/// How a query (or histogram) is evaluated against a table.
+enum class EvalMode {
+  kAuto,   // use bitmap/id indices when available, else scan
+  kIndex,  // require indices (throws when missing)
+  kScan,   // sequential scan of the raw columns
+};
+
+class Query;
+using QueryPtr = std::shared_ptr<const Query>;
+
+class Query {
+ public:
+  enum class Kind { kCompare, kIdIn, kAnd, kOr, kNot };
+
+  virtual ~Query() = default;
+  virtual Kind kind() const = 0;
+  virtual std::string to_string() const = 0;
+
+  static QueryPtr compare(std::string variable, CompareOp op, double value);
+  static QueryPtr id_in(std::string variable, std::vector<std::uint64_t> ids);
+  static QueryPtr land(QueryPtr a, QueryPtr b);
+  static QueryPtr lor(QueryPtr a, QueryPtr b);
+  static QueryPtr lnot(QueryPtr a);
+};
+
+class CompareQuery final : public Query {
+ public:
+  CompareQuery(std::string variable, CompareOp op, double value)
+      : variable_(std::move(variable)), op_(op), value_(value) {}
+  Kind kind() const override { return Kind::kCompare; }
+  std::string to_string() const override;
+  const std::string& variable() const { return variable_; }
+  CompareOp op() const { return op_; }
+  double value() const { return value_; }
+
+ private:
+  std::string variable_;
+  CompareOp op_;
+  double value_;
+};
+
+class IdInQuery final : public Query {
+ public:
+  IdInQuery(std::string variable, std::vector<std::uint64_t> ids);
+  Kind kind() const override { return Kind::kIdIn; }
+  std::string to_string() const override;
+  const std::string& variable() const { return variable_; }
+  /// Sorted, deduplicated search set.
+  const std::vector<std::uint64_t>& ids() const { return ids_; }
+
+ private:
+  std::string variable_;
+  std::vector<std::uint64_t> ids_;
+};
+
+class AndQuery final : public Query {
+ public:
+  AndQuery(QueryPtr a, QueryPtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  Kind kind() const override { return Kind::kAnd; }
+  std::string to_string() const override;
+  const Query& lhs() const { return *a_; }
+  const Query& rhs() const { return *b_; }
+
+ private:
+  QueryPtr a_, b_;
+};
+
+class OrQuery final : public Query {
+ public:
+  OrQuery(QueryPtr a, QueryPtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  Kind kind() const override { return Kind::kOr; }
+  std::string to_string() const override;
+  const Query& lhs() const { return *a_; }
+  const Query& rhs() const { return *b_; }
+
+ private:
+  QueryPtr a_, b_;
+};
+
+class NotQuery final : public Query {
+ public:
+  explicit NotQuery(QueryPtr a) : a_(std::move(a)) {}
+  Kind kind() const override { return Kind::kNot; }
+  std::string to_string() const override;
+  const Query& operand() const { return *a_; }
+
+ private:
+  QueryPtr a_;
+};
+
+/// Parse a range-query expression, e.g. "px > 8.872e10 && (y > 0 || !(x < 1))".
+/// Grammar: comparisons `var (<|<=|>|>=|==) number` combined with `&&`, `||`,
+/// `!` and parentheses. Throws std::invalid_argument on malformed input.
+QueryPtr parse_query(const std::string& text);
+
+}  // namespace qdv

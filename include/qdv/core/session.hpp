@@ -1,0 +1,101 @@
+// ExplorationSession: the user-facing entry point tying the query engine,
+// dataset, tracking, and rendering layers together — open a dataset, set
+// focus/context selections (query strings or query objects), and derive
+// counts, histograms, traces, and figure renderings from them.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bitmap/histogram.hpp"
+#include "core/query.hpp"
+#include "core/tracks.hpp"
+#include "io/dataset.hpp"
+#include "render/pc_plot.hpp"
+
+namespace qdv::core {
+
+/// Options of the focus+context parallel-coordinates view.
+struct PcViewOptions {
+  std::size_t context_bins = 120;  // bins/axis of the context layer
+  std::size_t focus_bins = 256;    // bins/axis of the focus layer
+  BinningMode binning = BinningMode::kUniform;
+  render::Color context_color = render::colors::kGray;
+  render::Color focus_color = render::colors::kRed;
+  double context_gamma = 1.0;
+  double focus_gamma = 1.0;
+  render::PcLayout layout;
+};
+
+class ExplorationSession {
+ public:
+  static ExplorationSession open(const std::filesystem::path& dir);
+
+  const io::Dataset& dataset() const { return dataset_; }
+  std::size_t num_timesteps() const { return dataset_.num_timesteps(); }
+
+  /// The focus selection: the particles under analysis.
+  void set_focus(const std::string& query_text);
+  void set_focus(QueryPtr query);
+  const QueryPtr& focus() const { return focus_; }
+
+  /// The context selection restricting the background view (all records
+  /// when unset).
+  void set_context(const std::string& query_text);
+  void set_context(QueryPtr query);
+  const QueryPtr& context() const { return context_; }
+
+  /// Number of records matching the focus at timestep @p t.
+  std::uint64_t focus_count(std::size_t t) const;
+
+  /// Identifiers of the records matching the focus at timestep @p t.
+  std::vector<std::uint64_t> selected_ids(std::size_t t) const;
+
+  /// Global [min, max] of a variable across all timesteps.
+  std::pair<double, double> global_domain(const std::string& name) const;
+
+  /// 2D histograms of each adjacent axis pair, binned over the global
+  /// domains (shared across timesteps, so figures align).
+  std::vector<Histogram2D> pair_histograms(std::size_t t,
+                                           const std::vector<std::string>& axes,
+                                           std::size_t bins_per_axis,
+                                           const Query* condition,
+                                           BinningMode binning =
+                                               BinningMode::kUniform) const;
+
+  /// Trace @p ids over timesteps [t_from, t_to], recording @p variables.
+  ParticleTracks track(const std::vector<std::uint64_t>& ids, std::size_t t_from,
+                       std::size_t t_to,
+                       const std::vector<std::string>& variables) const;
+
+  /// Focus+context histogram-based parallel coordinates (Figures 4/5/10).
+  render::Image render_parallel_coordinates(std::size_t t,
+                                            const std::vector<std::string>& axes,
+                                            const PcViewOptions& options = {}) const;
+
+  /// Temporal parallel coordinates: the focus at each timestep of
+  /// [t_from, t_to] in a distinct color (Figure 9).
+  render::Image render_temporal(std::size_t t_from, std::size_t t_to,
+                                const std::vector<std::string>& axes,
+                                const PcViewOptions& options = {}) const;
+
+  /// Physical-space pseudocolor scatter: context records dim, focus records
+  /// colored by @p color_variable (Figures 5/6/8/10).
+  render::Image render_scatter(std::size_t t, const std::string& x,
+                               const std::string& y,
+                               const std::string& color_variable) const;
+
+ private:
+  explicit ExplorationSession(io::Dataset dataset) : dataset_(std::move(dataset)) {}
+
+  std::vector<render::PcAxis> make_axes(const std::vector<std::string>& names) const;
+
+  io::Dataset dataset_;
+  QueryPtr focus_;
+  QueryPtr context_;
+};
+
+}  // namespace qdv::core

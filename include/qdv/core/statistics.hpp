@@ -1,0 +1,28 @@
+// Conditional summary statistics of one variable, evaluated through the
+// same two-step query path as the histograms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/query.hpp"
+#include "io/timestep_table.hpp"
+
+namespace qdv::core {
+
+struct SummaryStats {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Statistics of @p variable over the rows matching @p condition (all rows
+/// when nullptr).
+SummaryStats conditional_stats(const io::TimestepTable& table,
+                               const std::string& variable,
+                               const Query* condition = nullptr,
+                               EvalMode mode = EvalMode::kAuto);
+
+}  // namespace qdv::core

@@ -1,0 +1,50 @@
+// Temporal particle tracking: per-timestep values of a fixed identifier set,
+// aligned to the selection order (absent particles carry NaN).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qdv::core {
+
+class ParticleTracks {
+ public:
+  ParticleTracks(std::vector<std::uint64_t> ids, std::vector<std::size_t> timesteps,
+                 std::vector<std::string> variables);
+
+  const std::vector<std::uint64_t>& ids() const { return ids_; }
+  const std::vector<std::size_t>& timesteps() const { return timesteps_; }
+  const std::vector<std::string>& variables() const { return variables_; }
+
+  /// Number of tracked particles present at timestep index @p ti.
+  std::size_t count_present(std::size_t ti) const;
+
+  /// Value of @p variable for the @p k-th tracked particle at timestep index
+  /// @p ti; NaN when the particle is absent from that timestep.
+  double value(std::size_t ti, const std::string& variable, std::size_t k) const;
+
+  /// Mean of @p variable over the particles present at timestep index @p ti
+  /// (0 when none are present).
+  double mean(std::size_t ti, const std::string& variable) const;
+
+  /// Standard deviation divided by |mean| (0 when undefined).
+  double relative_spread(std::size_t ti, const std::string& variable) const;
+
+  /// Filled by the session during construction: values_slot(ti, var)[k].
+  std::vector<double>& values_slot(std::size_t ti, std::size_t var_index) {
+    return values_[ti * variables_.size() + var_index];
+  }
+
+ private:
+  std::size_t var_index(const std::string& variable) const;
+
+  std::vector<std::uint64_t> ids_;
+  std::vector<std::size_t> timesteps_;
+  std::vector<std::string> variables_;
+  // values_[ti * nvars + vi][k]: value of variable vi for particle k at
+  // timestep index ti (NaN when absent).
+  std::vector<std::vector<double>> values_;
+};
+
+}  // namespace qdv::core

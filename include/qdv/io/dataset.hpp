@@ -1,0 +1,66 @@
+// Multi-timestep dataset handle: manifest parsing, per-timestep table cache,
+// and global (cross-timestep) variable domains.
+//
+// A dataset directory holds `qdv_manifest.txt` plus one `tNNNNN/` directory
+// per timestep (see io/timestep_table.hpp and DESIGN.md Section 2).
+// Dataset is a cheap value-type handle over shared immutable state, so it
+// can be held by value in sessions and captured by parallel tasks.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/timestep_table.hpp"
+
+namespace qdv::io {
+
+/// Index construction parameters used by dataset writers.
+struct IndexConfig {
+  std::size_t nbins = 1024;       // bins per value index
+  bool build_value_indices = true;
+  bool build_id_index = true;
+};
+
+class Dataset {
+ public:
+  static Dataset open(const std::filesystem::path& dir);
+
+  std::size_t num_timesteps() const;
+  const std::vector<std::string>& variables() const;
+  const std::filesystem::path& path() const;
+
+  /// Cached per-timestep table (shared across callers; see drop_cache()).
+  const TimestepTable& table(std::size_t t) const;
+
+  /// A fresh, uncached table — used by benchmarks and parallel tasks that
+  /// need cold-start I/O semantics or private column caches.
+  std::shared_ptr<TimestepTable> open_table(std::size_t t) const;
+
+  /// Global [min, max] of a variable across all timesteps.
+  std::pair<double, double> global_domain(const std::string& name) const;
+
+  /// Total on-disk footprint (data + indices + metadata).
+  std::uint64_t disk_bytes() const;
+
+  /// Release all cached tables (and their column/index caches).
+  void drop_cache() const;
+
+  /// Directory of timestep @p t.
+  std::filesystem::path step_dir(std::size_t t) const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Name of the per-dataset manifest file.
+inline constexpr const char* kManifestName = "qdv_manifest.txt";
+
+/// Directory name of timestep @p t ("t00000", "t00001", ...).
+std::string step_dir_name(std::size_t t);
+
+}  // namespace qdv::io

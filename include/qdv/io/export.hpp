@@ -1,0 +1,16 @@
+// Tabular exports of analysis results (CSV) for downstream plotting.
+#pragma once
+
+#include <filesystem>
+
+#include "bitmap/histogram.hpp"
+
+namespace qdv::io {
+
+/// Write a 2D histogram as CSV rows: x_lo, x_hi, y_lo, y_hi, count.
+void export_csv(const std::filesystem::path& path, const Histogram2D& histogram);
+
+/// Write a 1D histogram as CSV rows: lo, hi, count.
+void export_csv(const std::filesystem::path& path, const Histogram1D& histogram);
+
+}  // namespace qdv::io

@@ -1,0 +1,92 @@
+// One timestep of a dataset: lazily loaded column files plus their bitmap
+// and identifier indices, with index-backed or scan query evaluation.
+//
+// On-disk layout (DESIGN.md Section 2): the timestep directory holds
+// `meta.txt` (row count + per-variable domains), raw little-endian column
+// files `<var>.f64` / `id.u64`, and serialized indices `<var>.bmi` /
+// `id.idi`.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bitmap/bitmap_index.hpp"
+#include "bitmap/histogram.hpp"
+#include "core/query.hpp"
+
+namespace qdv::io {
+
+class TimestepTable {
+ public:
+  /// Open the timestep stored in @p dir (reads meta.txt eagerly, everything
+  /// else lazily).
+  explicit TimestepTable(std::filesystem::path dir, std::size_t step = 0);
+
+  std::uint64_t num_rows() const { return rows_; }
+  std::size_t step() const { return step_; }
+  const std::vector<std::string>& variables() const { return variables_; }
+
+  /// Raw column values (loaded from disk and cached on first use).
+  std::span<const double> column(const std::string& name) const;
+
+  /// The identifier column (unsigned 64-bit).
+  std::span<const std::uint64_t> id_column(const std::string& name) const;
+
+  /// Bitmap index of @p name, or nullptr when none exists on disk.
+  const BitmapIndex* index(const std::string& name) const;
+
+  /// Identifier index of @p name, or nullptr when none exists on disk.
+  const IdIndex* id_index(const std::string& name) const;
+
+  /// True when at least one serialized index accompanies the data files.
+  bool has_indices() const;
+
+  /// Per-timestep [min, max] of a variable (from meta.txt).
+  std::pair<double, double> domain(const std::string& name) const;
+
+  /// Histogram computation handle bound to this table.
+  HistogramEngine engine(EvalMode mode = EvalMode::kAuto) const {
+    return HistogramEngine(*this, mode);
+  }
+
+  /// Evaluate a query against this timestep.
+  BitVector query(const Query& q, EvalMode mode = EvalMode::kAuto) const;
+  BitVector query(const std::string& text, EvalMode mode = EvalMode::kAuto) const;
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::size_t step_ = 0;
+  std::uint64_t rows_ = 0;
+  std::vector<std::string> variables_;
+  std::unordered_map<std::string, std::pair<double, double>> domains_;
+
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, std::vector<double>> columns_;
+  mutable std::unordered_map<std::string, std::vector<std::uint64_t>> id_columns_;
+  mutable std::unordered_map<std::string, std::optional<BitmapIndex>> indices_;
+  mutable std::unordered_map<std::string, std::optional<IdIndex>> id_indices_;
+};
+
+}  // namespace qdv::io
+
+namespace qdv {
+
+/// Evaluate @p query against @p table (indices when available under kAuto).
+BitVector evaluate(const Query& query, const io::TimestepTable& table,
+                   EvalMode mode = EvalMode::kAuto);
+
+/// The Interval matched by `value <op> constant` — the single mapping shared
+/// by the index and scan evaluation paths.
+Interval interval_for(CompareOp op, double value);
+
+}  // namespace qdv

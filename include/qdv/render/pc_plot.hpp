@@ -1,0 +1,71 @@
+// Histogram-based focus+context parallel coordinates (Section III of the
+// paper): aggregated 2D-histogram quads between adjacent axes, traditional
+// per-record polylines, and the outlier-preserving hybrid of both.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bitmap/histogram.hpp"
+#include "render/image.hpp"
+
+namespace qdv::render {
+
+/// One vertical axis of the plot with its value domain.
+struct PcAxis {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Style of one rendering layer.
+struct PcStyle {
+  Color color = colors::kWhite;
+  float max_alpha = 1.0f;  // intensity of the densest bin / each polyline
+  double gamma = 1.0;      // density response: intensity = (count/max)^gamma
+};
+
+/// Canvas geometry.
+struct PcLayout {
+  std::size_t width = 960;
+  std::size_t height = 540;
+  std::size_t margin = 36;
+};
+
+class ParallelCoordinatesPlot {
+ public:
+  explicit ParallelCoordinatesPlot(std::vector<PcAxis> axes, PcLayout layout = {});
+
+  /// Axis lines and plot frame.
+  void draw_frame();
+
+  /// Aggregated rendering: hists[i] is the 2D histogram of axis pair
+  /// (i, i+1); each non-empty bin renders as a quad connecting its value
+  /// ranges on the two axes.
+  void draw_histogram_layer(const std::vector<Histogram2D>& hists,
+                            const PcStyle& style);
+
+  /// Traditional per-record polylines; columns[i] holds the values of axis i.
+  void draw_polyline_layer(const std::vector<std::span<const double>>& columns,
+                           const PcStyle& style);
+
+  /// Hybrid rendering (Section III-A3): dense bins as quads, records in bins
+  /// below @p outlier_fraction of the pair's peak density as polylines.
+  void draw_hybrid_layer(const std::vector<Histogram2D>& hists,
+                         const std::vector<std::span<const double>>& columns,
+                         const PcStyle& style, double outlier_fraction);
+
+  const Image& image() const { return image_; }
+  Image& image() { return image_; }
+
+ private:
+  double axis_x(std::size_t axis) const;
+  double value_y(std::size_t axis, double value) const;
+
+  std::vector<PcAxis> axes_;
+  PcLayout layout_;
+  Image image_;
+};
+
+}  // namespace qdv::render

@@ -1,0 +1,78 @@
+// Deterministic laser-wakefield surrogate simulation: a moving simulation
+// window streams through a background plasma while trapped particle beams
+// ride the wake and accelerate. Reproduces the phenomenology the paper's
+// use cases rely on (injection around specific timesteps, beam dephasing,
+// momentum thresholds selecting only the beams) without running a PIC code.
+//
+// Identifier namespace: background particles use their global index
+// (< 2^40); beam particles use 2^40 + (beam << 32) + k, so analyses can
+// recover beam membership from the id alone.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/dataset.hpp"
+
+namespace qdv::sim {
+
+/// One trapped particle beam.
+struct BeamSpec {
+  std::size_t count = 0;
+  std::size_t inject_step = 0;   // first timestep the beam is in the window
+  double ramp = 0.0;             // px gained per timestep while accelerating
+  std::size_t peak_step = ~std::size_t{0};  // dephasing point (none by default)
+  double decline = 0.0;          // px lost per timestep past peak_step
+  double xrel0 = 0.5;            // window-relative position at injection
+  double xrel_drift = 0.0;       // window-relative drift per timestep
+  double px_spread = 0.02;       // relative momentum spread
+  double y_sigma0 = 0.3;         // transverse size at injection (fraction of y_max)
+  double y_shrink = 0.0;         // focusing rate per timestep
+};
+
+struct WakefieldConfig {
+  std::size_t num_particles = 100000;  // target background particles per step
+  std::size_t num_timesteps = 38;
+  std::uint64_t seed = 42;
+  int dims = 2;  // 2: z/pz are thermal noise; 3: full transverse structure
+
+  double window_width = 1.0e-3;
+  double window_step = 2.5e-4;   // window advance per timestep
+  double y_max = 1.0e-4;
+  double z_max = 1.0e-4;
+  double px_thermal = 5.0e8;     // background momentum scale
+  double px_tail_scale = 5.0e9;  // scale of the heavy background tail
+  double px_tail_max = 4.0e10;   // hard cap: beams alone exceed this
+  double tail_fraction = 0.05;
+
+  std::vector<BeamSpec> beams;
+
+  /// The paper-like 2D run: 38 timesteps, two beams injected at t=14/15;
+  /// the first dephases after t=27, `px > 8.872e10` selects both at the end.
+  static WakefieldConfig preset_2d(std::size_t particles, std::uint64_t seed = 42);
+
+  /// The 3D analysis run (Figure 10): 16 timesteps, first-bucket beam
+  /// injected at t=9 (selected by `px > 4.856e10` at t=12), a slower
+  /// second-period beam at t=10.
+  static WakefieldConfig preset_3d(std::size_t particles, std::uint64_t seed = 42);
+
+  /// Benchmark dataset: beams present from t=0 so identifier tracking finds
+  /// them in every timestep; heavy-tailed background momentum so hit-count
+  /// sweeps have usable thresholds.
+  static WakefieldConfig preset_bench(std::size_t particles, std::size_t timesteps,
+                                      std::uint64_t seed = 42);
+};
+
+/// Cap applied by the presets when QDV_MAX_PARTICLES is set — lets test
+/// harnesses shrink example datasets without touching example code.
+std::size_t apply_particle_cap(std::size_t particles);
+
+/// Generate the dataset (column files + indices + manifest) into @p dir.
+/// Returns the total number of bytes written.
+std::uint64_t generate_dataset(const WakefieldConfig& config,
+                               const std::filesystem::path& dir,
+                               const io::IndexConfig& index_config);
+
+}  // namespace qdv::sim

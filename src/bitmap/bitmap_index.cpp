@@ -1,0 +1,227 @@
+#include "bitmap/bitmap_index.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace qdv {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Interval Interval::greater_than(double v) { return {v, kInf, true, true}; }
+Interval Interval::at_least(double v) { return {v, kInf, false, true}; }
+Interval Interval::less_than(double v) { return {-kInf, v, true, true}; }
+Interval Interval::at_most(double v) { return {-kInf, v, true, false}; }
+Interval Interval::between(double lo, double hi) { return {lo, hi, false, true}; }
+
+namespace detail {
+
+BinCoverage classify_bins(const Bins& bins, const Interval& iv) {
+  BinCoverage cov;
+  const std::size_t n = bins.num_bins();
+  cov.full_lo = static_cast<std::ptrdiff_t>(n);
+  cov.full_hi = -1;
+  const auto& e = bins.edges();
+  for (std::size_t b = 0; b < n; ++b) {
+    const double e0 = e[b];
+    const double e1 = e[b + 1];
+    const bool last = (b + 1 == n);  // last bin is closed: [e0, e1]
+    // Disjoint from the interval?
+    const bool below = last ? (e1 < iv.lo || (e1 == iv.lo && iv.lo_open))
+                            : (e1 <= iv.lo);
+    const bool above = e0 > iv.hi || (e0 == iv.hi && iv.hi_open);
+    if (below || above) continue;
+    // Fully contained: every representable value of the bin satisfies iv.
+    const bool lo_ok = e0 > iv.lo || (e0 == iv.lo && !iv.lo_open);
+    const bool hi_ok = last ? (e1 < iv.hi || (e1 == iv.hi && !iv.hi_open))
+                            : (e1 <= iv.hi);
+    if (lo_ok && hi_ok) {
+      cov.full_lo = std::min(cov.full_lo, static_cast<std::ptrdiff_t>(b));
+      cov.full_hi = std::max(cov.full_hi, static_cast<std::ptrdiff_t>(b));
+    } else {
+      cov.partial.push_back(b);
+    }
+  }
+  if (cov.full_lo > cov.full_hi) {
+    cov.full_lo = 0;
+    cov.full_hi = -1;
+  }
+  return cov;
+}
+
+BinnedRows bin_rows(std::span<const double> values, const Bins& bins) {
+  const std::size_t n = bins.num_bins();
+  BinnedRows out;
+  std::vector<std::int32_t> bin_of(values.size());
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t row = 0; row < values.size(); ++row) {
+    const std::ptrdiff_t b = bins.locate(values[row]);
+    bin_of[row] = static_cast<std::int32_t>(b);
+    if (b >= 0)
+      ++counts[static_cast<std::size_t>(b)];
+    else
+      out.outside.push_back(static_cast<std::uint32_t>(row));
+  }
+  out.offsets.assign(n + 1, 0);
+  for (std::size_t b = 0; b < n; ++b) out.offsets[b + 1] = out.offsets[b] + counts[b];
+  out.grouped.resize(out.offsets.back());
+  std::vector<std::size_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (std::size_t row = 0; row < values.size(); ++row) {
+    const std::int32_t b = bin_of[row];
+    if (b >= 0)
+      out.grouped[cursor[static_cast<std::size_t>(b)]++] =
+          static_cast<std::uint32_t>(row);
+  }
+  return out;
+}
+
+BitVector resolve_candidates(const Interval& iv, ApproxAnswer approx,
+                             std::span<const double> values,
+                             std::uint64_t nrows) {
+  std::vector<std::uint32_t> verified;
+  approx.candidates.for_each_set([&](std::uint64_t row) {
+    if (iv.contains(values[row])) verified.push_back(static_cast<std::uint32_t>(row));
+  });
+  if (verified.empty()) return std::move(approx.hits);
+  return approx.hits | BitVector::from_positions(verified, nrows);
+}
+
+}  // namespace detail
+
+BitmapIndex BitmapIndex::build(std::span<const double> values, const Bins& bins) {
+  BitmapIndex index;
+  index.bins_ = bins;
+  index.nrows_ = values.size();
+  const detail::BinnedRows rows = detail::bin_rows(values, bins);
+  const std::size_t n = bins.num_bins();
+  index.bitmaps_.reserve(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::span<const std::uint32_t> slice(
+        rows.grouped.data() + rows.offsets[b], rows.offsets[b + 1] - rows.offsets[b]);
+    index.bitmaps_.push_back(BitVector::from_positions(slice, index.nrows_));
+  }
+  index.outside_ = BitVector::from_positions(rows.outside, index.nrows_);
+  return index;
+}
+
+ApproxAnswer BitmapIndex::evaluate_approx(const Interval& iv) const {
+  const detail::BinCoverage cov = detail::classify_bins(bins_, iv);
+  ApproxAnswer out;
+  std::vector<const BitVector*> fulls;
+  for (std::ptrdiff_t b = cov.full_lo; b <= cov.full_hi; ++b)
+    fulls.push_back(&bitmaps_[static_cast<std::size_t>(b)]);
+  out.hits = or_many(std::move(fulls), nrows_);
+  std::vector<const BitVector*> partials;
+  for (const std::size_t b : cov.partial) partials.push_back(&bitmaps_[b]);
+  if (outside_.count() > 0) partials.push_back(&outside_);
+  out.candidates = or_many(std::move(partials), nrows_);
+  return out;
+}
+
+BitVector BitmapIndex::evaluate(const Interval& iv,
+                                std::span<const double> values) const {
+  return detail::resolve_candidates(iv, evaluate_approx(iv), values, nrows_);
+}
+
+std::size_t BitmapIndex::memory_bytes() const {
+  std::size_t total = outside_.memory_bytes() +
+                      bins_.edges().capacity() * sizeof(double);
+  for (const BitVector& b : bitmaps_) total += b.memory_bytes();
+  return total;
+}
+
+void BitmapIndex::save(std::ostream& out) const {
+  const std::uint64_t nedges = bins_.edges().size();
+  const std::uint64_t nbitmaps = bitmaps_.size();
+  out.write(reinterpret_cast<const char*>(&nrows_), sizeof(nrows_));
+  out.write(reinterpret_cast<const char*>(&nedges), sizeof(nedges));
+  out.write(reinterpret_cast<const char*>(bins_.edges().data()),
+            static_cast<std::streamsize>(nedges * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(&nbitmaps), sizeof(nbitmaps));
+  for (const BitVector& b : bitmaps_) b.save(out);
+  outside_.save(out);
+}
+
+BitmapIndex BitmapIndex::load(std::istream& in) {
+  BitmapIndex index;
+  std::uint64_t nedges = 0, nbitmaps = 0;
+  in.read(reinterpret_cast<char*>(&index.nrows_), sizeof(index.nrows_));
+  in.read(reinterpret_cast<char*>(&nedges), sizeof(nedges));
+  std::vector<double> edges(nedges);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(nedges * sizeof(double)));
+  index.bins_ = Bins(std::move(edges));
+  in.read(reinterpret_cast<char*>(&nbitmaps), sizeof(nbitmaps));
+  if (!in) throw std::runtime_error("BitmapIndex::load: truncated stream");
+  index.bitmaps_.reserve(nbitmaps);
+  for (std::uint64_t i = 0; i < nbitmaps; ++i)
+    index.bitmaps_.push_back(BitVector::load(in));
+  index.outside_ = BitVector::load(in);
+  return index;
+}
+
+IdIndex IdIndex::build(std::span<const std::uint64_t> ids) {
+  IdIndex index;
+  index.rows_.resize(ids.size());
+  for (std::uint32_t r = 0; r < ids.size(); ++r) index.rows_[r] = r;
+  std::sort(index.rows_.begin(), index.rows_.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return ids[a] < ids[b]; });
+  index.sorted_ids_.resize(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    index.sorted_ids_[i] = ids[index.rows_[i]];
+  return index;
+}
+
+std::vector<std::uint32_t> IdIndex::lookup_rows(
+    std::span<const std::uint64_t> search) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(search.size());
+  for (const std::uint64_t id : search) {
+    auto it = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id);
+    for (; it != sorted_ids_.end() && *it == id; ++it)
+      out.push_back(rows_[static_cast<std::size_t>(it - sorted_ids_.begin())]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::ptrdiff_t IdIndex::lookup_row(std::uint64_t id) const {
+  const auto it = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id);
+  if (it == sorted_ids_.end() || *it != id) return -1;
+  return rows_[static_cast<std::size_t>(it - sorted_ids_.begin())];
+}
+
+std::size_t IdIndex::memory_bytes() const {
+  return sorted_ids_.capacity() * sizeof(std::uint64_t) +
+         rows_.capacity() * sizeof(std::uint32_t);
+}
+
+void IdIndex::save(std::ostream& out) const {
+  const std::uint64_t n = sorted_ids_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(sorted_ids_.data()),
+            static_cast<std::streamsize>(n * sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(rows_.data()),
+            static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+}
+
+IdIndex IdIndex::load(std::istream& in) {
+  IdIndex index;
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  index.sorted_ids_.resize(n);
+  index.rows_.resize(n);
+  in.read(reinterpret_cast<char*>(index.sorted_ids_.data()),
+          static_cast<std::streamsize>(n * sizeof(std::uint64_t)));
+  in.read(reinterpret_cast<char*>(index.rows_.data()),
+          static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+  if (!in) throw std::runtime_error("IdIndex::load: truncated stream");
+  return index;
+}
+
+}  // namespace qdv

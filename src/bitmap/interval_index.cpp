@@ -1,0 +1,93 @@
+#include "bitmap/interval_index.hpp"
+
+#include <algorithm>
+
+namespace qdv {
+
+IntervalEncodedIndex IntervalEncodedIndex::build(std::span<const double> values,
+                                                 const Bins& bins) {
+  IntervalEncodedIndex index;
+  index.bins_ = bins;
+  index.nrows_ = values.size();
+  const std::size_t n = bins.num_bins();
+  index.window_ = (n + 1) / 2;
+  const detail::BinnedRows rows = detail::bin_rows(values, bins);
+  const auto bin_bitmap = [&](std::size_t b) {
+    const std::span<const std::uint32_t> slice(
+        rows.grouped.data() + rows.offsets[b], rows.offsets[b + 1] - rows.offsets[b]);
+    return BitVector::from_positions(slice, index.nrows_);
+  };
+  // I_0 = bins [0, m - 1]; I_{k+1} = (I_k \ bin_k) | bin_{k+m} — two WAH ops
+  // per window instead of re-merging every window from scratch.
+  const std::size_t nwindows = n >= index.window_ ? n - index.window_ + 1 : 1;
+  index.windows_.reserve(nwindows);
+  {
+    std::vector<std::uint32_t> merged;
+    for (std::size_t b = 0; b < index.window_ && b < n; ++b)
+      merged.insert(merged.end(),
+                    rows.grouped.begin() + static_cast<std::ptrdiff_t>(rows.offsets[b]),
+                    rows.grouped.begin() + static_cast<std::ptrdiff_t>(rows.offsets[b + 1]));
+    std::sort(merged.begin(), merged.end());
+    index.windows_.push_back(BitVector::from_positions(merged, index.nrows_));
+  }
+  for (std::size_t k = 1; k < nwindows; ++k) {
+    const BitVector dropped = bin_bitmap(k - 1);
+    const BitVector added = bin_bitmap(k - 1 + index.window_);
+    index.windows_.push_back((index.windows_.back() & ~dropped) | added);
+  }
+  index.outside_ = BitVector::from_positions(rows.outside, index.nrows_);
+  return index;
+}
+
+BitVector IntervalEncodedIndex::suffix(std::ptrdiff_t first) const {
+  const auto n = static_cast<std::ptrdiff_t>(bins_.num_bins());
+  const auto m = static_cast<std::ptrdiff_t>(window_);
+  if (first >= n) return BitVector::zeros(nrows_);
+  if (first <= 0) return BitVector::ones(nrows_) & ~outside_;
+  const std::ptrdiff_t last_window = n - m;  // largest stored k
+  if (first <= last_window) {
+    // [first, n-1] = I_first | I_{n-m}: the two windows overlap or abut
+    // because the window spans at least half the bins.
+    return windows_[static_cast<std::size_t>(first)] |
+           windows_[static_cast<std::size_t>(last_window)];
+  }
+  // Short suffix inside the tail window: remove the leading bins of I_{n-m}
+  // via the window ending just before @p first.
+  return windows_[static_cast<std::size_t>(last_window)] &
+         ~windows_[static_cast<std::size_t>(first - m)];
+}
+
+ApproxAnswer IntervalEncodedIndex::evaluate_approx(const Interval& iv) const {
+  const detail::BinCoverage cov = detail::classify_bins(bins_, iv);
+  ApproxAnswer out;
+  if (cov.full_hi >= cov.full_lo) {
+    out.hits = suffix(cov.full_lo) & ~suffix(cov.full_hi + 1);
+  } else {
+    out.hits = BitVector::zeros(nrows_);
+  }
+  std::vector<BitVector> partial_bitmaps;
+  partial_bitmaps.reserve(cov.partial.size());
+  for (const std::size_t b : cov.partial) {
+    const auto pb = static_cast<std::ptrdiff_t>(b);
+    partial_bitmaps.push_back(suffix(pb) & ~suffix(pb + 1));
+  }
+  std::vector<const BitVector*> ops;
+  for (const BitVector& b : partial_bitmaps) ops.push_back(&b);
+  if (outside_.count() > 0) ops.push_back(&outside_);
+  out.candidates = or_many(std::move(ops), nrows_);
+  return out;
+}
+
+BitVector IntervalEncodedIndex::evaluate(const Interval& iv,
+                                         std::span<const double> values) const {
+  return detail::resolve_candidates(iv, evaluate_approx(iv), values, nrows_);
+}
+
+std::size_t IntervalEncodedIndex::memory_bytes() const {
+  std::size_t total = outside_.memory_bytes() +
+                      bins_.edges().capacity() * sizeof(double);
+  for (const BitVector& b : windows_) total += b.memory_bytes();
+  return total;
+}
+
+}  // namespace qdv

@@ -1,0 +1,75 @@
+#include "bitmap/range_index.hpp"
+
+#include <algorithm>
+
+namespace qdv {
+
+RangeEncodedIndex RangeEncodedIndex::build(std::span<const double> values,
+                                           const Bins& bins) {
+  RangeEncodedIndex index;
+  index.bins_ = bins;
+  index.nrows_ = values.size();
+  const detail::BinnedRows rows = detail::bin_rows(values, bins);
+  const std::size_t n = bins.num_bins();
+  // C_i accumulates the rows of bins 0..i; each cumulative bitmap is built
+  // directly from the merged (sorted) row set of its prefix.
+  std::vector<std::uint32_t> prefix_rows;
+  index.cumulative_.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t b = 0; b + 1 < n; ++b) {
+    const auto mid = static_cast<std::ptrdiff_t>(prefix_rows.size());
+    prefix_rows.insert(prefix_rows.end(),
+                       rows.grouped.begin() + static_cast<std::ptrdiff_t>(rows.offsets[b]),
+                       rows.grouped.begin() + static_cast<std::ptrdiff_t>(rows.offsets[b + 1]));
+    std::inplace_merge(prefix_rows.begin(), prefix_rows.begin() + mid,
+                       prefix_rows.end());
+    index.cumulative_.push_back(BitVector::from_positions(prefix_rows, index.nrows_));
+  }
+  std::vector<std::uint32_t> outside(rows.outside);
+  index.outside_ = BitVector::from_positions(outside, index.nrows_);
+  return index;
+}
+
+BitVector RangeEncodedIndex::prefix(std::ptrdiff_t i) const {
+  if (i < 0) return BitVector::zeros(nrows_);
+  if (i >= static_cast<std::ptrdiff_t>(cumulative_.size())) {
+    // All binned rows: everything except the outside set.
+    return BitVector::ones(nrows_) & ~outside_;
+  }
+  return cumulative_[static_cast<std::size_t>(i)];
+}
+
+ApproxAnswer RangeEncodedIndex::evaluate_approx(const Interval& iv) const {
+  const detail::BinCoverage cov = detail::classify_bins(bins_, iv);
+  ApproxAnswer out;
+  if (cov.full_hi >= cov.full_lo) {
+    // Bins [full_lo, full_hi] = C_{full_hi} AND NOT C_{full_lo - 1}.
+    out.hits = prefix(cov.full_hi) & ~prefix(cov.full_lo - 1);
+  } else {
+    out.hits = BitVector::zeros(nrows_);
+  }
+  std::vector<BitVector> partial_bitmaps;
+  partial_bitmaps.reserve(cov.partial.size());
+  for (const std::size_t b : cov.partial) {
+    const auto pb = static_cast<std::ptrdiff_t>(b);
+    partial_bitmaps.push_back(prefix(pb) & ~prefix(pb - 1));
+  }
+  std::vector<const BitVector*> ops;
+  for (const BitVector& b : partial_bitmaps) ops.push_back(&b);
+  if (outside_.count() > 0) ops.push_back(&outside_);
+  out.candidates = or_many(std::move(ops), nrows_);
+  return out;
+}
+
+BitVector RangeEncodedIndex::evaluate(const Interval& iv,
+                                      std::span<const double> values) const {
+  return detail::resolve_candidates(iv, evaluate_approx(iv), values, nrows_);
+}
+
+std::size_t RangeEncodedIndex::memory_bytes() const {
+  std::size_t total = outside_.memory_bytes() +
+                      bins_.edges().capacity() * sizeof(double);
+  for (const BitVector& b : cumulative_) total += b.memory_bytes();
+  return total;
+}
+
+}  // namespace qdv

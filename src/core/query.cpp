@@ -1,0 +1,181 @@
+#include "core/query.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdv {
+
+namespace {
+const char* op_text(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kEq: return "==";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string CompareQuery::to_string() const {
+  std::ostringstream out;
+  out << variable_ << ' ' << op_text(op_) << ' ' << value_;
+  return out.str();
+}
+
+IdInQuery::IdInQuery(std::string variable, std::vector<std::uint64_t> ids)
+    : variable_(std::move(variable)), ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+std::string IdInQuery::to_string() const {
+  std::ostringstream out;
+  out << variable_ << " IN (" << ids_.size() << " ids)";
+  return out.str();
+}
+
+std::string AndQuery::to_string() const {
+  return "(" + a_->to_string() + " && " + b_->to_string() + ")";
+}
+
+std::string OrQuery::to_string() const {
+  return "(" + a_->to_string() + " || " + b_->to_string() + ")";
+}
+
+std::string NotQuery::to_string() const { return "!(" + a_->to_string() + ")"; }
+
+QueryPtr Query::compare(std::string variable, CompareOp op, double value) {
+  return std::make_shared<CompareQuery>(std::move(variable), op, value);
+}
+
+QueryPtr Query::id_in(std::string variable, std::vector<std::uint64_t> ids) {
+  return std::make_shared<IdInQuery>(std::move(variable), std::move(ids));
+}
+
+QueryPtr Query::land(QueryPtr a, QueryPtr b) {
+  return std::make_shared<AndQuery>(std::move(a), std::move(b));
+}
+
+QueryPtr Query::lor(QueryPtr a, QueryPtr b) {
+  return std::make_shared<OrQuery>(std::move(a), std::move(b));
+}
+
+QueryPtr Query::lnot(QueryPtr a) { return std::make_shared<NotQuery>(std::move(a)); }
+
+namespace {
+
+/// Recursive-descent parser over the expression grammar:
+///   expr    := andExpr ( '||' andExpr )*
+///   andExpr := unary ( '&&' unary )*
+///   unary   := '!' unary | '(' expr ')' | comparison
+///   comparison := identifier op number
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  QueryPtr parse() {
+    QueryPtr q = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing input");
+    return q;
+  }
+
+ private:
+  QueryPtr parse_or() {
+    QueryPtr lhs = parse_and();
+    while (consume("||")) lhs = Query::lor(std::move(lhs), parse_and());
+    return lhs;
+  }
+
+  QueryPtr parse_and() {
+    QueryPtr lhs = parse_unary();
+    while (consume("&&")) lhs = Query::land(std::move(lhs), parse_unary());
+    return lhs;
+  }
+
+  QueryPtr parse_unary() {
+    skip_ws();
+    if (consume("!")) return Query::lnot(parse_unary());
+    if (consume("(")) {
+      QueryPtr inner = parse_or();
+      if (!consume(")")) fail("expected ')'");
+      return inner;
+    }
+    return parse_comparison();
+  }
+
+  QueryPtr parse_comparison() {
+    const std::string var = parse_identifier();
+    skip_ws();
+    CompareOp op;
+    if (consume("<=")) {
+      op = CompareOp::kLe;
+    } else if (consume(">=")) {
+      op = CompareOp::kGe;
+    } else if (consume("==")) {
+      op = CompareOp::kEq;
+    } else if (consume("<")) {
+      op = CompareOp::kLt;
+    } else if (consume(">")) {
+      op = CompareOp::kGt;
+    } else {
+      fail("expected comparison operator");
+      return nullptr;  // unreachable
+    }
+    return Query::compare(var, op, parse_number());
+  }
+
+  std::string parse_identifier() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+      ++pos_;
+    if (pos_ == start) fail("expected variable name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double value = 0.0;
+    const auto [next, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{}) fail("expected number");
+    pos_ += static_cast<std::size_t>(next - begin);
+    return value;
+  }
+
+  bool consume(const std::string& token) {
+    skip_ws();
+    if (text_.compare(pos_, token.size(), token) != 0) return false;
+    // Don't let "<" swallow the prefix of "<=" at call sites ordered
+    // longest-first; ordering in parse_comparison handles that.
+    pos_ += token.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::invalid_argument("parse_query: " + what + " at position " +
+                                std::to_string(pos_) + " in \"" + text_ + "\"");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+QueryPtr parse_query(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace qdv

@@ -1,0 +1,244 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qdv::core {
+
+ExplorationSession ExplorationSession::open(const std::filesystem::path& dir) {
+  return ExplorationSession(io::Dataset::open(dir));
+}
+
+void ExplorationSession::set_focus(const std::string& query_text) {
+  focus_ = parse_query(query_text);
+}
+
+void ExplorationSession::set_focus(QueryPtr query) { focus_ = std::move(query); }
+
+void ExplorationSession::set_context(const std::string& query_text) {
+  context_ = parse_query(query_text);
+}
+
+void ExplorationSession::set_context(QueryPtr query) { context_ = std::move(query); }
+
+std::uint64_t ExplorationSession::focus_count(std::size_t t) const {
+  const io::TimestepTable& table = dataset_.table(t);
+  if (!focus_) return table.num_rows();
+  return table.query(*focus_).count();
+}
+
+std::vector<std::uint64_t> ExplorationSession::selected_ids(std::size_t t) const {
+  const io::TimestepTable& table = dataset_.table(t);
+  const std::span<const std::uint64_t> ids = table.id_column("id");
+  std::vector<std::uint64_t> out;
+  if (!focus_) {
+    out.assign(ids.begin(), ids.end());
+    return out;
+  }
+  table.query(*focus_).for_each_set(
+      [&](std::uint64_t row) { out.push_back(ids[row]); });
+  return out;
+}
+
+std::pair<double, double> ExplorationSession::global_domain(
+    const std::string& name) const {
+  return dataset_.global_domain(name);
+}
+
+namespace {
+
+/// Bins of one axis over its global (cross-timestep) domain, so histograms
+/// of different timesteps and pairs align.
+Bins axis_bins(const io::Dataset& dataset, std::size_t t, const std::string& name,
+               std::size_t nbins, BinningMode binning) {
+  const auto [lo, hi] = dataset.global_domain(name);
+  if (binning == BinningMode::kUniform)
+    return make_uniform_bins(lo, hi > lo ? hi : lo + 1.0, nbins);
+  return make_adaptive_bins(lo, hi, dataset.table(t).column(name), nbins);
+}
+
+}  // namespace
+
+std::vector<Histogram2D> ExplorationSession::pair_histograms(
+    std::size_t t, const std::vector<std::string>& axes, std::size_t bins_per_axis,
+    const Query* condition, BinningMode binning) const {
+  if (axes.size() < 2)
+    throw std::invalid_argument("pair_histograms: need at least 2 axes");
+  const io::TimestepTable& table = dataset_.table(t);
+  std::vector<Bins> bins;
+  std::vector<std::span<const double>> columns;
+  bins.reserve(axes.size());
+  columns.reserve(axes.size());
+  for (const std::string& name : axes) {
+    bins.push_back(axis_bins(dataset_, t, name, bins_per_axis, binning));
+    columns.push_back(table.column(name));
+  }
+  std::vector<std::uint32_t> rows;
+  const bool all_rows = (condition == nullptr);
+  if (!all_rows) rows = table.query(*condition).to_positions();
+  std::vector<Histogram2D> hists;
+  hists.reserve(axes.size() - 1);
+  for (std::size_t pair = 0; pair + 1 < axes.size(); ++pair) {
+    Histogram2D h;
+    h.xbins = bins[pair];
+    h.ybins = bins[pair + 1];
+    h.counts.assign(h.nx() * h.ny(), 0);
+    const std::span<const double> xs = columns[pair];
+    const std::span<const double> ys = columns[pair + 1];
+    const auto tally = [&](std::uint64_t row) {
+      const std::ptrdiff_t bx = h.xbins.locate(xs[row]);
+      const std::ptrdiff_t by = h.ybins.locate(ys[row]);
+      if (bx >= 0 && by >= 0)
+        ++h.at(static_cast<std::size_t>(bx), static_cast<std::size_t>(by));
+    };
+    if (all_rows) {
+      for (std::uint64_t row = 0; row < xs.size(); ++row) tally(row);
+    } else {
+      for (const std::uint32_t row : rows) tally(row);
+    }
+    hists.push_back(std::move(h));
+  }
+  return hists;
+}
+
+ParticleTracks ExplorationSession::track(
+    const std::vector<std::uint64_t>& ids, std::size_t t_from, std::size_t t_to,
+    const std::vector<std::string>& variables) const {
+  if (t_to >= num_timesteps()) t_to = num_timesteps() - 1;
+  if (t_from > t_to) t_from = t_to;
+  std::vector<std::size_t> steps;
+  for (std::size_t t = t_from; t <= t_to; ++t) steps.push_back(t);
+  ParticleTracks tracks(ids, steps, variables);
+  for (std::size_t ti = 0; ti < steps.size(); ++ti) {
+    const io::TimestepTable& table = dataset_.table(steps[ti]);
+    // Row of each tracked id at this timestep (-1 when absent).
+    std::vector<std::ptrdiff_t> row_of(ids.size(), -1);
+    if (const IdIndex* index = table.id_index("id")) {
+      for (std::size_t k = 0; k < ids.size(); ++k)
+        row_of[k] = index->lookup_row(ids[k]);
+    } else {
+      std::unordered_map<std::uint64_t, std::uint32_t> lookup;
+      const std::span<const std::uint64_t> id_col = table.id_column("id");
+      lookup.reserve(id_col.size());
+      for (std::uint32_t r = 0; r < id_col.size(); ++r) lookup.emplace(id_col[r], r);
+      for (std::size_t k = 0; k < ids.size(); ++k)
+        if (const auto it = lookup.find(ids[k]); it != lookup.end())
+          row_of[k] = it->second;
+    }
+    for (std::size_t vi = 0; vi < variables.size(); ++vi) {
+      const std::span<const double> values = table.column(variables[vi]);
+      std::vector<double>& slot = tracks.values_slot(ti, vi);
+      for (std::size_t k = 0; k < ids.size(); ++k)
+        if (row_of[k] >= 0) slot[k] = values[static_cast<std::size_t>(row_of[k])];
+    }
+  }
+  return tracks;
+}
+
+std::vector<render::PcAxis> ExplorationSession::make_axes(
+    const std::vector<std::string>& names) const {
+  std::vector<render::PcAxis> axes;
+  axes.reserve(names.size());
+  for (const std::string& name : names) {
+    const auto [lo, hi] = global_domain(name);
+    axes.push_back({name, lo, hi > lo ? hi : lo + 1.0});
+  }
+  return axes;
+}
+
+render::Image ExplorationSession::render_parallel_coordinates(
+    std::size_t t, const std::vector<std::string>& axes,
+    const PcViewOptions& options) const {
+  render::ParallelCoordinatesPlot plot(make_axes(axes), options.layout);
+  plot.draw_frame();
+  {
+    render::PcStyle style;
+    style.color = options.context_color;
+    style.gamma = options.context_gamma;
+    style.max_alpha = 0.85f;
+    plot.draw_histogram_layer(
+        pair_histograms(t, axes, options.context_bins, context_.get(),
+                        options.binning),
+        style);
+  }
+  if (focus_) {
+    render::PcStyle style;
+    style.color = options.focus_color;
+    style.gamma = options.focus_gamma;
+    plot.draw_histogram_layer(
+        pair_histograms(t, axes, options.focus_bins, focus_.get(), options.binning),
+        style);
+  }
+  return plot.image();
+}
+
+render::Image ExplorationSession::render_temporal(
+    std::size_t t_from, std::size_t t_to, const std::vector<std::string>& axes,
+    const PcViewOptions& options) const {
+  if (t_to >= num_timesteps()) t_to = num_timesteps() - 1;
+  render::ParallelCoordinatesPlot plot(make_axes(axes), options.layout);
+  plot.draw_frame();
+  for (std::size_t t = t_from; t <= t_to; ++t) {
+    render::PcStyle style;
+    style.color = render::palette_color(t - t_from);
+    style.gamma = options.focus_gamma;
+    style.max_alpha = 0.9f;
+    plot.draw_histogram_layer(
+        pair_histograms(t, axes, options.focus_bins, focus_.get(), options.binning),
+        style);
+  }
+  return plot.image();
+}
+
+render::Image ExplorationSession::render_scatter(
+    std::size_t t, const std::string& x, const std::string& y,
+    const std::string& color_variable) const {
+  constexpr std::size_t kWidth = 800, kHeight = 600, kMargin = 24;
+  render::Image img(kWidth, kHeight);
+  const io::TimestepTable& table = dataset_.table(t);
+  const std::span<const double> xs = table.column(x);
+  const std::span<const double> ys = table.column(y);
+  const std::span<const double> cs = table.column(color_variable);
+  const auto [xlo, xhi] = global_domain(x);
+  const auto [ylo, yhi] = global_domain(y);
+  const auto [clo, chi] = global_domain(color_variable);
+  const double xspan = xhi > xlo ? xhi - xlo : 1.0;
+  const double yspan = yhi > ylo ? yhi - ylo : 1.0;
+  const double cspan = chi > clo ? chi - clo : 1.0;
+  const auto px = [&](double v) {
+    return static_cast<std::ptrdiff_t>(
+        kMargin + (v - xlo) / xspan * static_cast<double>(kWidth - 2 * kMargin));
+  };
+  const auto py = [&](double v) {
+    return static_cast<std::ptrdiff_t>(
+        (kHeight - kMargin) -
+        (v - ylo) / yspan * static_cast<double>(kHeight - 2 * kMargin));
+  };
+  // Context: every record (or the context selection) as a dim backdrop.
+  const auto draw_dim = [&](std::uint64_t row) {
+    img.add(px(xs[row]), py(ys[row]), render::colors::kGray, 0.18f);
+  };
+  if (context_) {
+    table.query(*context_).for_each_set(draw_dim);
+  } else {
+    for (std::uint64_t row = 0; row < xs.size(); ++row) draw_dim(row);
+  }
+  // Focus (or everything when unset): pseudocolored by the color variable.
+  const auto draw_colored = [&](std::uint64_t row) {
+    const render::Color c = render::pseudocolor((cs[row] - clo) / cspan);
+    const std::ptrdiff_t cx = px(xs[row]);
+    const std::ptrdiff_t cy = py(ys[row]);
+    for (std::ptrdiff_t dx = 0; dx < 2; ++dx)
+      for (std::ptrdiff_t dy = 0; dy < 2; ++dy) img.set(cx + dx, cy + dy, c);
+  };
+  if (focus_) {
+    table.query(*focus_).for_each_set(draw_colored);
+  } else {
+    for (std::uint64_t row = 0; row < xs.size(); ++row) draw_colored(row);
+  }
+  return img;
+}
+
+}  // namespace qdv::core

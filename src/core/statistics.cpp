@@ -1,0 +1,39 @@
+#include "core/statistics.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace qdv::core {
+
+SummaryStats conditional_stats(const io::TimestepTable& table,
+                               const std::string& variable,
+                               const Query* condition, EvalMode mode) {
+  const std::span<const double> values = table.column(variable);
+  SummaryStats s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0, sum2 = 0.0;
+  const auto accumulate = [&](std::uint64_t row) {
+    const double v = values[row];
+    ++s.count;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    sum2 += v * v;
+  };
+  if (condition == nullptr) {
+    for (std::uint64_t row = 0; row < values.size(); ++row) accumulate(row);
+  } else {
+    table.query(*condition, mode).for_each_set(accumulate);
+  }
+  if (s.count == 0) {
+    s.min = s.max = 0.0;
+    return s;
+  }
+  const double n = static_cast<double>(s.count);
+  s.mean = sum / n;
+  s.stddev = std::sqrt(std::max(0.0, sum2 / n - s.mean * s.mean));
+  return s;
+}
+
+}  // namespace qdv::core

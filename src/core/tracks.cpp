@@ -1,0 +1,73 @@
+#include "core/tracks.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qdv::core {
+
+ParticleTracks::ParticleTracks(std::vector<std::uint64_t> ids,
+                               std::vector<std::size_t> timesteps,
+                               std::vector<std::string> variables)
+    : ids_(std::move(ids)),
+      timesteps_(std::move(timesteps)),
+      variables_(std::move(variables)) {
+  values_.assign(timesteps_.size() * variables_.size(),
+                 std::vector<double>(ids_.size(),
+                                     std::numeric_limits<double>::quiet_NaN()));
+}
+
+std::size_t ParticleTracks::var_index(const std::string& variable) const {
+  for (std::size_t i = 0; i < variables_.size(); ++i)
+    if (variables_[i] == variable) return i;
+  throw std::out_of_range("ParticleTracks: variable '" + variable +
+                          "' was not tracked");
+}
+
+std::size_t ParticleTracks::count_present(std::size_t ti) const {
+  if (variables_.empty()) return 0;
+  const std::vector<double>& vals = values_[ti * variables_.size()];
+  std::size_t n = 0;
+  for (const double v : vals)
+    if (!std::isnan(v)) ++n;
+  return n;
+}
+
+double ParticleTracks::value(std::size_t ti, const std::string& variable,
+                             std::size_t k) const {
+  return values_[ti * variables_.size() + var_index(variable)][k];
+}
+
+double ParticleTracks::mean(std::size_t ti, const std::string& variable) const {
+  const std::vector<double>& vals =
+      values_[ti * variables_.size() + var_index(variable)];
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const double v : vals) {
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double ParticleTracks::relative_spread(std::size_t ti,
+                                       const std::string& variable) const {
+  const std::vector<double>& vals =
+      values_[ti * variables_.size() + var_index(variable)];
+  double sum = 0.0, sum2 = 0.0;
+  std::size_t n = 0;
+  for (const double v : vals) {
+    if (std::isnan(v)) continue;
+    sum += v;
+    sum2 += v * v;
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  const double mean = sum / static_cast<double>(n);
+  if (mean == 0.0) return 0.0;
+  const double var = std::max(0.0, sum2 / static_cast<double>(n) - mean * mean);
+  return std::sqrt(var) / std::abs(mean);
+}
+
+}  // namespace qdv::core

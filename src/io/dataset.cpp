@@ -1,0 +1,107 @@
+#include "io/dataset.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qdv::io {
+
+std::string step_dir_name(std::size_t t) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "t%05zu", t);
+  return buf;
+}
+
+struct Dataset::Impl {
+  std::filesystem::path dir;
+  std::size_t timesteps = 0;
+  std::vector<std::string> variables;
+  std::unordered_map<std::string, std::pair<double, double>> domains;
+
+  mutable std::mutex mutex;
+  mutable std::vector<std::shared_ptr<TimestepTable>> cache;
+};
+
+Dataset Dataset::open(const std::filesystem::path& dir) {
+  auto impl = std::make_shared<Impl>();
+  impl->dir = dir;
+  std::ifstream manifest(dir / kManifestName);
+  if (!manifest)
+    throw std::runtime_error("not a qdv dataset (no " + std::string(kManifestName) +
+                             "): " + dir.string());
+  std::string line;
+  while (std::getline(manifest, line)) {
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (key == "timesteps") {
+      ss >> impl->timesteps;
+    } else if (key == "variables") {
+      std::string var;
+      while (ss >> var) impl->variables.push_back(var);
+    } else if (key == "domain") {
+      std::string var;
+      double lo = 0.0, hi = 0.0;
+      ss >> var >> lo >> hi;
+      impl->domains[var] = {lo, hi};
+    }
+  }
+  if (impl->timesteps == 0)
+    throw std::runtime_error("manifest declares no timesteps: " + dir.string());
+  impl->cache.resize(impl->timesteps);
+  Dataset ds;
+  ds.impl_ = std::move(impl);
+  return ds;
+}
+
+std::size_t Dataset::num_timesteps() const { return impl_->timesteps; }
+
+const std::vector<std::string>& Dataset::variables() const {
+  return impl_->variables;
+}
+
+const std::filesystem::path& Dataset::path() const { return impl_->dir; }
+
+std::filesystem::path Dataset::step_dir(std::size_t t) const {
+  return impl_->dir / step_dir_name(t);
+}
+
+const TimestepTable& Dataset::table(std::size_t t) const {
+  if (t >= impl_->timesteps)
+    throw std::out_of_range("timestep out of range: " + std::to_string(t));
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->cache[t])
+    impl_->cache[t] = std::make_shared<TimestepTable>(step_dir(t), t);
+  return *impl_->cache[t];
+}
+
+std::shared_ptr<TimestepTable> Dataset::open_table(std::size_t t) const {
+  if (t >= impl_->timesteps)
+    throw std::out_of_range("timestep out of range: " + std::to_string(t));
+  return std::make_shared<TimestepTable>(step_dir(t), t);
+}
+
+std::pair<double, double> Dataset::global_domain(const std::string& name) const {
+  const auto it = impl_->domains.find(name);
+  if (it == impl_->domains.end())
+    throw std::out_of_range("unknown variable '" + name + "' in manifest");
+  return it->second;
+}
+
+std::uint64_t Dataset::disk_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(impl_->dir))
+    if (entry.is_regular_file()) total += entry.file_size();
+  return total;
+}
+
+void Dataset::drop_cache() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& table : impl_->cache) table.reset();
+}
+
+}  // namespace qdv::io

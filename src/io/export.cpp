@@ -1,0 +1,39 @@
+#include "io/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace qdv::io {
+
+namespace {
+std::ofstream open_csv(const std::filesystem::path& path) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write CSV: " + path.string());
+  out.precision(17);
+  return out;
+}
+}  // namespace
+
+void export_csv(const std::filesystem::path& path, const Histogram2D& histogram) {
+  std::ofstream out = open_csv(path);
+  out << "x_lo,x_hi,y_lo,y_hi,count\n";
+  for (std::size_t ix = 0; ix < histogram.nx(); ++ix)
+    for (std::size_t iy = 0; iy < histogram.ny(); ++iy) {
+      const std::uint64_t c = histogram.at(ix, iy);
+      if (c == 0) continue;
+      out << histogram.xbins.edges()[ix] << ',' << histogram.xbins.edges()[ix + 1]
+          << ',' << histogram.ybins.edges()[iy] << ','
+          << histogram.ybins.edges()[iy + 1] << ',' << c << "\n";
+    }
+}
+
+void export_csv(const std::filesystem::path& path, const Histogram1D& histogram) {
+  std::ofstream out = open_csv(path);
+  out << "lo,hi,count\n";
+  for (std::size_t i = 0; i < histogram.bins.num_bins(); ++i)
+    out << histogram.bins.edges()[i] << ',' << histogram.bins.edges()[i + 1] << ','
+        << histogram.counts[i] << "\n";
+}
+
+}  // namespace qdv::io

@@ -1,0 +1,199 @@
+#include "io/timestep_table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdv::io {
+
+namespace {
+
+template <typename T>
+std::vector<T> read_binary_column(const std::filesystem::path& file,
+                                  std::uint64_t rows) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open column file " + file.string());
+  std::vector<T> data(rows);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(rows * sizeof(T)));
+  if (!in) throw std::runtime_error("truncated column file " + file.string());
+  return data;
+}
+
+}  // namespace
+
+TimestepTable::TimestepTable(std::filesystem::path dir, std::size_t step)
+    : dir_(std::move(dir)), step_(step) {
+  std::ifstream meta(dir_ / "meta.txt");
+  if (!meta)
+    throw std::runtime_error("timestep has no meta.txt: " + dir_.string());
+  std::string line;
+  while (std::getline(meta, line)) {
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (key == "rows") {
+      ss >> rows_;
+    } else if (key == "domain") {
+      std::string var;
+      double lo = 0.0, hi = 0.0;
+      ss >> var >> lo >> hi;
+      domains_[var] = {lo, hi};
+      variables_.push_back(var);
+    }
+  }
+}
+
+std::span<const double> TimestepTable::column(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    it = columns_
+             .emplace(name, read_binary_column<double>(dir_ / (name + ".f64"), rows_))
+             .first;
+  }
+  return it->second;
+}
+
+std::span<const std::uint64_t> TimestepTable::id_column(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = id_columns_.find(name);
+  if (it == id_columns_.end()) {
+    it = id_columns_
+             .emplace(name,
+                      read_binary_column<std::uint64_t>(dir_ / (name + ".u64"), rows_))
+             .first;
+  }
+  return it->second;
+}
+
+const BitmapIndex* TimestepTable::index(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = indices_.find(name);
+  if (it == indices_.end()) {
+    std::optional<BitmapIndex> loaded;
+    const std::filesystem::path file = dir_ / (name + ".bmi");
+    if (std::ifstream in(file, std::ios::binary); in)
+      loaded = BitmapIndex::load(in);
+    it = indices_.emplace(name, std::move(loaded)).first;
+  }
+  return it->second ? &*it->second : nullptr;
+}
+
+const IdIndex* TimestepTable::id_index(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = id_indices_.find(name);
+  if (it == id_indices_.end()) {
+    std::optional<IdIndex> loaded;
+    const std::filesystem::path file = dir_ / (name + ".idi");
+    if (std::ifstream in(file, std::ios::binary); in) loaded = IdIndex::load(in);
+    it = id_indices_.emplace(name, std::move(loaded)).first;
+  }
+  return it->second ? &*it->second : nullptr;
+}
+
+bool TimestepTable::has_indices() const {
+  for (const std::string& var : variables_)
+    if (std::filesystem::exists(dir_ / (var + ".bmi"))) return true;
+  return std::filesystem::exists(dir_ / "id.idi");
+}
+
+std::pair<double, double> TimestepTable::domain(const std::string& name) const {
+  const auto it = domains_.find(name);
+  if (it == domains_.end())
+    throw std::out_of_range("unknown variable '" + name + "' in " + dir_.string());
+  return it->second;
+}
+
+namespace {
+
+BitVector scan_compare(const TimestepTable& table, const CompareQuery& q) {
+  const std::span<const double> values = table.column(q.variable());
+  const Interval iv = interval_for(q.op(), q.value());
+  BitVector out;
+  for (const double v : values) out.append_bit(iv.contains(v));
+  return out;
+}
+
+BitVector scan_id_in(const TimestepTable& table, const IdInQuery& q) {
+  const std::span<const std::uint64_t> ids = table.id_column(q.variable());
+  const std::vector<std::uint64_t>& search = q.ids();
+  BitVector out;
+  for (const std::uint64_t id : ids)
+    out.append_bit(std::binary_search(search.begin(), search.end(), id));
+  return out;
+}
+
+}  // namespace
+
+BitVector TimestepTable::query(const Query& q, EvalMode mode) const {
+  switch (q.kind()) {
+    case Query::Kind::kCompare: {
+      const auto& cq = static_cast<const CompareQuery&>(q);
+      if (mode != EvalMode::kScan) {
+        if (const BitmapIndex* idx = index(cq.variable())) {
+          const Interval iv = interval_for(cq.op(), cq.value());
+          ApproxAnswer approx = idx->evaluate_approx(iv);
+          // Load the raw column only when boundary bins need checking —
+          // index-only answers (precision binning) never touch the data.
+          if (approx.candidates.count() == 0) return std::move(approx.hits);
+          return detail::resolve_candidates(iv, std::move(approx),
+                                            column(cq.variable()), rows_);
+        }
+        if (mode == EvalMode::kIndex)
+          throw std::runtime_error("no bitmap index for variable " + cq.variable());
+      }
+      return scan_compare(*this, cq);
+    }
+    case Query::Kind::kIdIn: {
+      const auto& iq = static_cast<const IdInQuery&>(q);
+      if (mode != EvalMode::kScan) {
+        if (const IdIndex* idx = id_index(iq.variable()))
+          return BitVector::from_positions(idx->lookup_rows(iq.ids()), rows_);
+        if (mode == EvalMode::kIndex)
+          throw std::runtime_error("no id index for variable " + iq.variable());
+      }
+      return scan_id_in(*this, iq);
+    }
+    case Query::Kind::kAnd: {
+      const auto& aq = static_cast<const AndQuery&>(q);
+      return query(aq.lhs(), mode) & query(aq.rhs(), mode);
+    }
+    case Query::Kind::kOr: {
+      const auto& oq = static_cast<const OrQuery&>(q);
+      return query(oq.lhs(), mode) | query(oq.rhs(), mode);
+    }
+    case Query::Kind::kNot: {
+      const auto& nq = static_cast<const NotQuery&>(q);
+      return ~query(nq.operand(), mode);
+    }
+  }
+  throw std::logic_error("TimestepTable::query: bad query kind");
+}
+
+BitVector TimestepTable::query(const std::string& text, EvalMode mode) const {
+  return query(*parse_query(text), mode);
+}
+
+}  // namespace qdv::io
+
+namespace qdv {
+
+BitVector evaluate(const Query& query, const io::TimestepTable& table,
+                   EvalMode mode) {
+  return table.query(query, mode);
+}
+
+Interval interval_for(CompareOp op, double value) {
+  switch (op) {
+    case CompareOp::kLt: return Interval::less_than(value);
+    case CompareOp::kLe: return Interval::at_most(value);
+    case CompareOp::kGt: return Interval::greater_than(value);
+    case CompareOp::kGe: return Interval::at_least(value);
+    case CompareOp::kEq: return Interval{value, value, false, false};
+  }
+  throw std::logic_error("interval_for: bad op");
+}
+
+}  // namespace qdv

@@ -1,0 +1,97 @@
+#include "render/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace qdv::render {
+
+Image::Image(std::size_t width, std::size_t height, Color background)
+    : width_(width), height_(height), rgb_(width * height * 3) {
+  for (std::size_t i = 0; i < width_ * height_; ++i) {
+    rgb_[3 * i + 0] = background.r;
+    rgb_[3 * i + 1] = background.g;
+    rgb_[3 * i + 2] = background.b;
+  }
+}
+
+void Image::add(std::ptrdiff_t x, std::ptrdiff_t y, const Color& color, float alpha) {
+  if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(width_) ||
+      y >= static_cast<std::ptrdiff_t>(height_))
+    return;
+  const std::size_t i =
+      (static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)) * 3;
+  rgb_[i + 0] += color.r * alpha;
+  rgb_[i + 1] += color.g * alpha;
+  rgb_[i + 2] += color.b * alpha;
+}
+
+void Image::set(std::ptrdiff_t x, std::ptrdiff_t y, const Color& color) {
+  if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(width_) ||
+      y >= static_cast<std::ptrdiff_t>(height_))
+    return;
+  const std::size_t i =
+      (static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)) * 3;
+  rgb_[i + 0] = color.r;
+  rgb_[i + 1] = color.g;
+  rgb_[i + 2] = color.b;
+}
+
+void Image::draw_line(double x0, double y0, double x1, double y1,
+                      const Color& color, float alpha) {
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const int steps =
+      std::max(1, static_cast<int>(std::ceil(std::max(std::abs(dx), std::abs(dy)))));
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps);
+    add(static_cast<std::ptrdiff_t>(std::lround(x0 + dx * t)),
+        static_cast<std::ptrdiff_t>(std::lround(y0 + dy * t)), color, alpha);
+  }
+}
+
+void Image::write_ppm(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write image: " + path.string());
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  std::vector<unsigned char> row(width_ * 3);
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_ * 3; ++x) {
+      const float v = std::clamp(rgb_[y * width_ * 3 + x], 0.0f, 1.0f);
+      row[x] = static_cast<unsigned char>(std::lround(v * 255.0f));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+}
+
+Color pseudocolor(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Blue -> cyan -> yellow -> red ramp.
+  const auto lerp = [](float a, float b, double u) {
+    return static_cast<float>(a + (b - a) * u);
+  };
+  if (t < 1.0 / 3.0) {
+    const double u = t * 3.0;
+    return {lerp(0.15f, 0.10f, u), lerp(0.25f, 0.75f, u), lerp(0.90f, 0.85f, u)};
+  }
+  if (t < 2.0 / 3.0) {
+    const double u = (t - 1.0 / 3.0) * 3.0;
+    return {lerp(0.10f, 0.95f, u), lerp(0.75f, 0.85f, u), lerp(0.85f, 0.20f, u)};
+  }
+  const double u = (t - 2.0 / 3.0) * 3.0;
+  return {lerp(0.95f, 0.95f, u), lerp(0.85f, 0.15f, u), lerp(0.20f, 0.10f, u)};
+}
+
+Color palette_color(std::size_t i) {
+  static constexpr Color kPalette[] = {
+      colors::kRed,  colors::kOrange, colors::kYellow,  colors::kGreen,
+      colors::kCyan, colors::kBlue,   colors::kMagenta, colors::kWhite,
+      colors::kGray,
+  };
+  return kPalette[i % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+}  // namespace qdv::render

@@ -1,0 +1,139 @@
+#include "render/pc_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qdv::render {
+
+namespace {
+constexpr Color kFrameColor{0.35f, 0.35f, 0.38f};
+}  // namespace
+
+ParallelCoordinatesPlot::ParallelCoordinatesPlot(std::vector<PcAxis> axes,
+                                                 PcLayout layout)
+    : axes_(std::move(axes)),
+      layout_(layout),
+      image_(layout_.width, layout_.height) {
+  if (axes_.size() < 2)
+    throw std::invalid_argument("ParallelCoordinatesPlot: need at least 2 axes");
+}
+
+double ParallelCoordinatesPlot::axis_x(std::size_t axis) const {
+  const double usable =
+      static_cast<double>(layout_.width - 2 * layout_.margin);
+  return static_cast<double>(layout_.margin) +
+         usable * static_cast<double>(axis) /
+             static_cast<double>(axes_.size() - 1);
+}
+
+double ParallelCoordinatesPlot::value_y(std::size_t axis, double value) const {
+  const PcAxis& a = axes_[axis];
+  const double span = a.hi > a.lo ? a.hi - a.lo : 1.0;
+  const double t = std::clamp((value - a.lo) / span, 0.0, 1.0);
+  const double usable =
+      static_cast<double>(layout_.height - 2 * layout_.margin);
+  return static_cast<double>(layout_.height - layout_.margin) - t * usable;
+}
+
+void ParallelCoordinatesPlot::draw_frame() {
+  const auto top = static_cast<std::ptrdiff_t>(layout_.margin);
+  const auto bottom = static_cast<std::ptrdiff_t>(layout_.height - layout_.margin);
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    const auto x = static_cast<std::ptrdiff_t>(std::lround(axis_x(a)));
+    for (std::ptrdiff_t y = top; y <= bottom; ++y) image_.set(x, y, kFrameColor);
+  }
+}
+
+void ParallelCoordinatesPlot::draw_histogram_layer(
+    const std::vector<Histogram2D>& hists, const PcStyle& style) {
+  const std::size_t npairs = std::min(hists.size(), axes_.size() - 1);
+  for (std::size_t pair = 0; pair < npairs; ++pair) {
+    const Histogram2D& h = hists[pair];
+    const std::uint64_t maxc = h.max_count();
+    if (maxc == 0) continue;
+    const double xl = axis_x(pair);
+    const double xr = axis_x(pair + 1);
+    const auto px0 = static_cast<std::ptrdiff_t>(std::ceil(xl));
+    const auto px1 = static_cast<std::ptrdiff_t>(std::floor(xr));
+    for (std::size_t bx = 0; bx < h.nx(); ++bx) {
+      for (std::size_t by = 0; by < h.ny(); ++by) {
+        const std::uint64_t c = h.at(bx, by);
+        if (c == 0) continue;
+        const float intensity =
+            style.max_alpha *
+            static_cast<float>(std::pow(static_cast<double>(c) /
+                                            static_cast<double>(maxc),
+                                        style.gamma));
+        // Quad between the bin's value range on the left axis and on the
+        // right axis; filled column by column.
+        const double la = value_y(pair, h.xbins.edges()[bx]);
+        const double lb = value_y(pair, h.xbins.edges()[bx + 1]);
+        const double ra = value_y(pair + 1, h.ybins.edges()[by]);
+        const double rb = value_y(pair + 1, h.ybins.edges()[by + 1]);
+        for (std::ptrdiff_t px = px0; px <= px1; ++px) {
+          const double t = (static_cast<double>(px) - xl) / (xr - xl);
+          const double ya = la + (ra - la) * t;
+          const double yb = lb + (rb - lb) * t;
+          const auto ylo = static_cast<std::ptrdiff_t>(std::lround(std::min(ya, yb)));
+          const auto yhi = static_cast<std::ptrdiff_t>(std::lround(std::max(ya, yb)));
+          for (std::ptrdiff_t y = ylo; y <= yhi; ++y)
+            image_.add(px, y, style.color, intensity);
+        }
+      }
+    }
+  }
+}
+
+void ParallelCoordinatesPlot::draw_polyline_layer(
+    const std::vector<std::span<const double>>& columns, const PcStyle& style) {
+  const std::size_t npairs = std::min(columns.size(), axes_.size()) - 1;
+  if (columns.empty()) return;
+  const std::size_t rows = columns.front().size();
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t pair = 0; pair < npairs; ++pair) {
+      image_.draw_line(axis_x(pair), value_y(pair, columns[pair][row]),
+                       axis_x(pair + 1), value_y(pair + 1, columns[pair + 1][row]),
+                       style.color, style.max_alpha);
+    }
+  }
+}
+
+void ParallelCoordinatesPlot::draw_hybrid_layer(
+    const std::vector<Histogram2D>& hists,
+    const std::vector<std::span<const double>>& columns, const PcStyle& style,
+    double outlier_fraction) {
+  draw_histogram_layer(hists, style);
+  if (columns.empty()) return;
+  const std::size_t npairs =
+      std::min({hists.size(), columns.size() - 1, axes_.size() - 1});
+  // Per-pair density cutoffs below which a bin's records render as lines.
+  std::vector<double> cutoff(npairs, 0.0);
+  for (std::size_t pair = 0; pair < npairs; ++pair) {
+    const Histogram2D& h = hists[pair];
+    double max_density = 0.0;
+    for (std::size_t bx = 0; bx < h.nx(); ++bx)
+      for (std::size_t by = 0; by < h.ny(); ++by)
+        if (h.at(bx, by) != 0)
+          max_density = std::max(max_density, h.density(bx, by));
+    cutoff[pair] = outlier_fraction * max_density;
+  }
+  const std::size_t rows = columns.front().size();
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t pair = 0; pair < npairs; ++pair) {
+      const Histogram2D& h = hists[pair];
+      const std::ptrdiff_t bx = h.xbins.locate(columns[pair][row]);
+      const std::ptrdiff_t by = h.ybins.locate(columns[pair + 1][row]);
+      const bool sparse =
+          bx < 0 || by < 0 ||
+          h.density(static_cast<std::size_t>(bx), static_cast<std::size_t>(by)) <
+              cutoff[pair];
+      if (!sparse) continue;
+      image_.draw_line(axis_x(pair), value_y(pair, columns[pair][row]),
+                       axis_x(pair + 1), value_y(pair + 1, columns[pair + 1][row]),
+                       style.color, style.max_alpha);
+    }
+  }
+}
+
+}  // namespace qdv::render

@@ -1,0 +1,183 @@
+// WAH bitvector edge cases: tails off the 31-bit boundary, literal<->fill
+// transitions, empty/all-set vectors, mixed-length operands, and or_many
+// over 1, 2, and 33 inputs — each cross-checked against a plain
+// std::vector<bool> reference model.
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bitvector.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using qdv::BitVector;
+
+struct Model {
+  BitVector v;
+  std::vector<bool> ref;
+
+  void append_run(bool value, std::uint64_t count) {
+    v.append_run(value, count);
+    ref.insert(ref.end(), count, value);
+  }
+};
+
+std::uint64_t ref_count(const std::vector<bool>& ref) {
+  std::uint64_t n = 0;
+  for (const bool b : ref) n += b;
+  return n;
+}
+
+void check_matches(const BitVector& v, const std::vector<bool>& ref) {
+  CHECK_EQ(v.size(), ref.size());
+  CHECK_EQ(v.count(), ref_count(ref));
+  const std::vector<std::uint32_t> positions = v.to_positions();
+  std::size_t pi = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (!ref[i]) continue;
+    CHECK(pi < positions.size() && positions[pi] == i);
+    ++pi;
+  }
+  CHECK_EQ(pi, positions.size());
+}
+
+std::vector<bool> ref_op(const std::vector<bool>& a, const std::vector<bool>& b,
+                         char op) {
+  std::vector<bool> out(std::max(a.size(), b.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool x = i < a.size() && a[i];
+    const bool y = i < b.size() && b[i];
+    out[i] = op == '&' ? (x && y) : op == '|' ? (x || y) : (x != y);
+  }
+  return out;
+}
+
+/// Deterministic run generator.
+Model make_model(std::uint64_t nbits, std::uint64_t seed, std::uint64_t max_run) {
+  Model m;
+  std::uint64_t state = seed;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  bool value = next() & 1;
+  std::uint64_t pos = 0;
+  while (pos < nbits) {
+    const std::uint64_t run = std::min(nbits - pos, 1 + next() % max_run);
+    m.append_run(value, run);
+    value = !value;
+    pos += run;
+  }
+  return m;
+}
+
+void test_tail_not_on_group_boundary() {
+  for (const std::uint64_t nbits : {1u, 5u, 30u, 31u, 32u, 61u, 62u, 63u, 95u}) {
+    Model m;
+    for (std::uint64_t i = 0; i < nbits; ++i) m.append_run(i % 3 == 0, 1);
+    check_matches(m.v, m.ref);
+    CHECK(m.v.test(0));
+    if (nbits > 1) CHECK(!m.v.test(1));
+  }
+}
+
+void test_literal_fill_transitions() {
+  Model m;
+  m.append_run(false, 100000);  // long 0-fill
+  m.append_run(true, 7);        // literal
+  m.append_run(true, 310000);   // long 1-fill extending past the literal
+  m.append_run(false, 3);
+  m.append_run(true, 62);       // exactly two full groups
+  m.append_run(false, 1);
+  check_matches(m.v, m.ref);
+  // Compression actually engaged: far fewer words than groups.
+  CHECK(m.v.word_count() < 40);
+}
+
+void test_empty_and_all_set() {
+  const BitVector empty;
+  CHECK_EQ(empty.count(), 0u);
+  CHECK_EQ(empty.size(), 0u);
+  CHECK(empty.to_positions().empty());
+
+  const BitVector zeros = BitVector::zeros(1000);
+  CHECK_EQ(zeros.count(), 0u);
+  CHECK_EQ(zeros.size(), 1000u);
+
+  const BitVector ones = BitVector::ones(1000);
+  CHECK_EQ(ones.count(), 1000u);
+  CHECK_EQ((~ones).count(), 0u);
+  CHECK_EQ((~zeros).count(), 1000u);
+  CHECK_EQ((zeros | ones).count(), 1000u);
+  CHECK_EQ((zeros & ones).count(), 0u);
+}
+
+void test_logical_ops_against_model() {
+  for (const std::uint64_t bits_a : {310u, 311u, 4096u}) {
+    for (const std::uint64_t bits_b : {310u, 333u, 5000u}) {
+      const Model a = make_model(bits_a, 1234 + bits_a, 50);
+      const Model b = make_model(bits_b, 777 + bits_b, 13);
+      check_matches(a.v & b.v, ref_op(a.ref, b.ref, '&'));
+      check_matches(a.v | b.v, ref_op(a.ref, b.ref, '|'));
+      check_matches(a.v ^ b.v, ref_op(a.ref, b.ref, '^'));
+    }
+  }
+  // NOT flips every bit up to size().
+  const Model m = make_model(1000, 99, 200);
+  const BitVector inv = ~m.v;
+  CHECK_EQ(inv.size(), m.v.size());
+  CHECK_EQ(inv.count(), m.v.size() - m.v.count());
+  CHECK_EQ((~inv), m.v);
+}
+
+void test_from_positions_roundtrip() {
+  const Model m = make_model(2000, 4242, 97);
+  const BitVector rebuilt = BitVector::from_positions(m.v.to_positions(), 2000);
+  CHECK(rebuilt == m.v);
+}
+
+void test_or_many() {
+  constexpr std::uint64_t kBits = 10000;
+  for (const std::size_t n : {1u, 2u, 33u}) {
+    std::vector<Model> models;
+    models.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      models.push_back(make_model(kBits, 1000 + i, 301));
+    std::vector<const BitVector*> ops;
+    std::vector<bool> expect(kBits, false);
+    for (const Model& m : models) {
+      ops.push_back(&m.v);
+      for (std::size_t i = 0; i < kBits; ++i)
+        if (m.ref[i]) expect[i] = true;
+    }
+    check_matches(qdv::or_many(std::move(ops), kBits), expect);
+  }
+  // Empty operand list: all zeros at the requested width.
+  const BitVector none = qdv::or_many({}, 512);
+  CHECK_EQ(none.size(), 512u);
+  CHECK_EQ(none.count(), 0u);
+}
+
+void test_for_each_set_order() {
+  const Model m = make_model(5000, 31337, 61);
+  std::vector<std::uint32_t> seen;
+  m.v.for_each_set([&](std::uint64_t pos) {
+    seen.push_back(static_cast<std::uint32_t>(pos));
+  });
+  CHECK(seen == m.v.to_positions());
+}
+
+}  // namespace
+
+int main() {
+  test_tail_not_on_group_boundary();
+  test_literal_fill_transitions();
+  test_empty_and_all_set();
+  test_logical_ops_against_model();
+  test_from_positions_roundtrip();
+  test_or_many();
+  test_for_each_set_order();
+  return qdv::test::finish("test_bitvector");
+}

@@ -1,0 +1,149 @@
+// End-to-end dataset layer: generate a tiny wakefield dataset, reopen it,
+// and verify query evaluation (index vs scan), id lookups, the session API
+// (focus counts, selected ids, tracking), and the beam phenomenology the
+// examples rely on.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/custom_scan.hpp"
+#include "core/session.hpp"
+#include "core/statistics.hpp"
+#include "io/export.hpp"
+#include "sim/wakefield.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using namespace qdv;
+
+const std::filesystem::path& dataset_dir() {
+  static const std::filesystem::path dir = [] {
+    const std::filesystem::path d = qdv::test::scratch_dir("dataset_io");
+    sim::WakefieldConfig cfg = sim::WakefieldConfig::preset_2d(300, /*seed=*/11);
+    io::IndexConfig index_config;
+    index_config.nbins = 64;
+    const std::uint64_t bytes = sim::generate_dataset(cfg, d, index_config);
+    CHECK(bytes > 0);
+    return d;
+  }();
+  return dir;
+}
+
+void test_open_and_metadata() {
+  const io::Dataset ds = io::Dataset::open(dataset_dir());
+  CHECK_EQ(ds.num_timesteps(), 38u);
+  CHECK_EQ(ds.variables().size(), 7u);
+  const io::TimestepTable& table = ds.table(0);
+  CHECK(table.num_rows() >= 150);
+  CHECK(table.has_indices());
+  CHECK_EQ(table.column("x").size(), table.num_rows());
+  CHECK_EQ(table.id_column("id").size(), table.num_rows());
+  const auto [lo, hi] = ds.global_domain("px");
+  CHECK(hi > lo);
+  CHECK(ds.disk_bytes() > 0);
+  CHECK_THROWS(ds.global_domain("nope"));
+  CHECK_THROWS(io::Dataset::open(dataset_dir() / "missing"));
+}
+
+void test_index_vs_scan() {
+  const io::Dataset ds = io::Dataset::open(dataset_dir());
+  const io::TimestepTable& table = ds.table(37);
+  for (const char* text :
+       {"px > 8.872e10", "px > 8.872e10 && y > 0", "px <= 1e9 || xrel >= 0.9",
+        "!(px > 1e10)", "y > 0 && y < 1e-5"}) {
+    const BitVector via_index = table.query(text, EvalMode::kAuto);
+    const BitVector via_scan = table.query(text, EvalMode::kScan);
+    CHECK(via_index.to_positions() == via_scan.to_positions());
+  }
+}
+
+void test_beam_phenomenology() {
+  core::ExplorationSession session = core::ExplorationSession::open(dataset_dir());
+  const std::size_t t_last = session.num_timesteps() - 1;
+  // The paper's selection threshold isolates both beams at the end.
+  session.set_focus("px > 8.872e10");
+  const std::uint64_t beams = session.focus_count(t_last);
+  CHECK(beams > 0);
+  CHECK(beams < session.dataset().table(t_last).num_rows() / 2);
+  // Compound query narrows but stays nonzero.
+  session.set_focus("px > 8.872e10 && y > 0");
+  const std::uint64_t upper = session.focus_count(t_last);
+  CHECK(upper > 0);
+  CHECK(upper < beams);
+  // Beam ids live in the reserved namespace, and both beams are present.
+  session.set_focus("px > 8.872e10");
+  const std::vector<std::uint64_t> ids = session.selected_ids(t_last);
+  CHECK_EQ(ids.size(), beams);
+  bool first = false, second = false;
+  for (const std::uint64_t id : ids) {
+    if (id < (1ull << 40)) continue;
+    (((id - (1ull << 40)) >> 32) == 0 ? first : second) = true;
+  }
+  CHECK(first);
+  CHECK(second);
+  // No beam exists before injection at t=14.
+  session.set_focus("px > 8.872e10");
+  CHECK_EQ(session.focus_count(10), 0u);
+}
+
+void test_tracking() {
+  core::ExplorationSession session = core::ExplorationSession::open(dataset_dir());
+  const std::size_t t_last = session.num_timesteps() - 1;
+  session.set_focus("px > 8.872e10");
+  std::vector<std::uint64_t> ids = session.selected_ids(t_last);
+  CHECK(!ids.empty());
+  const core::ParticleTracks tracks = session.track(ids, 10, t_last, {"x", "px"});
+  CHECK_EQ(tracks.timesteps().size(), t_last - 10 + 1);
+  CHECK_EQ(tracks.count_present(0), 0u);                        // t=10: not injected
+  CHECK_EQ(tracks.count_present(t_last - 10), ids.size());      // all present at end
+  // Momentum ramps up after injection.
+  const double px_mid = tracks.mean(20 - 10, "px");
+  const double px_end = tracks.mean(t_last - 10, "px");
+  CHECK(px_mid > 0);
+  CHECK(px_end > px_mid);
+  CHECK(std::isnan(tracks.value(0, "px", 0)));
+}
+
+void test_id_queries_match_scan() {
+  const io::Dataset ds = io::Dataset::open(dataset_dir());
+  const io::TimestepTable& table = ds.table(20);
+  const auto id_col = table.id_column("id");
+  std::vector<std::uint64_t> search;
+  for (std::size_t i = 0; i < id_col.size(); i += 7) search.push_back(id_col[i]);
+  const IdIndex* index = table.id_index("id");
+  CHECK(index != nullptr);
+  const core::CustomScan scan(table);
+  CHECK(index->lookup_rows(search) == scan.find_ids(search));
+}
+
+void test_stats_and_export() {
+  const io::Dataset ds = io::Dataset::open(dataset_dir());
+  const io::TimestepTable& table = ds.table(37);
+  const QueryPtr cond = parse_query("px > 8.872e10");
+  const core::SummaryStats s = core::conditional_stats(table, "px", cond.get());
+  CHECK(s.count > 0);
+  CHECK(s.min > 8.872e10);
+  CHECK(s.mean >= s.min && s.mean <= s.max);
+  const core::SummaryStats all = core::conditional_stats(table, "px");
+  CHECK_EQ(all.count, table.num_rows());
+
+  const Histogram2D h = table.engine().histogram2d("x", "px", 16, 16, cond.get());
+  CHECK_EQ(h.total(), s.count);
+  const auto csv = qdv::test::scratch_dir("csv") / "hist.csv";
+  io::export_csv(csv, h);
+  CHECK(std::filesystem::file_size(csv) > 20);
+}
+
+}  // namespace
+
+int main() {
+  test_open_and_metadata();
+  test_index_vs_scan();
+  test_beam_phenomenology();
+  test_tracking();
+  test_id_queries_match_scan();
+  test_stats_and_export();
+  return qdv::test::finish("test_dataset_io");
+}

@@ -1,0 +1,102 @@
+// Histogram engine: the index-backed two-step conditional evaluation must
+// agree bin-for-bin with the sequential-scan baseline; adaptive binning
+// preserves totals and flattens occupancy.
+#include <cstdint>
+#include <vector>
+
+#include "core/custom_scan.hpp"
+#include "io/dataset.hpp"
+#include "sim/wakefield.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using namespace qdv;
+
+const std::filesystem::path& dataset_dir() {
+  static const std::filesystem::path dir = [] {
+    const std::filesystem::path d = qdv::test::scratch_dir("histogram");
+    sim::WakefieldConfig cfg = sim::WakefieldConfig::preset_bench(2000, 2, 3);
+    io::IndexConfig index_config;
+    index_config.nbins = 128;
+    sim::generate_dataset(cfg, d, index_config);
+    return d;
+  }();
+  return dir;
+}
+
+void test_unconditional_matches_scan() {
+  const io::Dataset ds = io::Dataset::open(dataset_dir());
+  const io::TimestepTable& table = ds.table(0);
+  const HistogramEngine engine = table.engine();
+  const core::CustomScan custom(table);
+  const Histogram2D fast = engine.histogram2d("x", "px", 32, 32);
+  const Histogram2D slow = custom.histogram2d("x", "px", 32, 32);
+  CHECK(fast.counts == slow.counts);
+  CHECK_EQ(fast.total(), table.num_rows());
+  CHECK(fast.nonempty_bins() > 0);
+  CHECK(fast.max_count() > 0);
+}
+
+void test_conditional_matches_scan() {
+  const io::Dataset ds = io::Dataset::open(dataset_dir());
+  const io::TimestepTable& table = ds.table(1);
+  const HistogramEngine engine = table.engine();
+  const core::CustomScan custom(table);
+  for (const char* text : {"px > 1e10", "px > 1e10 && y > 0", "xrel < 0.5"}) {
+    const QueryPtr cond = parse_query(text);
+    const Histogram2D fast = engine.histogram2d("x", "px", 24, 24, cond.get());
+    const Histogram2D slow = custom.histogram2d("x", "px", 24, 24, cond.get());
+    CHECK(fast.counts == slow.counts);
+    CHECK_EQ(fast.total(), table.query(*cond).count());
+  }
+}
+
+void test_scan_mode_engine() {
+  // The engine in forced-scan mode must agree with the indexed mode.
+  const io::Dataset ds = io::Dataset::open(dataset_dir());
+  const io::TimestepTable& table = ds.table(0);
+  const QueryPtr cond = parse_query("px > 5e9");
+  const Histogram2D indexed =
+      table.engine(EvalMode::kAuto).histogram2d("x", "px", 16, 16, cond.get());
+  const Histogram2D scanned =
+      table.engine(EvalMode::kScan).histogram2d("x", "px", 16, 16, cond.get());
+  CHECK(indexed.counts == scanned.counts);
+}
+
+void test_adaptive_binning() {
+  const io::Dataset ds = io::Dataset::open(dataset_dir());
+  const io::TimestepTable& table = ds.table(0);
+  const HistogramEngine engine = table.engine();
+  const Histogram1D uniform = engine.histogram1d("px", 16);
+  const Histogram1D adaptive =
+      engine.histogram1d("px", 16, nullptr, BinningMode::kAdaptive);
+  CHECK_EQ(uniform.total(), adaptive.total());
+  // Equal-weight bins flatten the occupancy of the skewed momentum column.
+  CHECK(adaptive.max_count() < uniform.max_count());
+  const Histogram2D adaptive2d =
+      engine.histogram2d("x", "px", 16, 16, nullptr, BinningMode::kAdaptive);
+  CHECK_EQ(adaptive2d.total(), table.num_rows());
+}
+
+void test_density() {
+  Histogram2D h;
+  h.xbins = make_uniform_bins(0.0, 2.0, 2);   // width 1
+  h.ybins = make_uniform_bins(0.0, 4.0, 2);   // width 2
+  h.counts.assign(4, 0);
+  h.at(0, 0) = 10;
+  CHECK_EQ(h.density(0, 0), 5.0);  // 10 / (1 * 2)
+  CHECK_EQ(h.density(1, 1), 0.0);
+  CHECK_EQ(h.nonempty_bins(), 1u);
+}
+
+}  // namespace
+
+int main() {
+  test_unconditional_matches_scan();
+  test_conditional_matches_scan();
+  test_scan_mode_engine();
+  test_adaptive_binning();
+  test_density();
+  return qdv::test::finish("test_histogram");
+}

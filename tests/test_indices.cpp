@@ -1,0 +1,143 @@
+// Index encodings against a brute-force reference: equality, range, and
+// interval encodings must produce identical exact answers for every query
+// shape, including values outside the binned range; the id index must match
+// a sequential scan.
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "bitmap/bitmap_index.hpp"
+#include "bitmap/interval_index.hpp"
+#include "bitmap/range_index.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using namespace qdv;
+
+std::vector<double> make_values(std::size_t n, std::uint64_t seed) {
+  std::vector<double> values(n);
+  std::uint64_t state = seed;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (double& v : values)
+    v = static_cast<double>(next() >> 11) * 0x1.0p-53 * 120.0 - 10.0;
+  return values;
+}
+
+std::vector<std::uint32_t> brute_force(std::span<const double> values,
+                                       const Interval& iv) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t r = 0; r < values.size(); ++r)
+    if (iv.contains(values[r])) out.push_back(r);
+  return out;
+}
+
+template <typename Index>
+void check_index(const Index& index, std::span<const double> values,
+                 const Interval& iv, const char* label) {
+  const BitVector answer = index.evaluate(iv, values);
+  const std::vector<std::uint32_t> expect = brute_force(values, iv);
+  if (answer.to_positions() != expect) {
+    std::fprintf(stderr, "%s mismatch: lo=%g hi=%g got %zu expect %zu\n", label,
+                 iv.lo, iv.hi, answer.to_positions().size(), expect.size());
+    ++qdv::test::failures;
+  }
+  // The approximate answer must bracket the exact one.
+  const auto approx = index.evaluate_approx(iv);
+  CHECK((approx.hits & ~answer).count() == 0);  // no false certain hits
+  CHECK((answer & ~(approx.hits | approx.candidates)).count() == 0);
+}
+
+void test_value_indices() {
+  const std::vector<double> values = make_values(5000, 99);
+  // Bins deliberately narrower than the data range: rows fall outside.
+  for (const std::size_t nbins : {1u, 2u, 3u, 7u, 64u}) {
+    const Bins bins = make_uniform_bins(0.0, 100.0, nbins);
+    const BitmapIndex eq = BitmapIndex::build(values, bins);
+    const RangeEncodedIndex range = RangeEncodedIndex::build(values, bins);
+    const IntervalEncodedIndex interval = IntervalEncodedIndex::build(values, bins);
+    const std::vector<Interval> queries = {
+        Interval::greater_than(50.0),  Interval::greater_than(-100.0),
+        Interval::greater_than(99.99), Interval::less_than(0.5),
+        Interval::at_least(25.0),      Interval::at_most(75.0),
+        Interval::between(10.0, 20.0), Interval::between(-5.0, 110.0),
+        Interval::between(33.3, 33.4), Interval::greater_than(200.0),
+        Interval::between(50.0, 50.0),
+    };
+    for (const Interval& iv : queries) {
+      check_index(eq, values, iv, "equality");
+      check_index(range, values, iv, "range");
+      check_index(interval, values, iv, "interval");
+    }
+  }
+}
+
+void test_precision_binning_index_only() {
+  // An inclusive threshold on a bin edge of a precision-binned index: the
+  // candidate set must be empty (index-only answer). The strict form keeps
+  // one candidate bin: values exactly equal to the edge must be excluded.
+  const std::vector<double> values = make_values(2000, 7);
+  const BitmapIndex index =
+      BitmapIndex::build(values, make_precision_bins(-10.0, 110.0, 2, 1u << 14));
+  const auto inclusive = index.evaluate_approx(Interval::at_least(70.0));
+  CHECK_EQ(inclusive.candidates.count(), 0u);
+  const auto strict = index.evaluate_approx(Interval::greater_than(70.0));
+  CHECK(strict.candidates.count() <= values.size() / 10);  // one bin of twelve
+  check_index(index, values, Interval::at_least(70.0), "precision");
+  check_index(index, values, Interval::greater_than(70.0), "precision-strict");
+}
+
+void test_serialization() {
+  const std::vector<double> values = make_values(3000, 21);
+  const BitmapIndex index =
+      BitmapIndex::build(values, make_uniform_bins(0.0, 100.0, 32));
+  std::stringstream stream;
+  index.save(stream);
+  const BitmapIndex loaded = BitmapIndex::load(stream);
+  const Interval iv = Interval::greater_than(42.0);
+  CHECK(index.evaluate(iv, values) == loaded.evaluate(iv, values));
+  CHECK_EQ(index.num_rows(), loaded.num_rows());
+}
+
+void test_id_index() {
+  std::vector<std::uint64_t> ids;
+  std::uint64_t state = 5;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    ids.push_back(state >> 20);
+  }
+  const IdIndex index = IdIndex::build(ids);
+  std::vector<std::uint64_t> search = {ids[0], ids[100], ids[3999], 42, ids[100]};
+  const std::vector<std::uint32_t> rows = index.lookup_rows(search);
+  // Reference: sequential scan.
+  std::vector<std::uint64_t> sorted(search);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint32_t> expect;
+  for (std::uint32_t r = 0; r < ids.size(); ++r)
+    if (std::binary_search(sorted.begin(), sorted.end(), ids[r]))
+      expect.push_back(r);
+  CHECK(rows == expect);
+  CHECK_EQ(index.lookup_row(42), -1);
+  CHECK_EQ(index.lookup_row(ids[100]), 100);
+
+  std::stringstream stream;
+  index.save(stream);
+  const IdIndex loaded = IdIndex::load(stream);
+  CHECK(loaded.lookup_rows(search) == expect);
+}
+
+}  // namespace
+
+int main() {
+  test_value_indices();
+  test_precision_binning_index_only();
+  test_serialization();
+  test_id_index();
+  return qdv::test::finish("test_indices");
+}

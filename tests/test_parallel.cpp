@@ -1,0 +1,98 @@
+// Parallel layer: the strided makespan model, task timing, and the batched
+// histogram/tracking operations over a small multi-timestep dataset.
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "parallel/par_ops.hpp"
+#include "sim/wakefield.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using namespace qdv;
+
+void test_makespan_model() {
+  par::ClusterRun run;
+  run.task_seconds = {1.0, 2.0, 3.0, 4.0};
+  // Strided assignment on 2 nodes: node0 = {t0, t2} = 4s, node1 = {t1, t3} = 6s.
+  CHECK_EQ(run.makespan(1), 10.0);
+  CHECK_EQ(run.makespan(2), 6.0);
+  CHECK_EQ(run.makespan(4), 4.0);
+  CHECK_EQ(run.makespan(100), 4.0);  // more nodes than tasks: slowest task
+  CHECK(std::abs(run.speedup(2) - 10.0 / 6.0) < 1e-12);
+  CHECK_EQ(run.speedup(1), 1.0);
+}
+
+void test_cluster_executes_all_tasks() {
+  for (const std::size_t threads : {1u, 4u}) {
+    par::VirtualCluster cluster(threads);
+    CHECK_EQ(cluster.host_threads(), threads);
+    std::atomic<std::size_t> done{0};
+    std::vector<std::atomic<int>> seen(17);
+    const par::ClusterRun run = cluster.run(17, [&](std::size_t t) {
+      seen[t].fetch_add(1);
+      done.fetch_add(1);
+    });
+    CHECK_EQ(done.load(), 17u);
+    for (const auto& s : seen) CHECK_EQ(s.load(), 1);
+    CHECK_EQ(run.task_seconds.size(), 17u);
+    for (const double s : run.task_seconds) CHECK(s >= 0.0);
+    CHECK(run.wall_seconds >= 0.0);
+  }
+}
+
+void test_cluster_propagates_exceptions() {
+  par::VirtualCluster cluster(2);
+  CHECK_THROWS(cluster.run(4, [](std::size_t t) {
+    if (t == 2) throw std::runtime_error("boom");
+  }));
+}
+
+void test_batched_operations() {
+  const std::filesystem::path dir = qdv::test::scratch_dir("parallel");
+  sim::WakefieldConfig cfg = sim::WakefieldConfig::preset_bench(800, 4, 5);
+  io::IndexConfig index_config;
+  index_config.nbins = 64;
+  sim::generate_dataset(cfg, dir, index_config);
+  const io::Dataset dataset = io::Dataset::open(dir);
+  par::VirtualCluster cluster(1);
+
+  par::HistogramWorkload workload;
+  workload.pairs = {{"x", "px"}, {"y", "py"}};
+  workload.nbins = 32;
+  const par::HistogramBatch uncond =
+      par::parallel_histograms(dataset, workload, cluster);
+  CHECK_EQ(uncond.run.task_seconds.size(), dataset.num_timesteps());
+  std::uint64_t rows = 0;
+  for (std::size_t t = 0; t < dataset.num_timesteps(); ++t)
+    rows += dataset.table(t).num_rows();
+  CHECK_EQ(uncond.total_records, rows * workload.pairs.size());
+
+  workload.condition = parse_query("px > 1e9");
+  const par::HistogramBatch cond =
+      par::parallel_histograms(dataset, workload, cluster);
+  CHECK(cond.total_records < uncond.total_records);
+  CHECK(cond.total_records > 0);
+
+  // Track the beam ids: they are present in every timestep of the bench
+  // preset, so total hits = ids x timesteps.
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t k = 0; k < 10; ++k) ids.push_back((1ull << 40) + k);
+  const par::TrackBatch tracked =
+      par::parallel_track(dataset, ids, EvalMode::kAuto, cluster);
+  CHECK_EQ(tracked.total_hits, ids.size() * dataset.num_timesteps());
+  const par::TrackBatch scanned =
+      par::parallel_track(dataset, ids, EvalMode::kScan, cluster);
+  CHECK_EQ(scanned.total_hits, tracked.total_hits);
+}
+
+}  // namespace
+
+int main() {
+  test_makespan_model();
+  test_cluster_executes_all_tasks();
+  test_cluster_propagates_exceptions();
+  test_batched_operations();
+  return qdv::test::finish("test_parallel");
+}

@@ -1,0 +1,92 @@
+// Query expression parser: structure, operator precedence, numeric forms,
+// and rejection of malformed input.
+#include <stdexcept>
+
+#include "core/query.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using namespace qdv;
+
+void test_simple_comparison() {
+  const QueryPtr q = parse_query("px > 8.872e10");
+  CHECK(q->kind() == Query::Kind::kCompare);
+  const auto& cq = static_cast<const CompareQuery&>(*q);
+  CHECK_EQ(cq.variable(), std::string("px"));
+  CHECK(cq.op() == CompareOp::kGt);
+  CHECK_EQ(cq.value(), 8.872e10);
+}
+
+void test_operators() {
+  CHECK(static_cast<const CompareQuery&>(*parse_query("a < 1")).op() ==
+        CompareOp::kLt);
+  CHECK(static_cast<const CompareQuery&>(*parse_query("a <= 1")).op() ==
+        CompareOp::kLe);
+  CHECK(static_cast<const CompareQuery&>(*parse_query("a >= 1")).op() ==
+        CompareOp::kGe);
+  CHECK(static_cast<const CompareQuery&>(*parse_query("a == 1")).op() ==
+        CompareOp::kEq);
+  CHECK_EQ(static_cast<const CompareQuery&>(*parse_query("a > -2.5e-3")).value(),
+           -2.5e-3);
+}
+
+void test_conjunction() {
+  const QueryPtr q = parse_query("px > 8.872e10 && y > 0");
+  CHECK(q->kind() == Query::Kind::kAnd);
+  const auto& aq = static_cast<const AndQuery&>(*q);
+  CHECK(aq.lhs().kind() == Query::Kind::kCompare);
+  CHECK(aq.rhs().kind() == Query::Kind::kCompare);
+}
+
+void test_precedence_and_parens() {
+  // && binds tighter than ||: a || (b && c).
+  const QueryPtr q = parse_query("a > 1 || b > 2 && c > 3");
+  CHECK(q->kind() == Query::Kind::kOr);
+  const auto& oq = static_cast<const OrQuery&>(*q);
+  CHECK(oq.rhs().kind() == Query::Kind::kAnd);
+
+  const QueryPtr p = parse_query("(a > 1 || b > 2) && c > 3");
+  CHECK(p->kind() == Query::Kind::kAnd);
+
+  const QueryPtr n = parse_query("!(a > 1)");
+  CHECK(n->kind() == Query::Kind::kNot);
+}
+
+void test_to_string_reparses() {
+  const QueryPtr q = parse_query("px > 8.872e10 && (y > 0 || x <= -1)");
+  const QueryPtr again = parse_query(q->to_string());
+  CHECK_EQ(q->to_string(), again->to_string());
+}
+
+void test_builders() {
+  const QueryPtr idq = Query::id_in("id", {5, 3, 5, 1});
+  const auto& iq = static_cast<const IdInQuery&>(*idq);
+  CHECK(iq.ids() == (std::vector<std::uint64_t>{1, 3, 5}));  // sorted, deduped
+  const QueryPtr both =
+      Query::land(idq, Query::compare("x", CompareOp::kGt, 0.5));
+  CHECK(both->kind() == Query::Kind::kAnd);
+}
+
+void test_malformed() {
+  CHECK_THROWS(parse_query(""));
+  CHECK_THROWS(parse_query("px >"));
+  CHECK_THROWS(parse_query("px 8.8"));
+  CHECK_THROWS(parse_query("px > 1 &&"));
+  CHECK_THROWS(parse_query("(px > 1"));
+  CHECK_THROWS(parse_query("px > 1 extra"));
+  CHECK_THROWS(parse_query("> 1"));
+}
+
+}  // namespace
+
+int main() {
+  test_simple_comparison();
+  test_operators();
+  test_conjunction();
+  test_precedence_and_parens();
+  test_to_string_reparses();
+  test_builders();
+  test_malformed();
+  return qdv::test::finish("test_query");
+}
