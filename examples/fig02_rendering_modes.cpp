@@ -48,7 +48,7 @@ int main() {
     render::ParallelCoordinatesPlot plot(pc_axes);
     plot.draw_frame();
     const std::vector<Histogram2D> hists =
-        session.pair_histograms(t, axes, bins, nullptr);
+        session.pair_histograms(t, axes, bins);
     render::PcStyle style;
     style.color = render::colors::kWhite;
     style.gamma = gamma;

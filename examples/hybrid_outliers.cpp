@@ -22,7 +22,7 @@ int main() {
     const auto [lo, hi] = session.global_domain(name);
     pc_axes.push_back({name, lo, hi});
   }
-  const std::vector<Histogram2D> hists = session.pair_histograms(t, axes, 48, nullptr);
+  const std::vector<Histogram2D> hists = session.pair_histograms(t, axes, 48);
 
   const io::TimestepTable& table = session.dataset().table(t);
   std::vector<std::span<const double>> columns;

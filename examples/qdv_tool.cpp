@@ -4,7 +4,8 @@
 //   generate <dir> [--preset 2d|3d|bench] [--particles N] [--timesteps N]
 //            [--seed S] [--index-bins N]
 //   info     <dir>
-//   query    <dir> -t <timestep> -q "<query>" [--scan] [--count-only]
+//   query    <dir> -t <timestep> -q "<query>" [--scan] [--count-only] [--stats]
+//   explain  <dir> -q "<query>"
 //   histogram <dir> -t <timestep> -x <var> -y <var> [--bins N] [--adaptive]
 //            [-q "<query>"] [--csv <file>]
 //   stats    <dir> -t <timestep> -v <var> [-q "<query>"]
@@ -122,22 +123,41 @@ int cmd_query(const std::string& dir, const Args& args) {
     std::cerr << "query: missing -q \"<query>\"\n";
     return 2;
   }
-  const io::Dataset ds = io::Dataset::open(dir);
   const std::size_t t = args.size_option("-t", 0);
-  const EvalMode mode = args.flag("--scan") ? EvalMode::kScan : EvalMode::kAuto;
-  const io::TimestepTable& table = ds.table(t);
-  const BitVector hits = table.query(*text, mode);
-  std::cout << hits.count() << " of " << table.num_rows() << " records match at t="
+  const core::Engine engine(
+      io::Dataset::open(dir),
+      args.flag("--scan") ? EvalMode::kScan : EvalMode::kAuto);
+  const core::Selection selection = engine.select(*text);
+  const io::TimestepTable& table = engine.dataset().table(t);
+  const auto hits = selection.bits(t);
+  std::cout << hits->count() << " of " << table.num_rows() << " records match at t="
             << t << "\n";
   if (!args.flag("--count-only")) {
     std::size_t shown = 0;
     const auto ids = table.id_column("id");
-    hits.for_each_set([&](std::uint64_t row) {
+    hits->for_each_set([&](std::uint64_t row) {
       if (shown < 10) std::cout << "  row " << row << "  id " << ids[row] << "\n";
       ++shown;
     });
     if (shown > 10) std::cout << "  ... " << (shown - 10) << " more\n";
   }
+  if (args.flag("--stats")) {
+    const core::EngineStats s = engine.stats();
+    std::cout << "cache: " << s.hits << " hits, " << s.misses << " misses, "
+              << s.entries << " entries, " << s.bytes << " bytes\n";
+  }
+  return 0;
+}
+
+int cmd_explain(const std::string& dir, const Args& args) {
+  const auto text = args.option("-q");
+  if (!text) {
+    std::cerr << "explain: missing -q \"<query>\"\n";
+    return 2;
+  }
+  const core::Engine engine = core::Engine::open(dir);
+  const core::Selection selection = engine.select(*text);
+  std::cout << "input:     " << *text << "\n" << selection.explain();
   return 0;
 }
 
@@ -148,14 +168,13 @@ int cmd_histogram(const std::string& dir, const Args& args) {
     std::cerr << "histogram: missing -x/-y variables\n";
     return 2;
   }
-  const io::Dataset ds = io::Dataset::open(dir);
+  const core::Engine engine = core::Engine::open(dir);
   const std::size_t t = args.size_option("-t", 0);
   const std::size_t bins = args.size_option("--bins", 64);
-  QueryPtr cond;
-  if (const auto q = args.option("-q")) cond = parse_query(*q);
-  const HistogramEngine engine = ds.table(t).engine();
-  const Histogram2D h = engine.histogram2d(
-      *vx, *vy, bins, bins, cond ? cond.get() : nullptr,
+  core::Selection selection = engine.all();
+  if (const auto q = args.option("-q")) selection = engine.select(*q);
+  const Histogram2D h = selection.histogram2d(
+      t, *vx, *vy, bins, bins,
       args.flag("--adaptive") ? BinningMode::kAdaptive : BinningMode::kUniform);
   std::cout << "histogram " << *vx << " x " << *vy << " @ t=" << t << ": "
             << h.total() << " records, " << h.nonempty_bins() << "/"
@@ -174,13 +193,14 @@ int cmd_stats(const std::string& dir, const Args& args) {
     std::cerr << "stats: missing -v <variable>\n";
     return 2;
   }
-  const io::Dataset ds = io::Dataset::open(dir);
+  const core::Engine engine = core::Engine::open(dir);
   const std::size_t t = args.size_option("-t", 0);
-  QueryPtr cond;
-  if (const auto q = args.option("-q")) cond = parse_query(*q);
-  const core::SummaryStats s =
-      core::conditional_stats(ds.table(t), *var, cond ? cond.get() : nullptr);
-  std::cout << *var << " @ t=" << t << (cond ? " | " + cond->to_string() : "") << "\n";
+  core::Selection selection = engine.all();
+  if (const auto q = args.option("-q")) selection = engine.select(*q);
+  const core::SummaryStats s = selection.summary(t, *var);
+  std::cout << *var << " @ t=" << t
+            << (selection.selects_all() ? "" : " | " + selection.query()->to_string())
+            << "\n";
   std::cout << "  count  " << s.count << "\n  min    " << s.min << "\n  max    "
             << s.max << "\n  mean   " << s.mean << "\n  stddev " << s.stddev << "\n";
   return 0;
@@ -249,6 +269,7 @@ commands:
   generate   create a synthetic wakefield dataset (+ indices)
   info       dataset summary
   query      evaluate a Boolean range / id query at one timestep
+  explain    print the canonicalized execution plan of a query
   histogram  conditional 2D histogram (optionally exported as CSV)
   stats      conditional summary statistics of one variable
   track      select particles, trace them across timesteps
@@ -272,6 +293,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(dir, args);
     if (command == "info") return cmd_info(dir);
     if (command == "query") return cmd_query(dir, args);
+    if (command == "explain") return cmd_explain(dir, args);
     if (command == "histogram") return cmd_histogram(dir, args);
     if (command == "stats") return cmd_stats(dir, args);
     if (command == "track") return cmd_track(dir, args);

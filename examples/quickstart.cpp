@@ -31,11 +31,9 @@ int main() {
   std::cout << "adding 'y > 0' narrows it to " << session.focus_count(t_last)
             << " particles (upper half of the beam)\n";
 
-  // 3. A conditional 2D histogram of the selection (FastBit two-step).
-  const io::TimestepTable& table = session.dataset().table(t_last);
-  const HistogramEngine engine = table.engine();
-  const Histogram2D h =
-      engine.histogram2d("x", "px", 64, 64, session.focus().get());
+  // 3. A conditional 2D histogram of the selection. The focus bitvector is
+  // already cached from the count above — the histogram reuses it.
+  const Histogram2D h = session.focus().histogram2d(t_last, "x", "px", 64, 64);
   std::cout << "conditional 64x64 histogram: " << h.total() << " records in "
             << h.nonempty_bins() << " non-empty bins\n";
 
@@ -61,5 +59,13 @@ int main() {
   const auto out = examples::output_dir() / "quickstart_pc.ppm";
   img.write_ppm(out);
   examples::report_image(out, "focus+context parallel coordinates");
+
+  // 6. The count, histogram, and render above all drove the same focus
+  // selection — the engine evaluated each query once and served the rest
+  // from its bitvector cache.
+  const core::EngineStats stats = session.engine().stats();
+  std::cout << "engine cache: " << stats.hits << " hits, " << stats.misses
+            << " misses (" << static_cast<int>(stats.hit_rate() * 100.0)
+            << "% hit rate), " << stats.entries << " cached bitvectors\n";
   return 0;
 }

@@ -34,8 +34,7 @@ int main() {
       "px > 4.856e10 && x > " + std::to_string(x_threshold);
   session.set_focus(focus_text);
 
-  const std::uint64_t context_count =
-      evaluate(*session.context(), table).count();
+  const std::uint64_t context_count = session.context().count(t_sel);
   const std::uint64_t focus_count = session.focus_count(t_sel);
   std::cout << "t=12: context (px > 2e9) keeps " << context_count
             << " particles; focus (" << focus_text << ") selects " << focus_count

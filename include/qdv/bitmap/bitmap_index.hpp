@@ -11,27 +11,9 @@
 
 #include "bitmap/bins.hpp"
 #include "bitmap/bitvector.hpp"
+#include "bitmap/interval.hpp"
 
 namespace qdv {
-
-/// A one-dimensional range condition with optional open/closed endpoints.
-struct Interval {
-  double lo;
-  double hi;
-  bool lo_open = true;  // lo excluded from the interval
-  bool hi_open = true;  // hi excluded from the interval
-
-  static Interval greater_than(double v);
-  static Interval at_least(double v);
-  static Interval less_than(double v);
-  static Interval at_most(double v);
-  /// [lo, hi)
-  static Interval between(double lo, double hi);
-
-  bool contains(double x) const {
-    return (lo_open ? x > lo : x >= lo) && (hi_open ? x < hi : x <= hi);
-  }
-};
 
 /// Index-only answer of a range condition: rows certainly matching plus rows
 /// that need a candidate check against the raw column.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bitmap/bins.hpp"
+#include "bitmap/bitvector.hpp"
 #include "core/query.hpp"
 
 namespace qdv {
@@ -72,6 +73,17 @@ class HistogramEngine {
   Histogram2D histogram2d(const std::string& x, const std::string& y,
                           std::size_t nxbins, std::size_t nybins,
                           const Query* condition = nullptr,
+                          BinningMode binning = BinningMode::kUniform) const;
+
+  /// Variants over an already-evaluated row set — the path Selection uses
+  /// so a cached condition bitvector is not re-derived.
+  Histogram1D histogram1d(const std::string& variable, std::size_t nbins,
+                          const BitVector& rows,
+                          BinningMode binning = BinningMode::kUniform) const;
+
+  Histogram2D histogram2d(const std::string& x, const std::string& y,
+                          std::size_t nxbins, std::size_t nybins,
+                          const BitVector& rows,
                           BinningMode binning = BinningMode::kUniform) const;
 
   EvalMode mode() const { return mode_; }

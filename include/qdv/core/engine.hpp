@@ -1,0 +1,70 @@
+// Engine: the entry point of the query pipeline (DESIGN.md Section 8). Owns
+// a Dataset plus a thread-safe LRU cache of evaluated per-timestep
+// BitVectors, and hands out immutable Selection handles through which every
+// consumer — counts, histograms, renders, traces, parallel batches — shares
+// one cache.
+//
+// Engine is a cheap value-type handle over shared state (like io::Dataset):
+// copies see the same cache. Include core/selection.hpp to use the
+// Selections it returns.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/query.hpp"
+#include "io/dataset.hpp"
+
+namespace qdv::core {
+
+namespace detail {
+struct EngineState;
+}  // namespace detail
+
+class Selection;
+
+/// Snapshot of the cache counters (see Engine::stats()).
+struct EngineStats {
+  std::uint64_t hits = 0;        // evaluations answered from the cache
+  std::uint64_t misses = 0;      // evaluations that had to run
+  std::uint64_t evictions = 0;   // entries dropped by the LRU policy
+  std::uint64_t entries = 0;     // live cached bitvectors
+  std::uint64_t bytes = 0;       // compressed bytes held by the cache
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class Engine {
+ public:
+  static Engine open(const std::filesystem::path& dir);
+  explicit Engine(io::Dataset dataset, EvalMode mode = EvalMode::kAuto);
+
+  const io::Dataset& dataset() const;
+  std::size_t num_timesteps() const;
+
+  /// Build an immutable Selection from query text / an AST (canonicalized
+  /// and planned once; evaluation is lazy and cached per timestep).
+  Selection select(const std::string& query_text) const;
+  Selection select(QueryPtr query) const;
+
+  /// The match-everything selection (unset focus/context).
+  Selection all() const;
+
+  EngineStats stats() const;
+  void clear_cache();
+  /// Maximum cached bitvectors; shrinking evicts immediately.
+  void set_cache_capacity(std::size_t entries);
+  std::size_t cache_capacity() const;
+
+ private:
+  friend class Selection;
+  Engine() = default;  // used by Selection::engine()
+  std::shared_ptr<detail::EngineState> state_;
+};
+
+}  // namespace qdv::core

@@ -1,0 +1,84 @@
+// Query planner: the middle stage of the parse -> canonicalize -> plan ->
+// execute -> cache pipeline (DESIGN.md Section 8).
+//
+// canonicalize() rewrites an AST into a normal form whose to_string() is a
+// stable semantic cache key: NOT is pushed down to the leaves via De Morgan,
+// nested And/Or chains are flattened, conjoined comparisons on one variable
+// are fused into a single IntervalQuery (one index probe instead of one per
+// comparison), duplicate operands are dropped, and operand lists are sorted.
+// plan_query() then records, per leaf predicate, whether the engine will
+// answer it from a bitmap/id index or a sequential scan, and renders the
+// whole decision as a human-readable explain() string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.hpp"
+
+namespace qdv::io {
+class TimestepTable;
+}  // namespace qdv::io
+
+namespace qdv::core {
+
+/// Normal form of @p query (see file comment). nullptr stays nullptr (the
+/// match-everything selection). Two semantically equal conjunction trees —
+/// up to operand order, associativity, double negation, and comparison
+/// fusion — canonicalize to ASTs with identical to_string().
+///
+/// The rewrite assumes column values are totally ordered: flipping a
+/// comparison under NOT (`!(x < v)` -> `x >= v`) is an identity only for
+/// non-NaN data. The on-disk format never stores NaN (the generator and
+/// index builders reject it from binning), so this holds for qdv datasets.
+QueryPtr canonicalize(const QueryPtr& query);
+
+/// The cache key of a canonical query: its to_string(), which is stable,
+/// deterministic, and content-complete (IdIn sets are digest-tagged).
+std::string cache_key(const Query& canonical_query);
+
+/// How one leaf predicate of a plan will be answered.
+enum class AccessPath {
+  kBitmapIndex,  // two-step bitmap-index probe (interval evaluation)
+  kIdIndex,      // sorted id-index lookup
+  kScan,         // sequential scan of the raw column
+  kConstant,     // contradiction folded at plan time (empty interval)
+};
+
+struct PredicateStep {
+  std::string predicate;  // canonical text of the leaf
+  std::string variable;
+  AccessPath access = AccessPath::kScan;
+  bool fused = false;     // true when the leaf is a fused IntervalQuery
+};
+
+/// The executable shape of one canonical query. Immutable; shared by every
+/// Selection handle built from the same query text.
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+
+  const QueryPtr& canonical() const { return canonical_; }
+  const std::string& key() const { return key_; }
+  const std::vector<PredicateStep>& steps() const { return steps_; }
+
+  /// Multi-line report: canonical query, cache key, and the chosen access
+  /// path of every leaf predicate.
+  std::string explain() const;
+
+ private:
+  friend ExecutionPlan plan_query(QueryPtr query, const io::TimestepTable* probe);
+
+  QueryPtr canonical_;   // nullptr = select everything
+  std::string key_;
+  std::vector<PredicateStep> steps_;
+};
+
+/// Canonicalize @p query and decide the access path of each leaf. @p probe,
+/// when given, is consulted for actual index availability (typically
+/// timestep 0 of the dataset; index layout is uniform across timesteps);
+/// without a probe the planner assumes indices exist.
+ExecutionPlan plan_query(QueryPtr query, const io::TimestepTable* probe = nullptr);
+
+}  // namespace qdv::core

@@ -12,9 +12,15 @@
 #include <string>
 #include <vector>
 
+#include "bitmap/interval.hpp"
+
 namespace qdv {
 
 enum class CompareOp { kLt, kLe, kGt, kGe, kEq };
+
+/// The Interval matched by `value <op> constant` — the single mapping shared
+/// by the planner and the index and scan evaluation paths.
+Interval interval_for(CompareOp op, double value);
 
 /// How a query (or histogram) is evaluated against a table.
 enum class EvalMode {
@@ -28,18 +34,27 @@ using QueryPtr = std::shared_ptr<const Query>;
 
 class Query {
  public:
-  enum class Kind { kCompare, kIdIn, kAnd, kOr, kNot };
+  enum class Kind { kCompare, kInterval, kIdIn, kAnd, kOr, kNot };
 
   virtual ~Query() = default;
   virtual Kind kind() const = 0;
+  /// Canonical text form. Re-parseable (and round-trip exact, including
+  /// double constants) for every node except IdIn, whose text carries a
+  /// content hash of the search set instead — to_string() is therefore also
+  /// usable as a semantic cache key.
   virtual std::string to_string() const = 0;
 
   static QueryPtr compare(std::string variable, CompareOp op, double value);
+  static QueryPtr interval(std::string variable, Interval iv);
   static QueryPtr id_in(std::string variable, std::vector<std::uint64_t> ids);
   static QueryPtr land(QueryPtr a, QueryPtr b);
   static QueryPtr lor(QueryPtr a, QueryPtr b);
   static QueryPtr lnot(QueryPtr a);
 };
+
+/// Shortest decimal form of @p v that parses back to exactly the same
+/// double (std::to_chars round-trip guarantee); used by every to_string().
+std::string format_double(double v);
 
 class CompareQuery final : public Query {
  public:
@@ -57,6 +72,23 @@ class CompareQuery final : public Query {
   double value_;
 };
 
+/// A fused range predicate `variable in interval`, produced by the planner
+/// from conjunctions of comparisons on one variable (e.g. `lo < x && x <= hi`).
+/// Evaluates with a single index probe instead of one per comparison.
+class IntervalQuery final : public Query {
+ public:
+  IntervalQuery(std::string variable, Interval iv)
+      : variable_(std::move(variable)), interval_(iv) {}
+  Kind kind() const override { return Kind::kInterval; }
+  std::string to_string() const override;
+  const std::string& variable() const { return variable_; }
+  const Interval& interval() const { return interval_; }
+
+ private:
+  std::string variable_;
+  Interval interval_;
+};
+
 class IdInQuery final : public Query {
  public:
   IdInQuery(std::string variable, std::vector<std::uint64_t> ids);
@@ -69,6 +101,7 @@ class IdInQuery final : public Query {
  private:
   std::string variable_;
   std::vector<std::uint64_t> ids_;
+  std::uint64_t digest_ = 0;  // FNV-1a over ids_, fixed at construction
 };
 
 class AndQuery final : public Query {

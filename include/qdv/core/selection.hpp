@@ -1,0 +1,75 @@
+// Selection: an immutable handle to one canonicalized query over an
+// Engine's dataset. All derived quantities — counts, matching ids, raw
+// bitvectors, histograms, summary statistics — are served through the
+// engine's shared per-timestep cache, so driving many views from one
+// selection pays the index work once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitmap/histogram.hpp"
+#include "core/engine.hpp"
+#include "core/plan.hpp"
+#include "core/statistics.hpp"
+
+namespace qdv::core {
+
+class Selection {
+ public:
+  /// Invalid handle; assign from Engine::select() / Engine::all() before use.
+  Selection() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// True for the match-everything selection (no predicate).
+  bool selects_all() const;
+
+  /// Number of records matching at timestep @p t.
+  std::uint64_t count(std::size_t t) const;
+
+  /// Identifier values ("id" column) of the matching records, row-ascending.
+  std::vector<std::uint64_t> ids(std::size_t t) const;
+
+  /// The evaluated (cached, shared) bitvector at timestep @p t.
+  std::shared_ptr<const BitVector> bits(std::size_t t) const;
+
+  /// This selection AND an extra condition — a new Selection whose leaf
+  /// bitvectors are shared with this one through the cache.
+  Selection refine(const std::string& query_text) const;
+  Selection refine(QueryPtr extra) const;
+
+  /// Conditional histograms over the table-local domains, tallying only the
+  /// matching records (bins shared with HistogramEngine semantics).
+  Histogram1D histogram1d(std::size_t t, const std::string& variable,
+                          std::size_t nbins,
+                          BinningMode binning = BinningMode::kUniform) const;
+  Histogram2D histogram2d(std::size_t t, const std::string& x,
+                          const std::string& y, std::size_t nxbins,
+                          std::size_t nybins,
+                          BinningMode binning = BinningMode::kUniform) const;
+
+  /// Summary statistics of @p variable over the matching records.
+  SummaryStats summary(std::size_t t, const std::string& variable) const;
+
+  /// The canonical AST (nullptr when selects_all()).
+  const QueryPtr& query() const;
+  const ExecutionPlan& plan() const;  // throws on an invalid handle
+  const std::string& cache_key() const;
+  std::string explain() const;
+
+  Engine engine() const;
+
+ private:
+  friend class Engine;
+  Selection(std::shared_ptr<detail::EngineState> state,
+            std::shared_ptr<const ExecutionPlan> plan);
+
+  const io::TimestepTable& table(std::size_t t) const;
+
+  std::shared_ptr<detail::EngineState> state_;
+  std::shared_ptr<const ExecutionPlan> plan_;
+};
+
+}  // namespace qdv::core

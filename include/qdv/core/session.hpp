@@ -1,7 +1,9 @@
-// ExplorationSession: the user-facing entry point tying the query engine,
+// ExplorationSession: the user-facing facade tying the query engine,
 // dataset, tracking, and rendering layers together — open a dataset, set
-// focus/context selections (query strings or query objects), and derive
-// counts, histograms, traces, and figure renderings from them.
+// focus/context selections (query strings, query objects, or Selection
+// handles), and derive counts, histograms, traces, and figure renderings
+// from them. A thin layer over core::Engine: focus and context are
+// Selections, so every derived view shares the engine's bitvector cache.
 #pragma once
 
 #include <cstdint>
@@ -11,7 +13,8 @@
 #include <vector>
 
 #include "bitmap/histogram.hpp"
-#include "core/query.hpp"
+#include "core/engine.hpp"
+#include "core/selection.hpp"
 #include "core/tracks.hpp"
 #include "io/dataset.hpp"
 #include "render/pc_plot.hpp"
@@ -33,20 +36,28 @@ struct PcViewOptions {
 class ExplorationSession {
  public:
   static ExplorationSession open(const std::filesystem::path& dir);
+  explicit ExplorationSession(Engine engine);
 
-  const io::Dataset& dataset() const { return dataset_; }
-  std::size_t num_timesteps() const { return dataset_.num_timesteps(); }
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+  const io::Dataset& dataset() const { return engine_.dataset(); }
+  std::size_t num_timesteps() const { return engine_.num_timesteps(); }
 
-  /// The focus selection: the particles under analysis.
+  /// The focus selection: the particles under analysis. Unset = all records
+  /// (focus().selects_all()).
   void set_focus(const std::string& query_text);
   void set_focus(QueryPtr query);
-  const QueryPtr& focus() const { return focus_; }
+  void set_focus(Selection selection);
+  void clear_focus();
+  const Selection& focus() const { return focus_; }
 
   /// The context selection restricting the background view (all records
   /// when unset).
   void set_context(const std::string& query_text);
   void set_context(QueryPtr query);
-  const QueryPtr& context() const { return context_; }
+  void set_context(Selection selection);
+  void clear_context();
+  const Selection& context() const { return context_; }
 
   /// Number of records matching the focus at timestep @p t.
   std::uint64_t focus_count(std::size_t t) const;
@@ -57,12 +68,20 @@ class ExplorationSession {
   /// Global [min, max] of a variable across all timesteps.
   std::pair<double, double> global_domain(const std::string& name) const;
 
-  /// 2D histograms of each adjacent axis pair, binned over the global
-  /// domains (shared across timesteps, so figures align).
+  /// 2D histograms of each adjacent axis pair for the records matching
+  /// @p selection, binned over the global domains (shared across timesteps,
+  /// so figures align).
   std::vector<Histogram2D> pair_histograms(std::size_t t,
                                            const std::vector<std::string>& axes,
                                            std::size_t bins_per_axis,
-                                           const Query* condition,
+                                           const Selection& selection,
+                                           BinningMode binning =
+                                               BinningMode::kUniform) const;
+
+  /// All-records variant.
+  std::vector<Histogram2D> pair_histograms(std::size_t t,
+                                           const std::vector<std::string>& axes,
+                                           std::size_t bins_per_axis,
                                            BinningMode binning =
                                                BinningMode::kUniform) const;
 
@@ -89,13 +108,11 @@ class ExplorationSession {
                                const std::string& color_variable) const;
 
  private:
-  explicit ExplorationSession(io::Dataset dataset) : dataset_(std::move(dataset)) {}
-
   std::vector<render::PcAxis> make_axes(const std::vector<std::string>& names) const;
 
-  io::Dataset dataset_;
-  QueryPtr focus_;
-  QueryPtr context_;
+  Engine engine_;
+  Selection focus_;    // engine_.all() when unset
+  Selection context_;  // engine_.all() when unset
 };
 
 }  // namespace qdv::core

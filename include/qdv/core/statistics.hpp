@@ -25,4 +25,10 @@ SummaryStats conditional_stats(const io::TimestepTable& table,
                                const Query* condition = nullptr,
                                EvalMode mode = EvalMode::kAuto);
 
+/// Statistics of @p variable over an already-evaluated row set — the path
+/// Selection::summary() uses so a cached bitvector is not re-derived.
+SummaryStats conditional_stats(const io::TimestepTable& table,
+                               const std::string& variable,
+                               const BitVector& rows);
+
 }  // namespace qdv::core

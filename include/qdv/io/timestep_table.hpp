@@ -85,8 +85,4 @@ namespace qdv {
 BitVector evaluate(const Query& query, const io::TimestepTable& table,
                    EvalMode mode = EvalMode::kAuto);
 
-/// The Interval matched by `value <op> constant` — the single mapping shared
-/// by the index and scan evaluation paths.
-Interval interval_for(CompareOp op, double value);
-
 }  // namespace qdv

@@ -13,6 +13,7 @@
 
 #include "bitmap/histogram.hpp"
 #include "core/query.hpp"
+#include "core/selection.hpp"
 #include "io/dataset.hpp"
 
 namespace qdv::par {
@@ -61,7 +62,20 @@ struct HistogramBatch {
 };
 
 /// Compute the workload's histogram set for every timestep of @p dataset.
+/// Opens a fresh table per task (each virtual node pays its own column
+/// reads — the paper's cold-I/O setup).
 HistogramBatch parallel_histograms(const io::Dataset& dataset,
+                                   const HistogramWorkload& workload,
+                                   VirtualCluster& cluster);
+
+/// Engine-shared variant: the condition is evaluated through the engine's
+/// bitvector cache and the dataset's shared tables, so repeated batches —
+/// and any other view driven by the same selection — reuse one evaluation
+/// per timestep. Worker threads hit the cache concurrently. Evaluation uses
+/// the *engine's* EvalMode, not workload.mode (cached bitvectors are
+/// identical under either mode; to time the scan path, construct the
+/// Engine with EvalMode::kScan or use the Dataset overload above).
+HistogramBatch parallel_histograms(const core::Engine& engine,
                                    const HistogramWorkload& workload,
                                    VirtualCluster& cluster);
 
@@ -74,6 +88,11 @@ struct TrackBatch {
 /// 16/17).
 TrackBatch parallel_track(const io::Dataset& dataset,
                           const std::vector<std::uint64_t>& ids, EvalMode mode,
+                          VirtualCluster& cluster);
+
+/// Engine-shared variant of parallel_track (cached id-query bitvectors).
+TrackBatch parallel_track(const core::Engine& engine,
+                          const std::vector<std::uint64_t>& ids,
                           VirtualCluster& cluster);
 
 }  // namespace qdv::par

@@ -17,6 +17,20 @@ Interval Interval::at_least(double v) { return {v, kInf, false, true}; }
 Interval Interval::less_than(double v) { return {-kInf, v, true, true}; }
 Interval Interval::at_most(double v) { return {-kInf, v, true, false}; }
 Interval Interval::between(double lo, double hi) { return {lo, hi, false, true}; }
+Interval Interval::everything() { return {-kInf, kInf, true, true}; }
+
+Interval intersect(const Interval& a, const Interval& b) {
+  Interval out = a;
+  if (b.lo > out.lo || (b.lo == out.lo && b.lo_open)) {
+    out.lo = b.lo;
+    out.lo_open = b.lo_open;
+  }
+  if (b.hi < out.hi || (b.hi == out.hi && b.hi_open)) {
+    out.hi = b.hi;
+    out.hi_open = b.hi_open;
+  }
+  return out;
+}
 
 namespace detail {
 

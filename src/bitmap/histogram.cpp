@@ -103,27 +103,62 @@ Bins HistogramEngine::bins_for(const std::string& variable, std::size_t nbins,
 Histogram1D HistogramEngine::histogram1d(const std::string& variable,
                                          std::size_t nbins, const Query* condition,
                                          BinningMode binning) const {
+  if (condition != nullptr) {
+    // Two-step conditional evaluation: index answer first, then gather only
+    // the matching records.
+    return histogram1d(variable, nbins, table_->query(*condition, mode_), binning);
+  }
   Histogram1D h;
   h.bins = bins_for(variable, nbins, binning);
   h.counts.assign(h.bins.num_bins(), 0);
   const std::span<const double> values = table_->column(variable);
-  const auto tally = [&](std::uint64_t row) {
+  for (std::uint64_t row = 0; row < values.size(); ++row) {
     const std::ptrdiff_t b = h.bins.locate(values[row]);
     if (b >= 0) ++h.counts[static_cast<std::size_t>(b)];
-  };
-  if (condition == nullptr) {
-    for (std::uint64_t row = 0; row < values.size(); ++row) tally(row);
-  } else {
-    // Two-step conditional evaluation: index answer first, then gather only
-    // the matching records.
-    table_->query(*condition, mode_).for_each_set(tally);
   }
+  return h;
+}
+
+Histogram1D HistogramEngine::histogram1d(const std::string& variable,
+                                         std::size_t nbins, const BitVector& rows,
+                                         BinningMode binning) const {
+  Histogram1D h;
+  h.bins = bins_for(variable, nbins, binning);
+  h.counts.assign(h.bins.num_bins(), 0);
+  const std::span<const double> values = table_->column(variable);
+  rows.for_each_set([&](std::uint64_t row) {
+    const std::ptrdiff_t b = h.bins.locate(values[row]);
+    if (b >= 0) ++h.counts[static_cast<std::size_t>(b)];
+  });
   return h;
 }
 
 Histogram2D HistogramEngine::histogram2d(const std::string& x, const std::string& y,
                                          std::size_t nxbins, std::size_t nybins,
                                          const Query* condition,
+                                         BinningMode binning) const {
+  if (condition != nullptr)
+    return histogram2d(x, y, nxbins, nybins, table_->query(*condition, mode_),
+                       binning);
+  Histogram2D h;
+  h.xbins = bins_for(x, nxbins, binning);
+  h.ybins = bins_for(y, nybins, binning);
+  h.counts.assign(h.xbins.num_bins() * h.ybins.num_bins(), 0);
+  const std::span<const double> xs = table_->column(x);
+  const std::span<const double> ys = table_->column(y);
+  const std::size_t ny = h.ybins.num_bins();
+  for (std::uint64_t row = 0; row < xs.size(); ++row) {
+    const std::ptrdiff_t bx = h.xbins.locate(xs[row]);
+    const std::ptrdiff_t by = h.ybins.locate(ys[row]);
+    if (bx >= 0 && by >= 0)
+      ++h.counts[static_cast<std::size_t>(bx) * ny + static_cast<std::size_t>(by)];
+  }
+  return h;
+}
+
+Histogram2D HistogramEngine::histogram2d(const std::string& x, const std::string& y,
+                                         std::size_t nxbins, std::size_t nybins,
+                                         const BitVector& rows,
                                          BinningMode binning) const {
   Histogram2D h;
   h.xbins = bins_for(x, nxbins, binning);
@@ -132,17 +167,12 @@ Histogram2D HistogramEngine::histogram2d(const std::string& x, const std::string
   const std::span<const double> xs = table_->column(x);
   const std::span<const double> ys = table_->column(y);
   const std::size_t ny = h.ybins.num_bins();
-  const auto tally = [&](std::uint64_t row) {
+  rows.for_each_set([&](std::uint64_t row) {
     const std::ptrdiff_t bx = h.xbins.locate(xs[row]);
     const std::ptrdiff_t by = h.ybins.locate(ys[row]);
     if (bx >= 0 && by >= 0)
       ++h.counts[static_cast<std::size_t>(bx) * ny + static_cast<std::size_t>(by)];
-  };
-  if (condition == nullptr) {
-    for (std::uint64_t row = 0; row < xs.size(); ++row) tally(row);
-  } else {
-    table_->query(*condition, mode_).for_each_set(tally);
-  }
+  });
   return h;
 }
 

@@ -18,6 +18,12 @@ std::function<bool(std::uint32_t)> compile(const Query& q,
       const Interval iv = interval_for(cq.op(), cq.value());
       return [values, iv](std::uint32_t row) { return iv.contains(values[row]); };
     }
+    case Query::Kind::kInterval: {
+      const auto& vq = static_cast<const IntervalQuery&>(q);
+      const std::span<const double> values = table.column(vq.variable());
+      const Interval iv = vq.interval();
+      return [values, iv](std::uint32_t row) { return iv.contains(values[row]); };
+    }
     case Query::Kind::kIdIn: {
       const auto& iq = static_cast<const IdInQuery&>(q);
       const std::span<const std::uint64_t> ids = table.id_column(iq.variable());

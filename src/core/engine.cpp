@@ -1,0 +1,149 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "core/selection.hpp"
+#include "engine_state.hpp"
+
+namespace qdv::core {
+
+namespace detail {
+
+std::string entry_key(std::size_t t, const std::string& node_key) {
+  return "t#" + std::to_string(t) + "|" + node_key;
+}
+
+std::shared_ptr<const BitVector> EngineState::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = by_key.find(key);
+  if (it == by_key.end()) {
+    ++misses;
+    return nullptr;
+  }
+  ++hits;
+  lru.splice(lru.begin(), lru, it->second);  // refresh recency
+  return it->second->bits;
+}
+
+void EngineState::insert(const std::string& key,
+                         std::shared_ptr<const BitVector> bits) {
+  std::lock_guard<std::mutex> lock(mutex);
+  if (const auto it = by_key.find(key); it != by_key.end()) {
+    // A concurrent miss computed the same entry first; keep it.
+    lru.splice(lru.begin(), lru, it->second);
+    return;
+  }
+  lru.push_front(CacheEntry{key, std::move(bits)});
+  by_key.emplace(key, lru.begin());
+  bytes += lru.front().bits->memory_bytes();
+  evict_to_capacity_locked();
+}
+
+void EngineState::evict_to_capacity_locked() {
+  while (lru.size() > capacity) {
+    const CacheEntry& victim = lru.back();
+    bytes -= victim.bits->memory_bytes();
+    by_key.erase(victim.key);
+    lru.pop_back();
+    ++evictions;
+  }
+}
+
+BitVector EngineState::compute(const Query& q, std::size_t t) {
+  switch (q.kind()) {
+    case Query::Kind::kAnd: {
+      const auto& aq = static_cast<const AndQuery&>(q);
+      return *evaluate(aq.lhs(), t) & *evaluate(aq.rhs(), t);
+    }
+    case Query::Kind::kOr: {
+      const auto& oq = static_cast<const OrQuery&>(q);
+      return *evaluate(oq.lhs(), t) | *evaluate(oq.rhs(), t);
+    }
+    case Query::Kind::kNot:
+      return ~*evaluate(static_cast<const NotQuery&>(q).operand(), t);
+    case Query::Kind::kCompare:
+    case Query::Kind::kInterval:
+    case Query::Kind::kIdIn:
+      return dataset.table(t).query(q, mode);
+  }
+  throw std::logic_error("EngineState::compute: bad query kind");
+}
+
+std::shared_ptr<const BitVector> EngineState::evaluate(const Query& q,
+                                                       std::size_t t) {
+  const std::string key = entry_key(t, q.to_string());
+  if (auto cached = lookup(key)) return cached;
+  auto bits = std::make_shared<const BitVector>(compute(q, t));
+  insert(key, bits);
+  return bits;
+}
+
+std::shared_ptr<const BitVector> EngineState::all_rows(std::size_t t) {
+  const std::string key = entry_key(t, "<all records>");
+  if (auto cached = lookup(key)) return cached;
+  auto bits =
+      std::make_shared<const BitVector>(BitVector::ones(dataset.table(t).num_rows()));
+  insert(key, bits);
+  return bits;
+}
+
+}  // namespace detail
+
+Engine Engine::open(const std::filesystem::path& dir) {
+  return Engine(io::Dataset::open(dir));
+}
+
+Engine::Engine(io::Dataset dataset, EvalMode mode)
+    : state_(std::make_shared<detail::EngineState>()) {
+  state_->dataset = std::move(dataset);
+  state_->mode = mode;
+}
+
+const io::Dataset& Engine::dataset() const { return state_->dataset; }
+
+std::size_t Engine::num_timesteps() const { return state_->dataset.num_timesteps(); }
+
+Selection Engine::select(const std::string& query_text) const {
+  return select(parse_query(query_text));
+}
+
+Selection Engine::select(QueryPtr query) const {
+  const io::TimestepTable* probe =
+      state_->dataset.num_timesteps() > 0 ? &state_->dataset.table(0) : nullptr;
+  auto plan = std::make_shared<const ExecutionPlan>(
+      plan_query(std::move(query), probe));
+  return Selection(state_, std::move(plan));
+}
+
+Selection Engine::all() const { return select(QueryPtr{}); }
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  EngineStats s;
+  s.hits = state_->hits;
+  s.misses = state_->misses;
+  s.evictions = state_->evictions;
+  s.entries = state_->lru.size();
+  s.bytes = state_->bytes;
+  return s;
+}
+
+void Engine::clear_cache() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->lru.clear();
+  state_->by_key.clear();
+  state_->bytes = 0;
+}
+
+void Engine::set_cache_capacity(std::size_t entries) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->capacity = std::max<std::size_t>(1, entries);
+  state_->evict_to_capacity_locked();
+}
+
+std::size_t Engine::cache_capacity() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->capacity;
+}
+
+}  // namespace qdv::core

@@ -1,0 +1,60 @@
+// Shared mutable state behind Engine and Selection handles: the dataset plus
+// the thread-safe LRU cache of evaluated per-timestep bitvectors. Private to
+// src/core — the public API never exposes this type completely.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "bitmap/bitvector.hpp"
+#include "core/plan.hpp"
+#include "io/dataset.hpp"
+
+namespace qdv::core::detail {
+
+struct EngineState {
+  io::Dataset dataset;
+  EvalMode mode = EvalMode::kAuto;
+
+  struct CacheEntry {
+    std::string key;
+    std::shared_ptr<const BitVector> bits;
+  };
+
+  // All cache fields are guarded by `mutex`. Evaluation happens outside the
+  // lock: two threads missing the same key may both compute it (idempotent;
+  // one result wins), but no lock is ever held across I/O or bit operations.
+  mutable std::mutex mutex;
+  std::size_t capacity = 1024;               // entries
+  std::list<CacheEntry> lru;                 // front = most recently used
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> by_key;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;                   // compressed bytes held
+
+  /// Cached evaluation of one canonical AST node at timestep @p t. Every
+  /// node of the tree is cached under its own key, so a refined selection
+  /// reuses the leaf (and subtree) bitvectors of the selection it came from.
+  std::shared_ptr<const BitVector> evaluate(const Query& canonical, std::size_t t);
+
+  /// Cached all-rows bitvector of timestep @p t (the match-everything plan).
+  std::shared_ptr<const BitVector> all_rows(std::size_t t);
+
+  /// Drop LRU entries until size <= capacity. Caller must hold `mutex`.
+  void evict_to_capacity_locked();
+
+ private:
+  BitVector compute(const Query& canonical, std::size_t t);
+  std::shared_ptr<const BitVector> lookup(const std::string& key);
+  void insert(const std::string& key, std::shared_ptr<const BitVector> bits);
+};
+
+/// Cache key of one (timestep, canonical node) pair.
+std::string entry_key(std::size_t t, const std::string& node_key);
+
+}  // namespace qdv::core::detail

@@ -1,0 +1,306 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/timestep_table.hpp"
+
+namespace qdv::core {
+
+namespace {
+
+/// De Morgan push-down: returns @p q with every NOT moved onto a leaf, and
+/// double negations eliminated. Comparisons absorb the negation by flipping
+/// the operator; kEq, IdIn, and Interval leaves keep an explicit NOT (their
+/// complements are not single predicates).
+QueryPtr push_not(const Query& q, bool negate) {
+  switch (q.kind()) {
+    case Query::Kind::kNot:
+      return push_not(static_cast<const NotQuery&>(q).operand(), !negate);
+    case Query::Kind::kAnd: {
+      const auto& aq = static_cast<const AndQuery&>(q);
+      QueryPtr lhs = push_not(aq.lhs(), negate);
+      QueryPtr rhs = push_not(aq.rhs(), negate);
+      return negate ? Query::lor(std::move(lhs), std::move(rhs))
+                    : Query::land(std::move(lhs), std::move(rhs));
+    }
+    case Query::Kind::kOr: {
+      const auto& oq = static_cast<const OrQuery&>(q);
+      QueryPtr lhs = push_not(oq.lhs(), negate);
+      QueryPtr rhs = push_not(oq.rhs(), negate);
+      return negate ? Query::land(std::move(lhs), std::move(rhs))
+                    : Query::lor(std::move(lhs), std::move(rhs));
+    }
+    case Query::Kind::kCompare: {
+      const auto& cq = static_cast<const CompareQuery&>(q);
+      if (!negate) return Query::compare(cq.variable(), cq.op(), cq.value());
+      switch (cq.op()) {
+        case CompareOp::kLt:
+          return Query::compare(cq.variable(), CompareOp::kGe, cq.value());
+        case CompareOp::kLe:
+          return Query::compare(cq.variable(), CompareOp::kGt, cq.value());
+        case CompareOp::kGt:
+          return Query::compare(cq.variable(), CompareOp::kLe, cq.value());
+        case CompareOp::kGe:
+          return Query::compare(cq.variable(), CompareOp::kLt, cq.value());
+        case CompareOp::kEq:
+          return Query::lnot(Query::compare(cq.variable(), cq.op(), cq.value()));
+      }
+      throw std::logic_error("push_not: bad compare op");
+    }
+    case Query::Kind::kInterval: {
+      const auto& vq = static_cast<const IntervalQuery&>(q);
+      QueryPtr leaf = Query::interval(vq.variable(), vq.interval());
+      return negate ? Query::lnot(std::move(leaf)) : leaf;
+    }
+    case Query::Kind::kIdIn: {
+      const auto& iq = static_cast<const IdInQuery&>(q);
+      QueryPtr leaf = Query::id_in(iq.variable(), iq.ids());
+      return negate ? Query::lnot(std::move(leaf)) : leaf;
+    }
+  }
+  throw std::logic_error("push_not: bad query kind");
+}
+
+QueryPtr normalize(const Query& q);
+
+/// Collect the operand list of a maximal same-kind And/Or chain.
+void flatten_into(const Query& q, Query::Kind kind, std::vector<QueryPtr>& out) {
+  if (q.kind() == kind) {
+    if (kind == Query::Kind::kAnd) {
+      const auto& aq = static_cast<const AndQuery&>(q);
+      flatten_into(aq.lhs(), kind, out);
+      flatten_into(aq.rhs(), kind, out);
+    } else {
+      const auto& oq = static_cast<const OrQuery&>(q);
+      flatten_into(oq.lhs(), kind, out);
+      flatten_into(oq.rhs(), kind, out);
+    }
+    return;
+  }
+  out.push_back(normalize(q));
+}
+
+/// The interval matched by a fusable leaf (kCompare or kInterval).
+bool fusable_interval(const Query& q, std::string* variable, Interval* iv) {
+  if (q.kind() == Query::Kind::kCompare) {
+    const auto& cq = static_cast<const CompareQuery&>(q);
+    *variable = cq.variable();
+    *iv = interval_for(cq.op(), cq.value());
+    return true;
+  }
+  if (q.kind() == Query::Kind::kInterval) {
+    const auto& vq = static_cast<const IntervalQuery&>(q);
+    *variable = vq.variable();
+    *iv = vq.interval();
+    return true;
+  }
+  return false;
+}
+
+/// The tightest single-predicate form of a fused interval: a closed point
+/// becomes ==, a one-sided bound becomes a plain comparison, a genuine
+/// two-sided range stays an IntervalQuery.
+QueryPtr predicate_for(const std::string& variable, const Interval& iv) {
+  if (iv.empty()) return Query::interval(variable, iv);
+  if (iv.bounded_below() && iv.bounded_above()) {
+    if (iv.lo == iv.hi && !iv.lo_open && !iv.hi_open)
+      return Query::compare(variable, CompareOp::kEq, iv.lo);
+    return Query::interval(variable, iv);
+  }
+  if (iv.bounded_below())
+    return Query::compare(variable, iv.lo_open ? CompareOp::kGt : CompareOp::kGe,
+                          iv.lo);
+  if (iv.bounded_above())
+    return Query::compare(variable, iv.hi_open ? CompareOp::kLt : CompareOp::kLe,
+                          iv.hi);
+  return Query::interval(variable, iv);  // everything; kept, never produced
+}
+
+/// Fuse all comparison leaves of an And-operand list that share a variable
+/// into one interval predicate each; other operands pass through.
+std::vector<QueryPtr> fuse_and_operands(std::vector<QueryPtr> operands) {
+  std::vector<QueryPtr> out;
+  std::vector<std::string> order;           // first-seen variable order
+  std::vector<Interval> merged;             // interval per order[i]
+  for (QueryPtr& op : operands) {
+    std::string variable;
+    Interval iv{};
+    if (!fusable_interval(*op, &variable, &iv)) {
+      out.push_back(std::move(op));
+      continue;
+    }
+    const auto it = std::find(order.begin(), order.end(), variable);
+    if (it == order.end()) {
+      order.push_back(variable);
+      merged.push_back(iv);
+    } else {
+      const std::size_t i = static_cast<std::size_t>(it - order.begin());
+      merged[i] = intersect(merged[i], iv);
+    }
+  }
+  for (std::size_t i = 0; i < order.size(); ++i)
+    out.push_back(predicate_for(order[i], merged[i]));
+  return out;
+}
+
+/// Sort by canonical text, drop duplicates, and rebuild a left-deep chain.
+QueryPtr rebuild(std::vector<QueryPtr> operands, Query::Kind kind) {
+  std::vector<std::pair<std::string, QueryPtr>> keyed;
+  keyed.reserve(operands.size());
+  for (QueryPtr& op : operands) keyed.emplace_back(op->to_string(), std::move(op));
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  keyed.erase(std::unique(keyed.begin(), keyed.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              keyed.end());
+  QueryPtr result = std::move(keyed.front().second);
+  for (std::size_t i = 1; i < keyed.size(); ++i)
+    result = kind == Query::Kind::kAnd
+                 ? Query::land(std::move(result), std::move(keyed[i].second))
+                 : Query::lor(std::move(result), std::move(keyed[i].second));
+  return result;
+}
+
+/// Flatten + fuse + sort, bottom-up, over a NOT-pushed tree.
+QueryPtr normalize(const Query& q) {
+  switch (q.kind()) {
+    case Query::Kind::kAnd: {
+      std::vector<QueryPtr> operands;
+      flatten_into(q, Query::Kind::kAnd, operands);
+      return rebuild(fuse_and_operands(std::move(operands)), Query::Kind::kAnd);
+    }
+    case Query::Kind::kOr: {
+      std::vector<QueryPtr> operands;
+      flatten_into(q, Query::Kind::kOr, operands);
+      return rebuild(std::move(operands), Query::Kind::kOr);
+    }
+    case Query::Kind::kNot:
+      return Query::lnot(normalize(static_cast<const NotQuery&>(q).operand()));
+    case Query::Kind::kCompare:
+    case Query::Kind::kInterval:
+    case Query::Kind::kIdIn: {
+      std::string variable;
+      Interval iv{};
+      // A lone fusable leaf still gets its tightest form (e.g. an interval
+      // [v, v] becomes ==), so builders and parsed text converge.
+      if (fusable_interval(q, &variable, &iv)) return predicate_for(variable, iv);
+      const auto& iq = static_cast<const IdInQuery&>(q);
+      return Query::id_in(iq.variable(), iq.ids());
+    }
+  }
+  throw std::logic_error("normalize: bad query kind");
+}
+
+const char* access_text(AccessPath access) {
+  switch (access) {
+    case AccessPath::kBitmapIndex: return "bitmap-index";
+    case AccessPath::kIdIndex: return "id-index";
+    case AccessPath::kScan: return "scan";
+    case AccessPath::kConstant: return "constant-empty";
+  }
+  return "?";
+}
+
+void collect_steps(const Query& q, const io::TimestepTable* probe,
+                   std::vector<PredicateStep>& steps) {
+  switch (q.kind()) {
+    case Query::Kind::kAnd: {
+      const auto& aq = static_cast<const AndQuery&>(q);
+      collect_steps(aq.lhs(), probe, steps);
+      collect_steps(aq.rhs(), probe, steps);
+      return;
+    }
+    case Query::Kind::kOr: {
+      const auto& oq = static_cast<const OrQuery&>(q);
+      collect_steps(oq.lhs(), probe, steps);
+      collect_steps(oq.rhs(), probe, steps);
+      return;
+    }
+    case Query::Kind::kNot:
+      collect_steps(static_cast<const NotQuery&>(q).operand(), probe, steps);
+      return;
+    case Query::Kind::kCompare: {
+      const auto& cq = static_cast<const CompareQuery&>(q);
+      PredicateStep step;
+      step.predicate = cq.to_string();
+      step.variable = cq.variable();
+      step.access = (!probe || probe->index(cq.variable())) ? AccessPath::kBitmapIndex
+                                                            : AccessPath::kScan;
+      steps.push_back(std::move(step));
+      return;
+    }
+    case Query::Kind::kInterval: {
+      const auto& vq = static_cast<const IntervalQuery&>(q);
+      PredicateStep step;
+      step.predicate = vq.to_string();
+      step.variable = vq.variable();
+      step.fused = true;
+      if (vq.interval().empty())
+        step.access = AccessPath::kConstant;
+      else
+        step.access = (!probe || probe->index(vq.variable()))
+                          ? AccessPath::kBitmapIndex
+                          : AccessPath::kScan;
+      steps.push_back(std::move(step));
+      return;
+    }
+    case Query::Kind::kIdIn: {
+      const auto& iq = static_cast<const IdInQuery&>(q);
+      PredicateStep step;
+      step.predicate = iq.to_string();
+      step.variable = iq.variable();
+      step.access = (!probe || probe->id_index(iq.variable())) ? AccessPath::kIdIndex
+                                                               : AccessPath::kScan;
+      steps.push_back(std::move(step));
+      return;
+    }
+  }
+  throw std::logic_error("collect_steps: bad query kind");
+}
+
+}  // namespace
+
+QueryPtr canonicalize(const QueryPtr& query) {
+  if (!query) return nullptr;
+  const QueryPtr pushed = push_not(*query, false);
+  return normalize(*pushed);
+}
+
+std::string cache_key(const Query& canonical_query) {
+  return canonical_query.to_string();
+}
+
+ExecutionPlan plan_query(QueryPtr query, const io::TimestepTable* probe) {
+  ExecutionPlan plan;
+  plan.canonical_ = canonicalize(query);
+  if (!plan.canonical_) {
+    plan.key_ = "<all records>";
+    return plan;
+  }
+  plan.key_ = cache_key(*plan.canonical_);
+  collect_steps(*plan.canonical_, probe, plan.steps_);
+  return plan;
+}
+
+std::string ExecutionPlan::explain() const {
+  std::ostringstream out;
+  out << "query:     " << (canonical_ ? canonical_->to_string() : "<all records>")
+      << "\n";
+  out << "cache-key: " << key_ << "\n";
+  out << "steps:\n";
+  if (steps_.empty()) out << "  (none — every record matches)\n";
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const PredicateStep& step = steps_[i];
+    out << "  [" << i << "] " << step.predicate << "  ->  "
+        << access_text(step.access) << "(" << step.variable << ")";
+    if (step.fused) out << "  [fused interval]";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace qdv::core

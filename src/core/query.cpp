@@ -21,21 +21,59 @@ const char* op_text(CompareOp op) {
 }
 }  // namespace
 
+std::string format_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+Interval interval_for(CompareOp op, double value) {
+  switch (op) {
+    case CompareOp::kLt: return Interval::less_than(value);
+    case CompareOp::kLe: return Interval::at_most(value);
+    case CompareOp::kGt: return Interval::greater_than(value);
+    case CompareOp::kGe: return Interval::at_least(value);
+    case CompareOp::kEq: return Interval{value, value, false, false};
+  }
+  throw std::logic_error("interval_for: bad op");
+}
+
 std::string CompareQuery::to_string() const {
-  std::ostringstream out;
-  out << variable_ << ' ' << op_text(op_) << ' ' << value_;
-  return out.str();
+  return variable_ + ' ' + op_text(op_) + ' ' + format_double(value_);
+}
+
+std::string IntervalQuery::to_string() const {
+  const char* opl = interval_.lo_open ? ">" : ">=";
+  const char* oph = interval_.hi_open ? "<" : "<=";
+  if (!interval_.bounded_below() && interval_.bounded_above())
+    return variable_ + ' ' + oph + ' ' + format_double(interval_.hi);
+  if (interval_.bounded_below() && !interval_.bounded_above())
+    return variable_ + ' ' + opl + ' ' + format_double(interval_.lo);
+  return "(" + variable_ + ' ' + opl + ' ' + format_double(interval_.lo) +
+         " && " + variable_ + ' ' + oph + ' ' + format_double(interval_.hi) + ")";
 }
 
 IdInQuery::IdInQuery(std::string variable, std::vector<std::uint64_t> ids)
     : variable_(std::move(variable)), ids_(std::move(ids)) {
   std::sort(ids_.begin(), ids_.end());
   ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  // The search set is folded into the text form as an FNV-1a digest so the
+  // string is usable as a semantic cache key (two different id sets of the
+  // same size must not collide). Fixed here: ids_ is immutable from now on,
+  // and to_string() runs on every cache lookup.
+  digest_ = 14695981039346656037ull;
+  for (const std::uint64_t id : ids_)
+    for (int byte = 0; byte < 8; ++byte) {
+      digest_ ^= (id >> (8 * byte)) & 0xffu;
+      digest_ *= 1099511628211ull;
+    }
 }
 
 std::string IdInQuery::to_string() const {
   std::ostringstream out;
-  out << variable_ << " IN (" << ids_.size() << " ids)";
+  out << variable_ << " IN (" << ids_.size() << " ids #" << std::hex << digest_
+      << ")";
   return out.str();
 }
 
@@ -51,6 +89,10 @@ std::string NotQuery::to_string() const { return "!(" + a_->to_string() + ")"; }
 
 QueryPtr Query::compare(std::string variable, CompareOp op, double value) {
   return std::make_shared<CompareQuery>(std::move(variable), op, value);
+}
+
+QueryPtr Query::interval(std::string variable, Interval iv) {
+  return std::make_shared<IntervalQuery>(std::move(variable), iv);
 }
 
 QueryPtr Query::id_in(std::string variable, std::vector<std::uint64_t> ids) {

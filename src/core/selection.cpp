@@ -1,0 +1,99 @@
+#include "core/selection.hpp"
+
+#include <stdexcept>
+
+#include "engine_state.hpp"
+
+namespace qdv::core {
+
+Selection::Selection(std::shared_ptr<detail::EngineState> state,
+                     std::shared_ptr<const ExecutionPlan> plan)
+    : state_(std::move(state)), plan_(std::move(plan)) {}
+
+const io::TimestepTable& Selection::table(std::size_t t) const {
+  if (!state_) throw std::logic_error("Selection: invalid (default-constructed)");
+  return state_->dataset.table(t);
+}
+
+bool Selection::selects_all() const { return !plan_ || !plan_->canonical(); }
+
+std::shared_ptr<const BitVector> Selection::bits(std::size_t t) const {
+  if (!state_) throw std::logic_error("Selection: invalid (default-constructed)");
+  if (selects_all()) return state_->all_rows(t);
+  return state_->evaluate(*plan_->canonical(), t);
+}
+
+std::uint64_t Selection::count(std::size_t t) const {
+  if (selects_all()) return table(t).num_rows();
+  return bits(t)->count();
+}
+
+std::vector<std::uint64_t> Selection::ids(std::size_t t) const {
+  const std::span<const std::uint64_t> id_col = table(t).id_column("id");
+  std::vector<std::uint64_t> out;
+  if (selects_all()) {
+    out.assign(id_col.begin(), id_col.end());
+    return out;
+  }
+  bits(t)->for_each_set([&](std::uint64_t row) { out.push_back(id_col[row]); });
+  return out;
+}
+
+Selection Selection::refine(const std::string& query_text) const {
+  return refine(parse_query(query_text));
+}
+
+Selection Selection::refine(QueryPtr extra) const {
+  if (!state_) throw std::logic_error("Selection: invalid (default-constructed)");
+  if (!extra) return *this;
+  QueryPtr combined =
+      selects_all() ? std::move(extra)
+                    : Query::land(plan_->canonical(), std::move(extra));
+  return engine().select(std::move(combined));
+}
+
+Histogram1D Selection::histogram1d(std::size_t t, const std::string& variable,
+                                   std::size_t nbins, BinningMode binning) const {
+  const HistogramEngine engine = table(t).engine();
+  if (selects_all()) return engine.histogram1d(variable, nbins, nullptr, binning);
+  return engine.histogram1d(variable, nbins, *bits(t), binning);
+}
+
+Histogram2D Selection::histogram2d(std::size_t t, const std::string& x,
+                                   const std::string& y, std::size_t nxbins,
+                                   std::size_t nybins, BinningMode binning) const {
+  const HistogramEngine engine = table(t).engine();
+  if (selects_all())
+    return engine.histogram2d(x, y, nxbins, nybins, nullptr, binning);
+  return engine.histogram2d(x, y, nxbins, nybins, *bits(t), binning);
+}
+
+SummaryStats Selection::summary(std::size_t t, const std::string& variable) const {
+  if (selects_all()) return conditional_stats(table(t), variable);
+  return conditional_stats(table(t), variable, *bits(t));
+}
+
+const ExecutionPlan& Selection::plan() const {
+  if (!plan_) throw std::logic_error("Selection: invalid (default-constructed)");
+  return *plan_;
+}
+
+const QueryPtr& Selection::query() const {
+  if (!plan_) {
+    static const QueryPtr kNull;
+    return kNull;
+  }
+  return plan_->canonical();
+}
+
+const std::string& Selection::cache_key() const { return plan().key(); }
+
+std::string Selection::explain() const { return plan().explain(); }
+
+Engine Selection::engine() const {
+  Engine e;
+  e.state_ = state_;
+  return e;
+}
+
+}  // namespace qdv::core

@@ -8,43 +8,53 @@
 namespace qdv::core {
 
 ExplorationSession ExplorationSession::open(const std::filesystem::path& dir) {
-  return ExplorationSession(io::Dataset::open(dir));
+  return ExplorationSession(Engine::open(dir));
 }
+
+ExplorationSession::ExplorationSession(Engine engine)
+    : engine_(std::move(engine)),
+      focus_(engine_.all()),
+      context_(engine_.all()) {}
 
 void ExplorationSession::set_focus(const std::string& query_text) {
-  focus_ = parse_query(query_text);
+  focus_ = engine_.select(query_text);
 }
 
-void ExplorationSession::set_focus(QueryPtr query) { focus_ = std::move(query); }
+void ExplorationSession::set_focus(QueryPtr query) {
+  focus_ = engine_.select(std::move(query));
+}
+
+void ExplorationSession::set_focus(Selection selection) {
+  focus_ = std::move(selection);
+}
+
+void ExplorationSession::clear_focus() { focus_ = engine_.all(); }
 
 void ExplorationSession::set_context(const std::string& query_text) {
-  context_ = parse_query(query_text);
+  context_ = engine_.select(query_text);
 }
 
-void ExplorationSession::set_context(QueryPtr query) { context_ = std::move(query); }
+void ExplorationSession::set_context(QueryPtr query) {
+  context_ = engine_.select(std::move(query));
+}
+
+void ExplorationSession::set_context(Selection selection) {
+  context_ = std::move(selection);
+}
+
+void ExplorationSession::clear_context() { context_ = engine_.all(); }
 
 std::uint64_t ExplorationSession::focus_count(std::size_t t) const {
-  const io::TimestepTable& table = dataset_.table(t);
-  if (!focus_) return table.num_rows();
-  return table.query(*focus_).count();
+  return focus_.count(t);
 }
 
 std::vector<std::uint64_t> ExplorationSession::selected_ids(std::size_t t) const {
-  const io::TimestepTable& table = dataset_.table(t);
-  const std::span<const std::uint64_t> ids = table.id_column("id");
-  std::vector<std::uint64_t> out;
-  if (!focus_) {
-    out.assign(ids.begin(), ids.end());
-    return out;
-  }
-  table.query(*focus_).for_each_set(
-      [&](std::uint64_t row) { out.push_back(ids[row]); });
-  return out;
+  return focus_.ids(t);
 }
 
 std::pair<double, double> ExplorationSession::global_domain(
     const std::string& name) const {
-  return dataset_.global_domain(name);
+  return dataset().global_domain(name);
 }
 
 namespace {
@@ -63,21 +73,22 @@ Bins axis_bins(const io::Dataset& dataset, std::size_t t, const std::string& nam
 
 std::vector<Histogram2D> ExplorationSession::pair_histograms(
     std::size_t t, const std::vector<std::string>& axes, std::size_t bins_per_axis,
-    const Query* condition, BinningMode binning) const {
+    const Selection& selection, BinningMode binning) const {
   if (axes.size() < 2)
     throw std::invalid_argument("pair_histograms: need at least 2 axes");
-  const io::TimestepTable& table = dataset_.table(t);
+  const io::TimestepTable& table = dataset().table(t);
   std::vector<Bins> bins;
   std::vector<std::span<const double>> columns;
   bins.reserve(axes.size());
   columns.reserve(axes.size());
   for (const std::string& name : axes) {
-    bins.push_back(axis_bins(dataset_, t, name, bins_per_axis, binning));
+    bins.push_back(axis_bins(dataset(), t, name, bins_per_axis, binning));
     columns.push_back(table.column(name));
   }
-  std::vector<std::uint32_t> rows;
-  const bool all_rows = (condition == nullptr);
-  if (!all_rows) rows = table.query(*condition).to_positions();
+  // One cached evaluation serves every pair histogram of the walk.
+  const bool all_rows = !selection.valid() || selection.selects_all();
+  std::shared_ptr<const BitVector> rows;
+  if (!all_rows) rows = selection.bits(t);
   std::vector<Histogram2D> hists;
   hists.reserve(axes.size() - 1);
   for (std::size_t pair = 0; pair + 1 < axes.size(); ++pair) {
@@ -96,11 +107,17 @@ std::vector<Histogram2D> ExplorationSession::pair_histograms(
     if (all_rows) {
       for (std::uint64_t row = 0; row < xs.size(); ++row) tally(row);
     } else {
-      for (const std::uint32_t row : rows) tally(row);
+      rows->for_each_set(tally);
     }
     hists.push_back(std::move(h));
   }
   return hists;
+}
+
+std::vector<Histogram2D> ExplorationSession::pair_histograms(
+    std::size_t t, const std::vector<std::string>& axes, std::size_t bins_per_axis,
+    BinningMode binning) const {
+  return pair_histograms(t, axes, bins_per_axis, Selection(), binning);
 }
 
 ParticleTracks ExplorationSession::track(
@@ -112,7 +129,7 @@ ParticleTracks ExplorationSession::track(
   for (std::size_t t = t_from; t <= t_to; ++t) steps.push_back(t);
   ParticleTracks tracks(ids, steps, variables);
   for (std::size_t ti = 0; ti < steps.size(); ++ti) {
-    const io::TimestepTable& table = dataset_.table(steps[ti]);
+    const io::TimestepTable& table = dataset().table(steps[ti]);
     // Row of each tracked id at this timestep (-1 when absent).
     std::vector<std::ptrdiff_t> row_of(ids.size(), -1);
     if (const IdIndex* index = table.id_index("id")) {
@@ -159,16 +176,15 @@ render::Image ExplorationSession::render_parallel_coordinates(
     style.gamma = options.context_gamma;
     style.max_alpha = 0.85f;
     plot.draw_histogram_layer(
-        pair_histograms(t, axes, options.context_bins, context_.get(),
-                        options.binning),
+        pair_histograms(t, axes, options.context_bins, context_, options.binning),
         style);
   }
-  if (focus_) {
+  if (!focus_.selects_all()) {
     render::PcStyle style;
     style.color = options.focus_color;
     style.gamma = options.focus_gamma;
     plot.draw_histogram_layer(
-        pair_histograms(t, axes, options.focus_bins, focus_.get(), options.binning),
+        pair_histograms(t, axes, options.focus_bins, focus_, options.binning),
         style);
   }
   return plot.image();
@@ -186,7 +202,7 @@ render::Image ExplorationSession::render_temporal(
     style.gamma = options.focus_gamma;
     style.max_alpha = 0.9f;
     plot.draw_histogram_layer(
-        pair_histograms(t, axes, options.focus_bins, focus_.get(), options.binning),
+        pair_histograms(t, axes, options.focus_bins, focus_, options.binning),
         style);
   }
   return plot.image();
@@ -197,7 +213,7 @@ render::Image ExplorationSession::render_scatter(
     const std::string& color_variable) const {
   constexpr std::size_t kWidth = 800, kHeight = 600, kMargin = 24;
   render::Image img(kWidth, kHeight);
-  const io::TimestepTable& table = dataset_.table(t);
+  const io::TimestepTable& table = dataset().table(t);
   const std::span<const double> xs = table.column(x);
   const std::span<const double> ys = table.column(y);
   const std::span<const double> cs = table.column(color_variable);
@@ -220,10 +236,10 @@ render::Image ExplorationSession::render_scatter(
   const auto draw_dim = [&](std::uint64_t row) {
     img.add(px(xs[row]), py(ys[row]), render::colors::kGray, 0.18f);
   };
-  if (context_) {
-    table.query(*context_).for_each_set(draw_dim);
-  } else {
+  if (context_.selects_all()) {
     for (std::uint64_t row = 0; row < xs.size(); ++row) draw_dim(row);
+  } else {
+    context_.bits(t)->for_each_set(draw_dim);
   }
   // Focus (or everything when unset): pseudocolored by the color variable.
   const auto draw_colored = [&](std::uint64_t row) {
@@ -233,10 +249,10 @@ render::Image ExplorationSession::render_scatter(
     for (std::ptrdiff_t dx = 0; dx < 2; ++dx)
       for (std::ptrdiff_t dy = 0; dy < 2; ++dy) img.set(cx + dx, cy + dy, c);
   };
-  if (focus_) {
-    table.query(*focus_).for_each_set(draw_colored);
-  } else {
+  if (focus_.selects_all()) {
     for (std::uint64_t row = 0; row < xs.size(); ++row) draw_colored(row);
+  } else {
+    focus_.bits(t)->for_each_set(draw_colored);
   }
   return img;
 }

@@ -108,12 +108,31 @@ std::pair<double, double> TimestepTable::domain(const std::string& name) const {
 
 namespace {
 
-BitVector scan_compare(const TimestepTable& table, const CompareQuery& q) {
-  const std::span<const double> values = table.column(q.variable());
-  const Interval iv = interval_for(q.op(), q.value());
+BitVector scan_interval(const TimestepTable& table, const std::string& variable,
+                        const Interval& iv) {
+  const std::span<const double> values = table.column(variable);
   BitVector out;
   for (const double v : values) out.append_bit(iv.contains(v));
   return out;
+}
+
+/// Shared index-first path of kCompare and kInterval: two-step evaluation
+/// when an index exists, sequential scan otherwise.
+BitVector eval_interval(const TimestepTable& table, const std::string& variable,
+                        const Interval& iv, EvalMode mode, std::uint64_t rows) {
+  if (mode != EvalMode::kScan) {
+    if (const BitmapIndex* idx = table.index(variable)) {
+      ApproxAnswer approx = idx->evaluate_approx(iv);
+      // Load the raw column only when boundary bins need checking —
+      // index-only answers (precision binning) never touch the data.
+      if (approx.candidates.count() == 0) return std::move(approx.hits);
+      return detail::resolve_candidates(iv, std::move(approx),
+                                        table.column(variable), rows);
+    }
+    if (mode == EvalMode::kIndex)
+      throw std::runtime_error("no bitmap index for variable " + variable);
+  }
+  return scan_interval(table, variable, iv);
 }
 
 BitVector scan_id_in(const TimestepTable& table, const IdInQuery& q) {
@@ -131,20 +150,13 @@ BitVector TimestepTable::query(const Query& q, EvalMode mode) const {
   switch (q.kind()) {
     case Query::Kind::kCompare: {
       const auto& cq = static_cast<const CompareQuery&>(q);
-      if (mode != EvalMode::kScan) {
-        if (const BitmapIndex* idx = index(cq.variable())) {
-          const Interval iv = interval_for(cq.op(), cq.value());
-          ApproxAnswer approx = idx->evaluate_approx(iv);
-          // Load the raw column only when boundary bins need checking —
-          // index-only answers (precision binning) never touch the data.
-          if (approx.candidates.count() == 0) return std::move(approx.hits);
-          return detail::resolve_candidates(iv, std::move(approx),
-                                            column(cq.variable()), rows_);
-        }
-        if (mode == EvalMode::kIndex)
-          throw std::runtime_error("no bitmap index for variable " + cq.variable());
-      }
-      return scan_compare(*this, cq);
+      return eval_interval(*this, cq.variable(), interval_for(cq.op(), cq.value()),
+                           mode, rows_);
+    }
+    case Query::Kind::kInterval: {
+      const auto& vq = static_cast<const IntervalQuery&>(q);
+      if (vq.interval().empty()) return BitVector::zeros(rows_);
+      return eval_interval(*this, vq.variable(), vq.interval(), mode, rows_);
     }
     case Query::Kind::kIdIn: {
       const auto& iq = static_cast<const IdInQuery&>(q);
@@ -183,17 +195,6 @@ namespace qdv {
 BitVector evaluate(const Query& query, const io::TimestepTable& table,
                    EvalMode mode) {
   return table.query(query, mode);
-}
-
-Interval interval_for(CompareOp op, double value) {
-  switch (op) {
-    case CompareOp::kLt: return Interval::less_than(value);
-    case CompareOp::kLe: return Interval::at_most(value);
-    case CompareOp::kGt: return Interval::greater_than(value);
-    case CompareOp::kGe: return Interval::at_least(value);
-    case CompareOp::kEq: return Interval{value, value, false, false};
-  }
-  throw std::logic_error("interval_for: bad op");
 }
 
 }  // namespace qdv

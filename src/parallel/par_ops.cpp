@@ -98,6 +98,30 @@ HistogramBatch parallel_histograms(const io::Dataset& dataset,
   return batch;
 }
 
+HistogramBatch parallel_histograms(const core::Engine& engine,
+                                   const HistogramWorkload& workload,
+                                   VirtualCluster& cluster) {
+  HistogramBatch batch;
+  std::atomic<std::uint64_t> total{0};
+  // One Selection shared by every worker: each timestep's condition
+  // bitvector is evaluated once (whichever thread gets there first) and
+  // every histogram of that timestep reads it from the cache.
+  const core::Selection selection = workload.condition
+                                        ? engine.select(workload.condition)
+                                        : engine.all();
+  batch.run = cluster.run(engine.num_timesteps(), [&](std::size_t t) {
+    std::uint64_t local = 0;
+    for (const auto& [x, y] : workload.pairs) {
+      const Histogram2D h = selection.histogram2d(t, x, y, workload.nbins,
+                                                  workload.nbins, workload.binning);
+      local += h.total();
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  batch.total_records = total.load();
+  return batch;
+}
+
 TrackBatch parallel_track(const io::Dataset& dataset,
                           const std::vector<std::uint64_t>& ids, EvalMode mode,
                           VirtualCluster& cluster) {
@@ -107,6 +131,19 @@ TrackBatch parallel_track(const io::Dataset& dataset,
   batch.run = cluster.run(dataset.num_timesteps(), [&](std::size_t t) {
     const auto table = dataset.open_table(t);
     hits.fetch_add(table->query(*query, mode).count(), std::memory_order_relaxed);
+  });
+  batch.total_hits = hits.load();
+  return batch;
+}
+
+TrackBatch parallel_track(const core::Engine& engine,
+                          const std::vector<std::uint64_t>& ids,
+                          VirtualCluster& cluster) {
+  TrackBatch batch;
+  std::atomic<std::uint64_t> hits{0};
+  const core::Selection selection = engine.select(Query::id_in("id", ids));
+  batch.run = cluster.run(engine.num_timesteps(), [&](std::size_t t) {
+    hits.fetch_add(selection.count(t), std::memory_order_relaxed);
   });
   batch.total_hits = hits.load();
   return batch;

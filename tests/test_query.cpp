@@ -59,6 +59,46 @@ void test_to_string_reparses() {
   CHECK_EQ(q->to_string(), again->to_string());
 }
 
+void test_to_string_round_trip_corpus() {
+  // Nested / negated expressions must re-parse to an identical tree; the
+  // fixed point is reached after one round (to_string fully parenthesizes).
+  const char* corpus[] = {
+      "px > 8.872e10",
+      "a < 1 && b >= 2",
+      "a > 1 || b > 2 && c > 3",
+      "!(a > 1 || b < 2) && c == 3",
+      "!(!(a <= 0.5))",
+      "(a > 1 && (b < 2 || !(c >= 3))) || d == 4",
+      "!(!(a > 1 && !(b < 2)))",
+  };
+  for (const char* text : corpus) {
+    const QueryPtr q = parse_query(text);
+    const QueryPtr again = parse_query(q->to_string());
+    CHECK_EQ(q->to_string(), again->to_string());
+  }
+}
+
+void test_to_string_double_precision() {
+  // to_string uses shortest-round-trip formatting, so constants that are
+  // not exactly representable in 6 significant digits survive unchanged.
+  for (const double value :
+       {0.1 + 0.2, 1.0 / 3.0, 8.872e10 + 0.125, 1e300, 5e-324, -2.5e-3}) {
+    const QueryPtr q = Query::compare("x", CompareOp::kLt, value);
+    const QueryPtr again = parse_query(q->to_string());
+    CHECK_EQ(static_cast<const CompareQuery&>(*again).value(), value);
+  }
+}
+
+void test_id_in_key_is_content_sensitive() {
+  // Equal-size search sets must not share a textual key (to_string doubles
+  // as the engine's cache key).
+  const QueryPtr a = Query::id_in("id", {1, 2, 3});
+  const QueryPtr b = Query::id_in("id", {1, 2, 4});
+  const QueryPtr c = Query::id_in("id", {3, 2, 1, 2});
+  CHECK(a->to_string() != b->to_string());
+  CHECK_EQ(a->to_string(), c->to_string());  // sorted + deduped
+}
+
 void test_builders() {
   const QueryPtr idq = Query::id_in("id", {5, 3, 5, 1});
   const auto& iq = static_cast<const IdInQuery&>(*idq);
@@ -86,6 +126,9 @@ int main() {
   test_conjunction();
   test_precedence_and_parens();
   test_to_string_reparses();
+  test_to_string_round_trip_corpus();
+  test_to_string_double_precision();
+  test_id_in_key_is_content_sensitive();
   test_builders();
   test_malformed();
   return qdv::test::finish("test_query");
