@@ -4,7 +4,8 @@
 //   generate <dir> [--preset 2d|3d|bench] [--particles N] [--timesteps N]
 //            [--seed S] [--index-bins N]
 //   info     <dir>
-//   query    <dir> -t <timestep> -q "<query>" [--scan] [--count-only] [--stats]
+//   query    <dir> -t <timestep> -q "<query>" [--scan] [--eager]
+//            [--budget <MiB>] [--count-only] [--stats]
 //   explain  <dir> -q "<query>"
 //   histogram <dir> -t <timestep> -x <var> -y <var> [--bins N] [--adaptive]
 //            [-q "<query>"] [--csv <file>]
@@ -23,6 +24,7 @@
 #include "core/session.hpp"
 #include "core/statistics.hpp"
 #include "io/export.hpp"
+#include "parallel/prefetch.hpp"
 #include "sim/wakefield.hpp"
 
 namespace {
@@ -124,8 +126,12 @@ int cmd_query(const std::string& dir, const Args& args) {
     return 2;
   }
   const std::size_t t = args.size_option("-t", 0);
+  io::OpenOptions options = io::default_open_options();
+  if (args.flag("--eager")) options.mode = io::LoadMode::kEager;
+  if (const auto mib = args.option("--budget"))
+    options.budget_bytes = static_cast<std::uint64_t>(std::stoull(*mib)) << 20;
   const core::Engine engine(
-      io::Dataset::open(dir),
+      io::Dataset::open(dir, options),
       args.flag("--scan") ? EvalMode::kScan : EvalMode::kAuto);
   const core::Selection selection = engine.select(*text);
   const io::TimestepTable& table = engine.dataset().table(t);
@@ -145,6 +151,15 @@ int cmd_query(const std::string& dir, const Args& args) {
     const core::EngineStats s = engine.stats();
     std::cout << "cache: " << s.hits << " hits, " << s.misses << " misses, "
               << s.entries << " entries, " << s.bytes << " bytes\n";
+    std::cout << "memory: resident " << s.resident_bytes << " B";
+    if (s.budget_bytes == io::MemoryBudget::kUnlimited)
+      std::cout << " (no budget)";
+    else
+      std::cout << " / budget " << s.budget_bytes << " B";
+    std::cout << ", columns " << s.column_bytes << " B, segments "
+              << s.segment_bytes << " B\n";
+    std::cout << "io: loaded " << s.loaded_bytes << " B total, "
+              << s.io_evictions << " evictions\n";
   }
   return 0;
 }
@@ -223,6 +238,16 @@ int cmd_track(const std::string& dir, const Args& args) {
   const std::size_t t_to = args.size_option("--to", session.num_timesteps() - 1);
   const std::vector<std::string> vars =
       split_csv(args.option_or("--vars", "x,px"));
+  // Stream the trace: a background prefetcher maps id indices and tracked
+  // columns ahead of the sequential track loop. Its bounded queue caps the
+  // look-ahead distance, and tracking never probes the bitmap indices, so
+  // their (pinned) segment directories are not opened.
+  par::Prefetcher prefetch(session.dataset());
+  for (std::size_t t = t_from; t <= t_to && t < session.num_timesteps(); ++t) {
+    std::vector<std::string> wanted = vars;
+    wanted.push_back("id");
+    if (!prefetch.request(t, std::move(wanted), /*value_indices=*/false)) break;
+  }
   const core::ParticleTracks tracks = session.track(ids, t_from, t_to, vars);
   std::cout << "tracking " << ids.size() << " particles selected at t=" << t_sel
             << " over t=[" << t_from << ", " << t_to << "]\n";
@@ -276,12 +301,19 @@ commands:
   render     histogram-based parallel coordinates to a PPM image
 
 run a command without options to see its required arguments.
+full reference: docs/qdv_tool.md
 )";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0 ||
+                    std::strcmp(argv[1], "help") == 0)) {
+    usage();
+    return 0;
+  }
   if (argc < 3) {
     usage();
     return argc < 2 ? 0 : 2;

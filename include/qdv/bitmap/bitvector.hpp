@@ -7,12 +7,28 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <iosfwd>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace qdv {
+
+namespace detail {
+/// memcpy-based unaligned read from a serialized byte image (mapped files
+/// give no alignment guarantees past the page start). Throws on overrun.
+template <typename T>
+T read_unaligned(std::span<const std::byte> image, std::size_t offset) {
+  if (offset + sizeof(T) > image.size())
+    throw std::runtime_error("truncated serialized image");
+  T value;
+  std::memcpy(&value, image.data() + offset, sizeof(T));
+  return value;
+}
+}  // namespace detail
 
 class BitVector {
  public:
@@ -90,6 +106,15 @@ class BitVector {
   /// Binary serialization (used by the on-disk index format).
   void save(std::ostream& out) const;
   static BitVector load(std::istream& in);
+
+  /// Deserialize one record from a serialized image (e.g. a memory-mapped
+  /// index file), starting at @p offset and advancing it past the record.
+  static BitVector load(std::span<const std::byte> image, std::size_t& offset);
+
+  /// Byte length of the serialized record at @p offset, computed from its
+  /// header alone — used to skip records without decoding them.
+  static std::size_t serialized_size(std::span<const std::byte> image,
+                                     std::size_t offset);
 
  private:
   static constexpr std::uint32_t kFillFlag = 0x80000000u;

@@ -1,0 +1,93 @@
+// Segment-wise (lazy) view of a serialized equality-encoded bitmap index.
+//
+// A BitmapIndex image on disk (`<var>.bmi`, DESIGN.md Section 2) is a
+// header (row count + bin edges) followed by one WAH bitmap per bin and a
+// final "outside" bitmap. SegmentedBitmapIndex parses only the header and a
+// byte-offset directory of the segments, so opening an index touches O(bins)
+// record headers instead of deserializing every bitmap; a range query then
+// decodes only the segments its bin coverage actually needs — the
+// out-of-core counterpart of BitmapIndex (DESIGN.md Section 9).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bitmap/bins.hpp"
+#include "bitmap/bitmap_index.hpp"
+#include "bitmap/bitvector.hpp"
+#include "bitmap/interval.hpp"
+
+namespace qdv {
+
+/// Lazily-decoded bitmap index over a serialized image.
+///
+/// Ownership: the index holds a pin (@p keeper) on the byte image it was
+/// opened over — typically an io::MappedFile — so the image outlives the
+/// index regardless of who mapped it. Decoded segments are returned by
+/// value (or through the caller's fetch hook); the index itself stays
+/// metadata-sized (edges + offsets).
+/// Thread-safety: immutable after open(); decode/evaluate are const and
+/// safe to call concurrently.
+class SegmentedBitmapIndex {
+ public:
+  SegmentedBitmapIndex() = default;
+
+  /// Parse the header and segment directory of @p image (a serialized
+  /// BitmapIndex). @p keeper keeps the image bytes alive. Throws
+  /// std::runtime_error on a truncated image.
+  static SegmentedBitmapIndex open(std::span<const std::byte> image,
+                                   std::shared_ptr<const void> keeper);
+
+  const Bins& bins() const { return bins_; }
+  std::uint64_t num_rows() const { return nrows_; }
+
+  /// Segments 0..num_bins()-1 are the per-bin bitmaps; segment num_bins()
+  /// is the "outside the binned range" bitmap.
+  std::size_t num_segments() const { return offsets_.size() - 1; }
+  std::size_t outside_segment() const { return num_segments() - 1; }
+
+  /// Serialized byte length of segment @p s (what a decode reads).
+  std::uint64_t segment_bytes(std::size_t s) const {
+    return offsets_[s + 1] - offsets_[s];
+  }
+
+  /// Decode segment @p s from the image (no caching at this level).
+  BitVector decode_segment(std::size_t s) const;
+
+  /// True when the outside bitmap has no set bits (checked once at open;
+  /// lets range evaluation skip the outside candidate segment entirely).
+  bool outside_empty() const { return outside_empty_; }
+
+  /// Supplies a (possibly cached) decoded segment; the io layer backs this
+  /// with the engine's MemoryBudget.
+  using SegmentFetch =
+      std::function<std::shared_ptr<const BitVector>(std::size_t segment)>;
+
+  /// Index-only two-step evaluation of @p iv, decoding only the segments
+  /// the bin coverage touches. Without @p fetch, segments are decoded
+  /// directly from the image each call.
+  ApproxAnswer evaluate_approx(const Interval& iv,
+                               const SegmentFetch& fetch = {}) const;
+
+  /// Full two-step evaluation against the raw column (candidate check).
+  BitVector evaluate(const Interval& iv, std::span<const double> values,
+                     const SegmentFetch& fetch = {}) const;
+
+  /// Heap bytes of the directory itself (edges + offsets), i.e. the cost of
+  /// keeping the index open without any decoded segment.
+  std::size_t metadata_bytes() const;
+
+ private:
+  Bins bins_;
+  std::uint64_t nrows_ = 0;
+  std::vector<std::uint64_t> offsets_;  // segment s = [offsets_[s], offsets_[s+1])
+  std::span<const std::byte> image_;
+  std::shared_ptr<const void> keeper_;
+  bool outside_empty_ = true;
+};
+
+}  // namespace qdv

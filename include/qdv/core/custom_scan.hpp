@@ -1,6 +1,10 @@
 // The paper's "Custom" baseline: sequential scans with nested count arrays
 // and O(N log S) identifier search, used as the comparison point for the
 // index-backed engine in the figure benchmarks.
+//
+// CustomScan borrows the table it is constructed over (the caller keeps it
+// alive); it holds no mutable state, so one instance may be used from
+// several threads concurrently.
 #pragma once
 
 #include <cstdint>

@@ -1,12 +1,19 @@
 // Engine: the entry point of the query pipeline (DESIGN.md Section 8). Owns
-// a Dataset plus a thread-safe LRU cache of evaluated per-timestep
-// BitVectors, and hands out immutable Selection handles through which every
-// consumer — counts, histograms, renders, traces, parallel batches — shares
-// one cache.
+// a Dataset plus its unified memory budget — a cost-aware LRU cache over
+// evaluated per-timestep BitVectors, mapped columns, and decoded index
+// segments (DESIGN.md Section 9) — and hands out immutable Selection
+// handles through which every consumer (counts, histograms, renders,
+// traces, parallel batches) shares one cache.
 //
-// Engine is a cheap value-type handle over shared state (like io::Dataset):
-// copies see the same cache. Include core/selection.hpp to use the
-// Selections it returns.
+// Ownership: Engine is a cheap value-type handle over shared state (like
+// io::Dataset); copies see the same dataset, cache, and budget, and the
+// state lives until the last Engine/Selection handle drops.
+// Thread-safety: all methods are safe to call concurrently; evaluation runs
+// outside the cache lock (two threads may race to compute one entry — the
+// first insert wins). A Selection outlives cache evictions: evicted
+// bitvectors are handed out as shared_ptr and freed only when unpinned.
+//
+// Include core/selection.hpp to use the Selections it returns.
 #pragma once
 
 #include <cstdint>
@@ -25,13 +32,22 @@ struct EngineState;
 
 class Selection;
 
-/// Snapshot of the cache counters (see Engine::stats()).
+/// Snapshot of the engine's cache and memory-budget counters (see
+/// Engine::stats()). The first block covers the bitvector cache alone (the
+/// pre-out-of-core counters); the second block covers the whole budget.
 struct EngineStats {
   std::uint64_t hits = 0;        // evaluations answered from the cache
   std::uint64_t misses = 0;      // evaluations that had to run
-  std::uint64_t evictions = 0;   // entries dropped by the LRU policy
+  std::uint64_t evictions = 0;   // bitvector entries dropped by the LRU policy
   std::uint64_t entries = 0;     // live cached bitvectors
-  std::uint64_t bytes = 0;       // compressed bytes held by the cache
+  std::uint64_t bytes = 0;       // compressed bytes held by the bitvector cache
+
+  std::uint64_t budget_bytes = 0;    // configured ceiling (max = unlimited)
+  std::uint64_t resident_bytes = 0;  // all residents currently charged
+  std::uint64_t column_bytes = 0;    // resident mapped column bytes
+  std::uint64_t segment_bytes = 0;   // resident decoded index-segment bytes
+  std::uint64_t loaded_bytes = 0;    // cumulative bytes charged (I/O volume)
+  std::uint64_t io_evictions = 0;    // column + segment evictions
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -41,7 +57,11 @@ struct EngineStats {
 
 class Engine {
  public:
+  /// Open the dataset at @p dir with default options (lazy mmap-backed io;
+  /// QDV_MEMORY_BUDGET, when set, seeds the byte budget).
   static Engine open(const std::filesystem::path& dir);
+
+  /// Adopt @p dataset (and its memory budget) for query evaluation.
   explicit Engine(io::Dataset dataset, EvalMode mode = EvalMode::kAuto);
 
   const io::Dataset& dataset() const;
@@ -57,9 +77,16 @@ class Engine {
 
   EngineStats stats() const;
   void clear_cache();
+
   /// Maximum cached bitvectors; shrinking evicts immediately.
   void set_cache_capacity(std::size_t entries);
   std::size_t cache_capacity() const;
+
+  /// Byte ceiling of the unified memory budget (bitvectors + columns +
+  /// index segments). Shrinking evicts immediately; a single resident
+  /// larger than the budget still completes as a streaming access.
+  void set_memory_budget(std::uint64_t bytes);
+  std::uint64_t memory_budget() const;
 
  private:
   friend class Selection;

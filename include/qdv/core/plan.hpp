@@ -53,8 +53,11 @@ struct PredicateStep {
   bool fused = false;     // true when the leaf is a fused IntervalQuery
 };
 
-/// The executable shape of one canonical query. Immutable; shared by every
-/// Selection handle built from the same query text.
+/// The executable shape of one canonical query. Immutable after
+/// plan_query() builds it — safe to read concurrently — and shared
+/// (shared_ptr<const ExecutionPlan>) by every Selection handle built from
+/// the same query text; it owns its canonical AST and outlives the Engine
+/// that planned it.
 class ExecutionPlan {
  public:
   ExecutionPlan() = default;
@@ -62,6 +65,10 @@ class ExecutionPlan {
   const QueryPtr& canonical() const { return canonical_; }
   const std::string& key() const { return key_; }
   const std::vector<PredicateStep>& steps() const { return steps_; }
+
+  /// Distinct variables the plan touches (leaf order, deduplicated) — what
+  /// an executor must load and a prefetcher should read ahead.
+  std::vector<std::string> variables() const;
 
   /// Multi-line report: canonical query, cache key, and the chosen access
   /// path of every leaf predicate.

@@ -2,9 +2,12 @@
 // membership, and logical connectives, plus a small expression parser for
 // strings like "px > 8.872e10 && y > 0".
 //
-// Queries are immutable and shared (QueryPtr); evaluation against a
-// timestep table lives in io/timestep_table.hpp so the AST stays free of
-// I/O dependencies.
+// Ownership: queries are immutable and shared (QueryPtr is a
+// shared_ptr<const Query>); subtrees are shared freely between ASTs (e.g.
+// by Selection::refine) and live as long as any referencing tree.
+// Thread-safety: immutability makes every Query method safe to call
+// concurrently. Evaluation against a timestep table lives in
+// io/timestep_table.hpp so the AST stays free of I/O dependencies.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,15 @@
 // bitvectors, histograms, summary statistics — are served through the
 // engine's shared per-timestep cache, so driving many views from one
 // selection pays the index work once.
+//
+// Ownership: a Selection shares the engine's state (dataset + budget +
+// cache) and its own immutable ExecutionPlan; copying is cheap and handles
+// stay valid after the originating Engine object is destroyed.
+// Thread-safety: all methods are const and safe to call concurrently, on
+// one Selection or on many Selections sharing one engine/mapped dataset.
+// Lifetime: bitvectors returned by bits() are shared_ptr pins — they
+// survive cache eviction; spans inside histogram/ids paths come from the
+// dataset's tables and stay valid for the table's lifetime.
 #pragma once
 
 #include <cstdint>

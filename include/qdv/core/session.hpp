@@ -4,6 +4,12 @@
 // handles), and derive counts, histograms, traces, and figure renderings
 // from them. A thin layer over core::Engine: focus and context are
 // Selections, so every derived view shares the engine's bitvector cache.
+//
+// Ownership: holds an Engine by value (shared state — copies of the
+// session or extra Engine handles see the same dataset, cache, and
+// budget). Thread-safety: the focus/context setters are NOT synchronized —
+// mutate a session from one thread; the const derivation methods only read
+// engine-shared state and may run concurrently with each other.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,9 @@
 // Conditional summary statistics of one variable, evaluated through the
 // same two-step query path as the histograms.
+//
+// Free functions over a borrowed table: the caller keeps the TimestepTable
+// alive for the duration of the call; results are plain values. Safe to
+// call concurrently (the table's accessors synchronize internally).
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,9 @@
 // Temporal particle tracking: per-timestep values of a fixed identifier set,
 // aligned to the selection order (absent particles carry NaN).
+//
+// ParticleTracks is a self-contained value type (owns all of its data, no
+// references into the dataset); filled once by the session during
+// construction, then safe to read from any thread.
 #pragma once
 
 #include <cstdint>

@@ -1,10 +1,17 @@
 // Multi-timestep dataset handle: manifest parsing, per-timestep table cache,
-// and global (cross-timestep) variable domains.
+// global (cross-timestep) variable domains, and the dataset-wide memory
+// budget every cached table charges its residents to.
 //
 // A dataset directory holds `qdv_manifest.txt` plus one `tNNNNN/` directory
-// per timestep (see io/timestep_table.hpp and DESIGN.md Section 2).
-// Dataset is a cheap value-type handle over shared immutable state, so it
-// can be held by value in sessions and captured by parallel tasks.
+// per timestep (see io/timestep_table.hpp and DESIGN.md Sections 2 and 9).
+//
+// Ownership: Dataset is a cheap value-type handle over shared immutable
+// state, so it can be held by value in sessions and captured by parallel
+// tasks; all copies see the same table cache and memory budget.
+// Thread-safety: table() and drop_cache() are guarded by an internal mutex;
+// the tables themselves handle their own locking. Lifetime: tables returned
+// by table() live until drop_cache() — and spans handed out by a table stay
+// valid for that table's lifetime (see TimestepTable).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "io/memory_budget.hpp"
 #include "io/timestep_table.hpp"
 
 namespace qdv::io {
@@ -25,9 +33,26 @@ struct IndexConfig {
   bool build_id_index = true;
 };
 
+/// How Dataset::open materializes on-disk data.
+struct OpenOptions {
+  LoadMode mode = LoadMode::kLazy;
+  /// Byte ceiling of the dataset's unified memory budget (columns, index
+  /// segments, and — when an Engine adopts the budget — query bitvectors).
+  std::uint64_t budget_bytes = MemoryBudget::kUnlimited;
+};
+
+/// The defaults Dataset::open(dir) uses: lazy loading, with the
+/// QDV_MEMORY_BUDGET environment variable (bytes), when set, seeding
+/// budget_bytes. Start from this when layering CLI flags on top.
+OpenOptions default_open_options();
+
 class Dataset {
  public:
+  /// Open with defaults: lazy mmap-backed loading; the QDV_MEMORY_BUDGET
+  /// environment variable (bytes), when set, seeds the memory budget.
   static Dataset open(const std::filesystem::path& dir);
+  static Dataset open(const std::filesystem::path& dir,
+                      const OpenOptions& options);
 
   std::size_t num_timesteps() const;
   const std::vector<std::string>& variables() const;
@@ -36,9 +61,14 @@ class Dataset {
   /// Cached per-timestep table (shared across callers; see drop_cache()).
   const TimestepTable& table(std::size_t t) const;
 
-  /// A fresh, uncached table — used by benchmarks and parallel tasks that
-  /// need cold-start I/O semantics or private column caches.
-  std::shared_ptr<TimestepTable> open_table(std::size_t t) const;
+  /// A fresh, uncached, unbudgeted table — used by benchmarks and parallel
+  /// tasks that need cold-start I/O semantics or private column caches.
+  std::shared_ptr<TimestepTable> open_table(
+      std::size_t t, LoadMode mode = LoadMode::kLazy) const;
+
+  /// The dataset-wide memory budget all cached tables charge residents to
+  /// (never null; unlimited unless configured).
+  const std::shared_ptr<MemoryBudget>& memory_budget() const;
 
   /// Global [min, max] of a variable across all timesteps.
   std::pair<double, double> global_domain(const std::string& name) const;

@@ -1,4 +1,8 @@
 // Tabular exports of analysis results (CSV) for downstream plotting.
+//
+// Stateless free functions: inputs are borrowed for the call, output files
+// are created (or truncated) at the given path; errors throw
+// std::runtime_error. Safe to call concurrently on distinct paths.
 #pragma once
 
 #include <filesystem>

@@ -1,10 +1,26 @@
-// One timestep of a dataset: lazily loaded column files plus their bitmap
-// and identifier indices, with index-backed or scan query evaluation.
+// One timestep of a dataset: memory-mapped, lazily-loaded column files plus
+// their bitmap and identifier indices, with index-backed or scan query
+// evaluation.
 //
 // On-disk layout (DESIGN.md Section 2): the timestep directory holds
 // `meta.txt` (row count + per-variable domains), raw little-endian column
 // files `<var>.f64` / `id.u64`, and serialized indices `<var>.bmi` /
 // `id.idi`.
+//
+// Out-of-core behavior (DESIGN.md Section 9): under LoadMode::kLazy the
+// table mmaps column files on first touch and opens `.bmi` indices as
+// segment directories (SegmentedBitmapIndex), decoding per-bin WAH bitmaps
+// only when a query's bin coverage needs them. All residents are charged to
+// the table's MemoryBudget (when one is attached); budget eviction drops
+// mapped pages / decoded segments but never invalidates a span already
+// handed out — mappings stay address-valid for the table's lifetime.
+//
+// Ownership: a TimestepTable owns its mappings and decoded indices; spans
+// returned by column()/id_column() and pointers returned by the index
+// accessors are valid for the lifetime of the table.
+// Thread-safety: all lazy-loading accessors are guarded by one internal
+// mutex; query evaluation itself runs outside that lock, so concurrent
+// queries (and concurrent Selections sharing one mapped file) are safe.
 #pragma once
 
 #include <cstdint>
@@ -20,34 +36,71 @@
 
 #include "bitmap/bitmap_index.hpp"
 #include "bitmap/histogram.hpp"
+#include "bitmap/index_segments.hpp"
 #include "core/query.hpp"
+#include "io/mapped_file.hpp"
+#include "io/memory_budget.hpp"
 
 namespace qdv::io {
+
+/// How a table materializes on-disk data.
+enum class LoadMode {
+  kLazy,   // mmap columns, segment-wise index decoding (the default)
+  kEager,  // whole-file heap reads, fully deserialized indices (seed behavior)
+};
 
 class TimestepTable {
  public:
   /// Open the timestep stored in @p dir (reads meta.txt eagerly, everything
-  /// else lazily).
-  explicit TimestepTable(std::filesystem::path dir, std::size_t step = 0);
+  /// else lazily). @p budget, when given, is charged for every resident the
+  /// table loads and may evict them; pass nullptr for an unbudgeted table.
+  explicit TimestepTable(std::filesystem::path dir, std::size_t step = 0,
+                         LoadMode mode = LoadMode::kLazy,
+                         std::shared_ptr<MemoryBudget> budget = nullptr);
 
   std::uint64_t num_rows() const { return rows_; }
   std::size_t step() const { return step_; }
   const std::vector<std::string>& variables() const { return variables_; }
+  LoadMode load_mode() const { return mode_; }
+  const std::shared_ptr<MemoryBudget>& memory_budget() const { return budget_; }
 
-  /// Raw column values (loaded from disk and cached on first use).
+  /// Raw column values, mapped (kLazy) or read (kEager) on first use. The
+  /// span stays valid for the table's lifetime, across budget evictions.
   std::span<const double> column(const std::string& name) const;
 
-  /// The identifier column (unsigned 64-bit).
+  /// The identifier column (unsigned 64-bit); same lifetime rules.
   std::span<const std::uint64_t> id_column(const std::string& name) const;
 
-  /// Bitmap index of @p name, or nullptr when none exists on disk.
+  /// Read-ahead: load @p name's column and ask the kernel to fault its
+  /// pages in asynchronously (madvise(WILLNEED); under kEager the load
+  /// itself reads the file). Used by par::Prefetcher.
+  void prefetch_column(const std::string& name) const;
+  void prefetch_id_column(const std::string& name) const;
+
+  /// Segment directory of @p name's bitmap index (kLazy mode), or nullptr
+  /// when none exists on disk. Pointer valid for the table's lifetime.
+  const SegmentedBitmapIndex* value_index(const std::string& name) const;
+
+  /// Fully deserialized bitmap index of @p name (the kEager path; loads the
+  /// whole .bmi on demand in either mode), or nullptr when none exists.
   const BitmapIndex* index(const std::string& name) const;
 
   /// Identifier index of @p name, or nullptr when none exists on disk.
+  /// Always fully resident (binary search needs it whole); charged to the
+  /// budget as pinned. Pointer valid for the table's lifetime.
   const IdIndex* id_index(const std::string& name) const;
+
+  /// On-disk existence checks (no loading) — what the planner probes.
+  bool has_value_index(const std::string& name) const;
+  bool has_id_index(const std::string& name) const;
 
   /// True when at least one serialized index accompanies the data files.
   bool has_indices() const;
+
+  /// Budget-cached decoded-segment supplier for @p idx (variable @p name);
+  /// the lazy query path hands this to SegmentedBitmapIndex::evaluate_*.
+  SegmentedBitmapIndex::SegmentFetch segment_fetch(
+      const std::string& name, const SegmentedBitmapIndex& idx) const;
 
   /// Per-timestep [min, max] of a variable (from meta.txt).
   std::pair<double, double> domain(const std::string& name) const;
@@ -67,14 +120,29 @@ class TimestepTable {
   std::filesystem::path dir_;
   std::size_t step_ = 0;
   std::uint64_t rows_ = 0;
+  LoadMode mode_ = LoadMode::kLazy;
+  std::shared_ptr<MemoryBudget> budget_;
+  std::string budget_prefix_;  // per-directory key namespace in the budget
   std::vector<std::string> variables_;
   std::unordered_map<std::string, std::pair<double, double>> domains_;
 
+  // Lazy-loading state, guarded by mutex_. Handles are stored in node-based
+  // maps, so references stay stable while the maps grow.
   mutable std::mutex mutex_;
-  mutable std::unordered_map<std::string, std::vector<double>> columns_;
-  mutable std::unordered_map<std::string, std::vector<std::uint64_t>> id_columns_;
+  mutable std::unordered_map<std::string, ColumnHandle<double>> column_handles_;
+  mutable std::unordered_map<std::string, ColumnHandle<std::uint64_t>> id_handles_;
+  mutable std::unordered_map<std::string, std::optional<SegmentedBitmapIndex>>
+      seg_indices_;
+  mutable std::unordered_map<std::string, std::vector<double>> columns_;  // kEager
+  mutable std::unordered_map<std::string, std::vector<std::uint64_t>>
+      id_columns_;  // kEager
   mutable std::unordered_map<std::string, std::optional<BitmapIndex>> indices_;
   mutable std::unordered_map<std::string, std::optional<IdIndex>> id_indices_;
+
+  template <typename T>
+  std::span<const T> lazy_column(
+      std::unordered_map<std::string, ColumnHandle<T>>& handles,
+      const std::string& name, const char* extension) const;
 };
 
 }  // namespace qdv::io

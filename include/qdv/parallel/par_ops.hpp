@@ -71,10 +71,12 @@ HistogramBatch parallel_histograms(const io::Dataset& dataset,
 /// Engine-shared variant: the condition is evaluated through the engine's
 /// bitvector cache and the dataset's shared tables, so repeated batches —
 /// and any other view driven by the same selection — reuse one evaluation
-/// per timestep. Worker threads hit the cache concurrently. Evaluation uses
-/// the *engine's* EvalMode, not workload.mode (cached bitvectors are
-/// identical under either mode; to time the scan path, construct the
-/// Engine with EvalMode::kScan or use the Dataset overload above).
+/// per timestep. Worker threads hit the cache concurrently, and a
+/// par::Prefetcher reads the next timestep's touched columns ahead of the
+/// workers (DESIGN.md Section 9). Evaluation uses the *engine's* EvalMode,
+/// not workload.mode (cached bitvectors are identical under either mode;
+/// to time the scan path, construct the Engine with EvalMode::kScan or use
+/// the Dataset overload above).
 HistogramBatch parallel_histograms(const core::Engine& engine,
                                    const HistogramWorkload& workload,
                                    VirtualCluster& cluster);

@@ -1,0 +1,77 @@
+// Asynchronous read-ahead for multi-timestep traversals (DESIGN.md
+// Section 9): a background worker that loads the columns and indices a
+// future timestep will touch, so the mapping/page faults of step t+1
+// overlap with the computation of step t. Prefetched residents land in the
+// dataset's shared table cache and memory budget — under budget pressure
+// they compete in the same LRU as everything else, so a prefetch can never
+// grow the footprint past the configured ceiling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/dataset.hpp"
+
+namespace qdv::par {
+
+/// One background worker prefetching (timestep, variables) requests.
+///
+/// Ownership: holds the Dataset by value (shared state), so the dataset
+/// outlives every in-flight request. Thread-safety: request()/wait_idle()
+/// are safe from any thread. Lifetime: the destructor abandons queued
+/// requests, finishes the one in flight, and joins the worker.
+/// Prefetching is advisory — I/O errors are swallowed, and the traversal
+/// that follows simply pays the load itself. The queue is bounded
+/// (@p max_queue): when the consumer falls behind, further requests are
+/// dropped rather than letting read-ahead run unboundedly far ahead and
+/// thrash the memory budget.
+class Prefetcher {
+ public:
+  explicit Prefetcher(io::Dataset dataset, std::size_t max_queue = 16);
+  ~Prefetcher();
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Enqueue loading of @p variables at timestep @p t: for "id" the
+  /// identifier column and id index, otherwise the raw column and — when
+  /// @p value_indices is set — the bitmap-index segment directory (skip it
+  /// for traversals that scan columns only: directories are pinned in the
+  /// budget, so opening unused ones wastes unevictable bytes). Returns
+  /// false when the request was dropped (full queue / out of range).
+  bool request(std::size_t t, std::vector<std::string> variables,
+               bool value_indices = true);
+
+  /// Block until every enqueued request has been served (used by tests and
+  /// ahead-of-loop warming).
+  void wait_idle();
+
+  std::uint64_t completed() const;
+
+ private:
+  struct Job {
+    std::size_t t = 0;
+    std::vector<std::string> variables;
+    bool value_indices = true;
+  };
+
+  void run();
+
+  io::Dataset dataset_;
+  std::size_t max_queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Job> queue_;
+  bool stop_ = false;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace qdv::par

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Fail when the qdv_tool subcommand set and the docs/qdv_tool.md reference
+# diverge: every command printed by `qdv_tool --help` must have a matching
+# `## <command>` heading in the docs, and vice versa.
+#
+# Usage: check_docs_consistency.sh <path-to-qdv_tool> <path-to-qdv_tool.md>
+set -euo pipefail
+
+tool="$1"
+doc="$2"
+
+# Command headings are single lowercase words ("## query"); prose sections
+# ("## Appendix: ...") are ignored.
+help_cmds=$("$tool" --help | awk '/^commands:/{f=1; next} f && NF==0 {exit} f {print $1}' | sort)
+doc_cmds=$(grep -E '^## [a-z_]+$' "$doc" | awk '{print $2}' | sort)
+
+if [ -z "$help_cmds" ]; then
+  echo "error: could not parse a command list from '$tool --help'" >&2
+  exit 1
+fi
+
+if [ "$help_cmds" != "$doc_cmds" ]; then
+  echo "error: docs/qdv_tool.md headings diverge from qdv_tool --help" >&2
+  echo "--- commands from --help / +++ headings from docs" >&2
+  diff <(printf '%s\n' "$help_cmds") <(printf '%s\n' "$doc_cmds") >&2 || true
+  exit 1
+fi
+
+echo "docs consistent:" $help_cmds

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -331,6 +332,38 @@ BitVector BitVector::load(std::istream& in) {
   in.read(reinterpret_cast<char*>(v.words_.data()),
           static_cast<std::streamsize>(nwords * sizeof(std::uint32_t)));
   if (!in) throw std::runtime_error("BitVector::load: truncated stream");
+  return v;
+}
+
+namespace {
+
+// Serialized record layout (matching save()):
+//   nbits (u64) | nwords (u64) | active (u32) | active_bits (u32) | words
+constexpr std::size_t kRecordHeaderBytes = 24;
+
+}  // namespace
+
+std::size_t BitVector::serialized_size(std::span<const std::byte> image,
+                                       std::size_t offset) {
+  const auto nwords = detail::read_unaligned<std::uint64_t>(image, offset + 8);
+  return kRecordHeaderBytes +
+         static_cast<std::size_t>(nwords) * sizeof(std::uint32_t);
+}
+
+BitVector BitVector::load(std::span<const std::byte> image, std::size_t& offset) {
+  BitVector v;
+  v.nbits_ = detail::read_unaligned<std::uint64_t>(image, offset);
+  const auto nwords = detail::read_unaligned<std::uint64_t>(image, offset + 8);
+  v.active_ = detail::read_unaligned<std::uint32_t>(image, offset + 16);
+  v.active_bits_ = detail::read_unaligned<std::uint32_t>(image, offset + 20);
+  const std::size_t payload =
+      static_cast<std::size_t>(nwords) * sizeof(std::uint32_t);
+  if (offset + kRecordHeaderBytes + payload > image.size())
+    throw std::runtime_error("BitVector: truncated serialized image");
+  v.words_.resize(static_cast<std::size_t>(nwords));
+  std::memcpy(v.words_.data(), image.data() + offset + kRecordHeaderBytes,
+              payload);
+  offset += kRecordHeaderBytes + payload;
   return v;
 }
 

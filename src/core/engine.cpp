@@ -9,44 +9,12 @@ namespace qdv::core {
 
 namespace detail {
 
+namespace {
+constexpr std::size_t kDefaultCacheEntries = 1024;
+}  // namespace
+
 std::string entry_key(std::size_t t, const std::string& node_key) {
-  return "t#" + std::to_string(t) + "|" + node_key;
-}
-
-std::shared_ptr<const BitVector> EngineState::lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex);
-  const auto it = by_key.find(key);
-  if (it == by_key.end()) {
-    ++misses;
-    return nullptr;
-  }
-  ++hits;
-  lru.splice(lru.begin(), lru, it->second);  // refresh recency
-  return it->second->bits;
-}
-
-void EngineState::insert(const std::string& key,
-                         std::shared_ptr<const BitVector> bits) {
-  std::lock_guard<std::mutex> lock(mutex);
-  if (const auto it = by_key.find(key); it != by_key.end()) {
-    // A concurrent miss computed the same entry first; keep it.
-    lru.splice(lru.begin(), lru, it->second);
-    return;
-  }
-  lru.push_front(CacheEntry{key, std::move(bits)});
-  by_key.emplace(key, lru.begin());
-  bytes += lru.front().bits->memory_bytes();
-  evict_to_capacity_locked();
-}
-
-void EngineState::evict_to_capacity_locked() {
-  while (lru.size() > capacity) {
-    const CacheEntry& victim = lru.back();
-    bytes -= victim.bits->memory_bytes();
-    by_key.erase(victim.key);
-    lru.pop_back();
-    ++evictions;
-  }
+  return "bv|t#" + std::to_string(t) + "|" + node_key;
 }
 
 BitVector EngineState::compute(const Query& q, std::size_t t) {
@@ -72,18 +40,26 @@ BitVector EngineState::compute(const Query& q, std::size_t t) {
 std::shared_ptr<const BitVector> EngineState::evaluate(const Query& q,
                                                        std::size_t t) {
   const std::string key = entry_key(t, q.to_string());
-  if (auto cached = lookup(key)) return cached;
+  if (auto cached = budget->get(key, io::ResidentClass::kBitVector)) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return std::static_pointer_cast<const BitVector>(cached);
+  }
+  misses.fetch_add(1, std::memory_order_relaxed);
   auto bits = std::make_shared<const BitVector>(compute(q, t));
-  insert(key, bits);
+  budget->put(key, bits, bits->memory_bytes(), io::ResidentClass::kBitVector);
   return bits;
 }
 
 std::shared_ptr<const BitVector> EngineState::all_rows(std::size_t t) {
   const std::string key = entry_key(t, "<all records>");
-  if (auto cached = lookup(key)) return cached;
+  if (auto cached = budget->get(key, io::ResidentClass::kBitVector)) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return std::static_pointer_cast<const BitVector>(cached);
+  }
+  misses.fetch_add(1, std::memory_order_relaxed);
   auto bits =
       std::make_shared<const BitVector>(BitVector::ones(dataset.table(t).num_rows()));
-  insert(key, bits);
+  budget->put(key, bits, bits->memory_bytes(), io::ResidentClass::kBitVector);
   return bits;
 }
 
@@ -97,6 +73,11 @@ Engine::Engine(io::Dataset dataset, EvalMode mode)
     : state_(std::make_shared<detail::EngineState>()) {
   state_->dataset = std::move(dataset);
   state_->mode = mode;
+  state_->budget = state_->dataset.memory_budget();
+  if (state_->budget->class_entry_cap(io::ResidentClass::kBitVector) ==
+      io::MemoryBudget::kNoEntryCap)
+    state_->budget->set_class_entry_cap(io::ResidentClass::kBitVector,
+                                        detail::kDefaultCacheEntries);
 }
 
 const io::Dataset& Engine::dataset() const { return state_->dataset; }
@@ -118,32 +99,42 @@ Selection Engine::select(QueryPtr query) const {
 Selection Engine::all() const { return select(QueryPtr{}); }
 
 EngineStats Engine::stats() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
   EngineStats s;
-  s.hits = state_->hits;
-  s.misses = state_->misses;
-  s.evictions = state_->evictions;
-  s.entries = state_->lru.size();
-  s.bytes = state_->bytes;
+  s.hits = state_->hits.load(std::memory_order_relaxed);
+  s.misses = state_->misses.load(std::memory_order_relaxed);
+  const io::MemoryBudgetStats b = state_->budget->stats();
+  s.entries = b.of(io::ResidentClass::kBitVector).entries;
+  s.bytes = b.of(io::ResidentClass::kBitVector).bytes;
+  s.evictions = b.of(io::ResidentClass::kBitVector).evictions;
+  s.budget_bytes = b.budget_bytes;
+  s.resident_bytes = b.resident_bytes;
+  s.column_bytes = b.of(io::ResidentClass::kColumn).bytes;
+  s.segment_bytes = b.of(io::ResidentClass::kIndexSegment).bytes;
+  // I/O volume only: bitvectors are computed in memory, not read from disk.
+  s.loaded_bytes = b.of(io::ResidentClass::kColumn).loaded_bytes +
+                   b.of(io::ResidentClass::kIndexSegment).loaded_bytes;
+  s.io_evictions = b.of(io::ResidentClass::kColumn).evictions +
+                   b.of(io::ResidentClass::kIndexSegment).evictions;
   return s;
 }
 
 void Engine::clear_cache() {
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  state_->lru.clear();
-  state_->by_key.clear();
-  state_->bytes = 0;
+  state_->budget->clear_class(io::ResidentClass::kBitVector);
 }
 
 void Engine::set_cache_capacity(std::size_t entries) {
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  state_->capacity = std::max<std::size_t>(1, entries);
-  state_->evict_to_capacity_locked();
+  state_->budget->set_class_entry_cap(io::ResidentClass::kBitVector,
+                                      std::max<std::size_t>(1, entries));
 }
 
 std::size_t Engine::cache_capacity() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  return state_->capacity;
+  return state_->budget->class_entry_cap(io::ResidentClass::kBitVector);
 }
+
+void Engine::set_memory_budget(std::uint64_t bytes) {
+  state_->budget->set_budget(bytes);
+}
+
+std::uint64_t Engine::memory_budget() const { return state_->budget->budget(); }
 
 }  // namespace qdv::core

@@ -1,18 +1,18 @@
-// Shared mutable state behind Engine and Selection handles: the dataset plus
-// the thread-safe LRU cache of evaluated per-timestep bitvectors. Private to
-// src/core — the public API never exposes this type completely.
+// Shared mutable state behind Engine and Selection handles: the dataset
+// plus the unified memory budget that caches evaluated per-timestep
+// bitvectors alongside the io layer's mapped columns and index segments.
+// Private to src/core — the public API never exposes this type completely.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "bitmap/bitvector.hpp"
 #include "core/plan.hpp"
 #include "io/dataset.hpp"
+#include "io/memory_budget.hpp"
 
 namespace qdv::core::detail {
 
@@ -20,22 +20,14 @@ struct EngineState {
   io::Dataset dataset;
   EvalMode mode = EvalMode::kAuto;
 
-  struct CacheEntry {
-    std::string key;
-    std::shared_ptr<const BitVector> bits;
-  };
-
-  // All cache fields are guarded by `mutex`. Evaluation happens outside the
-  // lock: two threads missing the same key may both compute it (idempotent;
-  // one result wins), but no lock is ever held across I/O or bit operations.
-  mutable std::mutex mutex;
-  std::size_t capacity = 1024;               // entries
-  std::list<CacheEntry> lru;                 // front = most recently used
-  std::unordered_map<std::string, std::list<CacheEntry>::iterator> by_key;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t bytes = 0;                   // compressed bytes held
+  // The dataset's budget, adopted at Engine construction: bitvector cache
+  // entries (ResidentClass::kBitVector) live next to the io residents, so
+  // one byte ceiling governs everything the engine can re-create from disk.
+  // Evaluation happens outside the budget's lock: two threads missing the
+  // same key may both compute it (idempotent; the first insert wins).
+  std::shared_ptr<io::MemoryBudget> budget;
+  std::atomic<std::uint64_t> hits{0};    // bitvector evaluations from cache
+  std::atomic<std::uint64_t> misses{0};  // bitvector evaluations computed
 
   /// Cached evaluation of one canonical AST node at timestep @p t. Every
   /// node of the tree is cached under its own key, so a refined selection
@@ -45,13 +37,8 @@ struct EngineState {
   /// Cached all-rows bitvector of timestep @p t (the match-everything plan).
   std::shared_ptr<const BitVector> all_rows(std::size_t t);
 
-  /// Drop LRU entries until size <= capacity. Caller must hold `mutex`.
-  void evict_to_capacity_locked();
-
  private:
   BitVector compute(const Query& canonical, std::size_t t);
-  std::shared_ptr<const BitVector> lookup(const std::string& key);
-  void insert(const std::string& key, std::shared_ptr<const BitVector> bits);
 };
 
 /// Cache key of one (timestep, canonical node) pair.

@@ -228,8 +228,9 @@ void collect_steps(const Query& q, const io::TimestepTable* probe,
       PredicateStep step;
       step.predicate = cq.to_string();
       step.variable = cq.variable();
-      step.access = (!probe || probe->index(cq.variable())) ? AccessPath::kBitmapIndex
-                                                            : AccessPath::kScan;
+      step.access = (!probe || probe->has_value_index(cq.variable()))
+                        ? AccessPath::kBitmapIndex
+                        : AccessPath::kScan;
       steps.push_back(std::move(step));
       return;
     }
@@ -242,7 +243,7 @@ void collect_steps(const Query& q, const io::TimestepTable* probe,
       if (vq.interval().empty())
         step.access = AccessPath::kConstant;
       else
-        step.access = (!probe || probe->index(vq.variable()))
+        step.access = (!probe || probe->has_value_index(vq.variable()))
                           ? AccessPath::kBitmapIndex
                           : AccessPath::kScan;
       steps.push_back(std::move(step));
@@ -253,8 +254,9 @@ void collect_steps(const Query& q, const io::TimestepTable* probe,
       PredicateStep step;
       step.predicate = iq.to_string();
       step.variable = iq.variable();
-      step.access = (!probe || probe->id_index(iq.variable())) ? AccessPath::kIdIndex
-                                                               : AccessPath::kScan;
+      step.access = (!probe || probe->has_id_index(iq.variable()))
+                        ? AccessPath::kIdIndex
+                        : AccessPath::kScan;
       steps.push_back(std::move(step));
       return;
     }
@@ -284,6 +286,14 @@ ExecutionPlan plan_query(QueryPtr query, const io::TimestepTable* probe) {
   plan.key_ = cache_key(*plan.canonical_);
   collect_steps(*plan.canonical_, probe, plan.steps_);
   return plan;
+}
+
+std::vector<std::string> ExecutionPlan::variables() const {
+  std::vector<std::string> out;
+  for (const PredicateStep& step : steps_)
+    if (std::find(out.begin(), out.end(), step.variable) == out.end())
+      out.push_back(step.variable);
+  return out;
 }
 
 std::string ExecutionPlan::explain() const {

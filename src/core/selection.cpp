@@ -1,5 +1,6 @@
 #include "core/selection.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 #include "engine_state.hpp"
@@ -88,7 +89,27 @@ const QueryPtr& Selection::query() const {
 
 const std::string& Selection::cache_key() const { return plan().key(); }
 
-std::string Selection::explain() const { return plan().explain(); }
+std::string Selection::explain() const {
+  std::string out = plan().explain();
+  if (!state_) return out;
+  // Live cache / memory-budget snapshot (the engine-side counters the plan
+  // alone cannot know).
+  const io::MemoryBudgetStats b = state_->budget->stats();
+  std::ostringstream os;
+  os << "cache:     " << state_->hits.load() << " hits, "
+     << state_->misses.load() << " misses, "
+     << b.of(io::ResidentClass::kBitVector).entries << " bitvectors ("
+     << b.of(io::ResidentClass::kBitVector).bytes << " B)\n";
+  os << "memory:    resident " << b.resident_bytes << " B";
+  if (b.budget_bytes == io::MemoryBudget::kUnlimited)
+    os << " (no budget)";
+  else
+    os << " / budget " << b.budget_bytes << " B";
+  os << ", columns " << b.of(io::ResidentClass::kColumn).bytes
+     << " B, segments " << b.of(io::ResidentClass::kIndexSegment).bytes
+     << " B, evictions " << b.evictions << "\n";
+  return out + os.str();
+}
 
 Engine Selection::engine() const {
   Engine e;

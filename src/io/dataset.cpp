@@ -1,6 +1,7 @@
 #include "io/dataset.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -18,6 +19,8 @@ std::string step_dir_name(std::size_t t) {
 struct Dataset::Impl {
   std::filesystem::path dir;
   std::size_t timesteps = 0;
+  LoadMode mode = LoadMode::kLazy;
+  std::shared_ptr<MemoryBudget> budget;
   std::vector<std::string> variables;
   std::unordered_map<std::string, std::pair<double, double>> domains;
 
@@ -25,9 +28,25 @@ struct Dataset::Impl {
   mutable std::vector<std::shared_ptr<TimestepTable>> cache;
 };
 
+OpenOptions default_open_options() {
+  OpenOptions options;
+  if (const char* env = std::getenv("QDV_MEMORY_BUDGET")) {
+    const long long bytes = std::atoll(env);
+    if (bytes > 0) options.budget_bytes = static_cast<std::uint64_t>(bytes);
+  }
+  return options;
+}
+
 Dataset Dataset::open(const std::filesystem::path& dir) {
+  return open(dir, default_open_options());
+}
+
+Dataset Dataset::open(const std::filesystem::path& dir,
+                      const OpenOptions& options) {
   auto impl = std::make_shared<Impl>();
   impl->dir = dir;
+  impl->mode = options.mode;
+  impl->budget = std::make_shared<MemoryBudget>(options.budget_bytes);
   std::ifstream manifest(dir / kManifestName);
   if (!manifest)
     throw std::runtime_error("not a qdv dataset (no " + std::string(kManifestName) +
@@ -74,14 +93,20 @@ const TimestepTable& Dataset::table(std::size_t t) const {
     throw std::out_of_range("timestep out of range: " + std::to_string(t));
   std::lock_guard<std::mutex> lock(impl_->mutex);
   if (!impl_->cache[t])
-    impl_->cache[t] = std::make_shared<TimestepTable>(step_dir(t), t);
+    impl_->cache[t] = std::make_shared<TimestepTable>(step_dir(t), t,
+                                                      impl_->mode, impl_->budget);
   return *impl_->cache[t];
 }
 
-std::shared_ptr<TimestepTable> Dataset::open_table(std::size_t t) const {
+std::shared_ptr<TimestepTable> Dataset::open_table(std::size_t t,
+                                                   LoadMode mode) const {
   if (t >= impl_->timesteps)
     throw std::out_of_range("timestep out of range: " + std::to_string(t));
-  return std::make_shared<TimestepTable>(step_dir(t), t);
+  return std::make_shared<TimestepTable>(step_dir(t), t, mode);
+}
+
+const std::shared_ptr<MemoryBudget>& Dataset::memory_budget() const {
+  return impl_->budget;
 }
 
 std::pair<double, double> Dataset::global_domain(const std::string& name) const {
@@ -102,6 +127,9 @@ std::uint64_t Dataset::disk_bytes() const {
 void Dataset::drop_cache() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   for (auto& table : impl_->cache) table.reset();
+  // Residents charged by the dropped tables (and bitvectors derived from
+  // them) are gone with the tables; reset the budget accounting to match.
+  impl_->budget->clear();
 }
 
 }  // namespace qdv::io

@@ -1,0 +1,94 @@
+#include "io/mapped_file.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QDV_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define QDV_HAVE_MMAP 0
+#endif
+
+namespace qdv::io {
+
+namespace {
+
+bool mmap_disabled() {
+  const char* env = std::getenv("QDV_NO_MMAP");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::vector<std::byte> read_whole_file(const std::filesystem::path& file,
+                                       std::size_t size) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file " + file.string());
+  std::vector<std::byte> data(size);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("short read from " + file.string());
+  return data;
+}
+
+}  // namespace
+
+std::shared_ptr<MappedFile> MappedFile::map(const std::filesystem::path& file) {
+  auto out = std::shared_ptr<MappedFile>(new MappedFile());
+  out->path_ = file;
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(file, ec);
+  if (ec) throw std::runtime_error("cannot stat file " + file.string());
+  out->size_ = static_cast<std::size_t>(size);
+  if (out->size_ == 0) return out;  // empty file: empty span, nothing to map
+
+#if QDV_HAVE_MMAP
+  if (!mmap_disabled()) {
+    const int fd = ::open(file.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      void* addr = ::mmap(nullptr, out->size_, PROT_READ, MAP_SHARED, fd, 0);
+      ::close(fd);  // the mapping keeps its own reference to the file
+      if (addr != MAP_FAILED) {
+        out->data_ = static_cast<const std::byte*>(addr);
+        out->mmapped_ = true;
+        return out;
+      }
+    }
+  }
+#endif
+  out->fallback_ = read_whole_file(file, out->size_);
+  out->data_ = out->fallback_.data();
+  return out;
+}
+
+MappedFile::~MappedFile() {
+#if QDV_HAVE_MMAP
+  if (mmapped_ && data_ != nullptr)
+    ::munmap(const_cast<std::byte*>(data_), size_);
+#endif
+}
+
+void MappedFile::advise_sequential() const {
+#if QDV_HAVE_MMAP
+  if (mmapped_ && data_ != nullptr)
+    ::madvise(const_cast<std::byte*>(data_), size_, MADV_SEQUENTIAL);
+#endif
+}
+
+void MappedFile::advise_willneed() const {
+#if QDV_HAVE_MMAP
+  if (mmapped_ && data_ != nullptr)
+    ::madvise(const_cast<std::byte*>(data_), size_, MADV_WILLNEED);
+#endif
+}
+
+void MappedFile::release_pages() const {
+#if QDV_HAVE_MMAP
+  if (mmapped_ && data_ != nullptr)
+    ::madvise(const_cast<std::byte*>(data_), size_, MADV_DONTNEED);
+#endif
+}
+
+}  // namespace qdv::io

@@ -1,0 +1,148 @@
+#include "io/memory_budget.hpp"
+
+namespace qdv::io {
+
+namespace {
+unsigned idx(ResidentClass cls) { return static_cast<unsigned>(cls); }
+}  // namespace
+
+MemoryBudget::MemoryBudget(std::uint64_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+std::shared_ptr<const void> MemoryBudget::get(const std::string& key,
+                                              ResidentClass cls) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    ++cls_[idx(cls)].misses;
+    return nullptr;
+  }
+  ++cls_[idx(cls)].hits;
+  Entry& entry = *it->second;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  if (!entry.pinned) {
+    ClassList& clist = class_lru_[idx(entry.cls)];
+    clist.splice(clist.begin(), clist, entry.class_pos);
+  }
+  return entry.payload;
+}
+
+void MemoryBudget::put(const std::string& key,
+                       std::shared_ptr<const void> payload, std::uint64_t bytes,
+                       ResidentClass cls, ReleaseHook on_evict, bool pinned) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    // A concurrent miss charged the same resident first; keep it.
+    Entry& entry = *it->second;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (!entry.pinned) {
+      ClassList& clist = class_lru_[idx(entry.cls)];
+      clist.splice(clist.begin(), clist, entry.class_pos);
+    }
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(payload), bytes, cls,
+                        std::move(on_evict), pinned, {}});
+  if (!pinned) {
+    class_lru_[idx(cls)].push_front(lru_.begin());
+    lru_.front().class_pos = class_lru_[idx(cls)].begin();
+  }
+  by_key_.emplace(key, lru_.begin());
+  resident_bytes_ += bytes;
+  ++cls_[idx(cls)].entries;
+  cls_[idx(cls)].bytes += bytes;
+  cls_[idx(cls)].loaded_bytes += bytes;
+  enforce_locked();
+}
+
+void MemoryBudget::remove_locked(EntryList::iterator it, bool count_eviction) {
+  if (it->on_evict) it->on_evict();
+  resident_bytes_ -= it->bytes;
+  --cls_[idx(it->cls)].entries;
+  cls_[idx(it->cls)].bytes -= it->bytes;
+  if (count_eviction) ++cls_[idx(it->cls)].evictions;
+  if (!it->pinned) class_lru_[idx(it->cls)].erase(it->class_pos);
+  by_key_.erase(it->key);
+  lru_.erase(it);
+}
+
+void MemoryBudget::enforce_locked() {
+  // Byte budget: walk from the LRU tail, skipping pinned residents.
+  if (budget_bytes_ != kUnlimited && resident_bytes_ > budget_bytes_) {
+    auto it = lru_.end();
+    while (it != lru_.begin() && resident_bytes_ > budget_bytes_) {
+      --it;
+      if (it->pinned) continue;
+      auto victim = it++;
+      remove_locked(victim, /*count_eviction=*/true);
+    }
+  }
+  // Per-class entry caps (the engine's bitvector-cache capacity knob): pop
+  // that class's own recency tail — pinned entries never appear in it.
+  for (unsigned c = 0; c < kNumResidentClasses; ++c) {
+    if (entry_caps_[c] == kNoEntryCap) continue;
+    while (cls_[c].entries > entry_caps_[c] && !class_lru_[c].empty())
+      remove_locked(class_lru_[c].back(), /*count_eviction=*/true);
+  }
+}
+
+void MemoryBudget::erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) remove_locked(it->second, /*count_eviction=*/false);
+}
+
+void MemoryBudget::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!lru_.empty()) remove_locked(lru_.begin(), /*count_eviction=*/false);
+}
+
+void MemoryBudget::clear_class(ResidentClass cls) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!class_lru_[idx(cls)].empty())
+    remove_locked(class_lru_[idx(cls)].back(), /*count_eviction=*/false);
+  // Pinned entries of the class are not in the recency list; drop them too.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto entry = it++;
+    if (entry->cls == cls) remove_locked(entry, /*count_eviction=*/false);
+  }
+}
+
+void MemoryBudget::set_budget(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_bytes_ = bytes;
+  enforce_locked();
+}
+
+std::uint64_t MemoryBudget::budget() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_bytes_;
+}
+
+void MemoryBudget::set_class_entry_cap(ResidentClass cls,
+                                       std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entry_caps_[idx(cls)] = max_entries;
+  enforce_locked();
+}
+
+std::size_t MemoryBudget::class_entry_cap(ResidentClass cls) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_caps_[idx(cls)];
+}
+
+MemoryBudgetStats MemoryBudget::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MemoryBudgetStats s;
+  s.budget_bytes = budget_bytes_;
+  s.resident_bytes = resident_bytes_;
+  s.entries = lru_.size();
+  for (unsigned c = 0; c < kNumResidentClasses; ++c) {
+    s.cls[c] = cls_[c];
+    s.evictions += cls_[c].evictions;
+    s.loaded_bytes += cls_[c].loaded_bytes;
+  }
+  return s;
+}
+
+}  // namespace qdv::io

@@ -23,8 +23,10 @@ std::vector<T> read_binary_column(const std::filesystem::path& file,
 
 }  // namespace
 
-TimestepTable::TimestepTable(std::filesystem::path dir, std::size_t step)
-    : dir_(std::move(dir)), step_(step) {
+TimestepTable::TimestepTable(std::filesystem::path dir, std::size_t step,
+                             LoadMode mode, std::shared_ptr<MemoryBudget> budget)
+    : dir_(std::move(dir)), step_(step), mode_(mode), budget_(std::move(budget)) {
+  budget_prefix_ = dir_.string();
   std::ifstream meta(dir_ / "meta.txt");
   if (!meta)
     throw std::runtime_error("timestep has no meta.txt: " + dir_.string());
@@ -45,7 +47,35 @@ TimestepTable::TimestepTable(std::filesystem::path dir, std::size_t step)
   }
 }
 
+template <typename T>
+std::span<const T> TimestepTable::lazy_column(
+    std::unordered_map<std::string, ColumnHandle<T>>& handles,
+    const std::string& name, const char* extension) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = handles.find(name);
+  if (it == handles.end())
+    it = handles.emplace(name, ColumnHandle<T>(dir_ / (name + extension), rows_))
+             .first;
+  ColumnHandle<T>& handle = it->second;
+  if (!budget_) return handle.load();
+  const std::string key = budget_prefix_ + "|col|" + name;
+  if (budget_->get(key, ResidentClass::kColumn) && handle.loaded())
+    return handle.values();
+  const std::span<const T> values = handle.load();
+  // A column larger than the whole budget streams through the page cache:
+  // hint sequential access and let put() evict the charge right back out —
+  // the mapping (and every span into it) stays valid regardless.
+  if (budget_->budget() != MemoryBudget::kUnlimited &&
+      handle.bytes() > budget_->budget())
+    handle.mapping()->advise_sequential();
+  budget_->put(key, handle.mapping(), handle.bytes(), ResidentClass::kColumn,
+               [mapping = handle.mapping()] { mapping->release_pages(); });
+  return values;
+}
+
 std::span<const double> TimestepTable::column(const std::string& name) const {
+  if (mode_ == LoadMode::kLazy)
+    return lazy_column(column_handles_, name, ".f64");
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = columns_.find(name);
   if (it == columns_.end()) {
@@ -57,6 +87,7 @@ std::span<const double> TimestepTable::column(const std::string& name) const {
 }
 
 std::span<const std::uint64_t> TimestepTable::id_column(const std::string& name) const {
+  if (mode_ == LoadMode::kLazy) return lazy_column(id_handles_, name, ".u64");
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = id_columns_.find(name);
   if (it == id_columns_.end()) {
@@ -66,6 +97,47 @@ std::span<const std::uint64_t> TimestepTable::id_column(const std::string& name)
              .first;
   }
   return it->second;
+}
+
+void TimestepTable::prefetch_column(const std::string& name) const {
+  (void)column(name);  // map (kLazy) or read (kEager) + charge the budget
+  if (mode_ != LoadMode::kLazy) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = column_handles_.find(name);
+  if (it != column_handles_.end() && it->second.loaded())
+    it->second.mapping()->advise_willneed();
+}
+
+void TimestepTable::prefetch_id_column(const std::string& name) const {
+  (void)id_column(name);
+  if (mode_ != LoadMode::kLazy) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = id_handles_.find(name);
+  if (it != id_handles_.end() && it->second.loaded())
+    it->second.mapping()->advise_willneed();
+}
+
+const SegmentedBitmapIndex* TimestepTable::value_index(
+    const std::string& name) const {
+  if (mode_ == LoadMode::kEager) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = seg_indices_.find(name);
+  if (it == seg_indices_.end()) {
+    std::optional<SegmentedBitmapIndex> opened;
+    const std::filesystem::path file = dir_ / (name + ".bmi");
+    if (std::filesystem::exists(file)) {
+      auto mapped = MappedFile::map(file);
+      opened = SegmentedBitmapIndex::open(mapped->bytes(), mapped);
+      // The directory (edges + offsets) is pinned: raw pointers to the
+      // index are handed out, so it must never be evicted.
+      if (budget_)
+        budget_->put(budget_prefix_ + "|idxmeta|" + name, mapped,
+                     opened->metadata_bytes(), ResidentClass::kIndexSegment,
+                     {}, /*pinned=*/true);
+    }
+    it = seg_indices_.emplace(name, std::move(opened)).first;
+  }
+  return it->second ? &*it->second : nullptr;
 }
 
 const BitmapIndex* TimestepTable::index(const std::string& name) const {
@@ -88,15 +160,44 @@ const IdIndex* TimestepTable::id_index(const std::string& name) const {
     std::optional<IdIndex> loaded;
     const std::filesystem::path file = dir_ / (name + ".idi");
     if (std::ifstream in(file, std::ios::binary); in) loaded = IdIndex::load(in);
+    // Pinned accounting-only charge: the id index is handed out as a raw
+    // pointer and must stay whole for binary search.
+    if (loaded && budget_)
+      budget_->put(budget_prefix_ + "|ididx|" + name, nullptr,
+                   loaded->memory_bytes(), ResidentClass::kIndexSegment, {},
+                   /*pinned=*/true);
     it = id_indices_.emplace(name, std::move(loaded)).first;
   }
   return it->second ? &*it->second : nullptr;
+}
+
+bool TimestepTable::has_value_index(const std::string& name) const {
+  return std::filesystem::exists(dir_ / (name + ".bmi"));
+}
+
+bool TimestepTable::has_id_index(const std::string& name) const {
+  return std::filesystem::exists(dir_ / (name + ".idi"));
 }
 
 bool TimestepTable::has_indices() const {
   for (const std::string& var : variables_)
     if (std::filesystem::exists(dir_ / (var + ".bmi"))) return true;
   return std::filesystem::exists(dir_ / "id.idi");
+}
+
+SegmentedBitmapIndex::SegmentFetch TimestepTable::segment_fetch(
+    const std::string& name, const SegmentedBitmapIndex& idx) const {
+  if (!budget_) return {};  // no budget: decode directly, cache nothing
+  return [budget = budget_, prefix = budget_prefix_ + "|seg|" + name + "|",
+          index = &idx](std::size_t s) {
+    const std::string key = prefix + std::to_string(s);
+    if (auto cached = budget->get(key, ResidentClass::kIndexSegment))
+      return std::static_pointer_cast<const BitVector>(cached);
+    auto decoded = std::make_shared<const BitVector>(index->decode_segment(s));
+    budget->put(key, decoded, decoded->memory_bytes(),
+                ResidentClass::kIndexSegment);
+    return std::shared_ptr<const BitVector>(decoded);
+  };
 }
 
 std::pair<double, double> TimestepTable::domain(const std::string& name) const {
@@ -117,14 +218,23 @@ BitVector scan_interval(const TimestepTable& table, const std::string& variable,
 }
 
 /// Shared index-first path of kCompare and kInterval: two-step evaluation
-/// when an index exists, sequential scan otherwise.
+/// when an index exists, sequential scan otherwise. The lazy path decodes
+/// only the per-bin segments the interval's bin coverage touches.
 BitVector eval_interval(const TimestepTable& table, const std::string& variable,
                         const Interval& iv, EvalMode mode, std::uint64_t rows) {
   if (mode != EvalMode::kScan) {
-    if (const BitmapIndex* idx = table.index(variable)) {
+    if (table.load_mode() == LoadMode::kLazy) {
+      if (const SegmentedBitmapIndex* idx = table.value_index(variable)) {
+        ApproxAnswer approx =
+            idx->evaluate_approx(iv, table.segment_fetch(variable, *idx));
+        // Load the raw column only when boundary bins need checking —
+        // index-only answers (precision binning) never touch the data.
+        if (approx.candidates.count() == 0) return std::move(approx.hits);
+        return detail::resolve_candidates(iv, std::move(approx),
+                                          table.column(variable), rows);
+      }
+    } else if (const BitmapIndex* idx = table.index(variable)) {
       ApproxAnswer approx = idx->evaluate_approx(iv);
-      // Load the raw column only when boundary bins need checking —
-      // index-only answers (precision binning) never touch the data.
       if (approx.candidates.count() == 0) return std::move(approx.hits);
       return detail::resolve_candidates(iv, std::move(approx),
                                         table.column(variable), rows);

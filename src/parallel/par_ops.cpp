@@ -1,12 +1,15 @@
 #include "parallel/par_ops.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include "core/custom_scan.hpp"
+#include "parallel/prefetch.hpp"
 
 namespace qdv::par {
 
@@ -109,7 +112,30 @@ HistogramBatch parallel_histograms(const core::Engine& engine,
   const core::Selection selection = workload.condition
                                         ? engine.select(workload.condition)
                                         : engine.all();
+  // Read-ahead for sequential traversals: while timestep t computes, the
+  // prefetcher loads the columns and index directories timestep t+1 will
+  // touch (plan leaves + histogram axes). With several host threads the
+  // workers overlap their own I/O (t+1 is already claimed by a peer), so
+  // the prefetcher would only duplicate work — skip it.
+  // Plan variables get their index directories too; axis-only variables
+  // are read as raw columns by the histogram path, so their (pinned)
+  // directories are not opened.
+  const std::vector<std::string> plan_vars = selection.plan().variables();
+  std::vector<std::string> axis_vars;
+  for (const auto& [x, y] : workload.pairs) {
+    for (const std::string& v : {x, y})
+      if (std::find(plan_vars.begin(), plan_vars.end(), v) == plan_vars.end() &&
+          std::find(axis_vars.begin(), axis_vars.end(), v) == axis_vars.end())
+        axis_vars.push_back(v);
+  }
+  std::optional<Prefetcher> prefetch;
+  if (cluster.host_threads() == 1) prefetch.emplace(engine.dataset());
   batch.run = cluster.run(engine.num_timesteps(), [&](std::size_t t) {
+    if (prefetch) {
+      if (!plan_vars.empty()) prefetch->request(t + 1, plan_vars);
+      if (!axis_vars.empty())
+        prefetch->request(t + 1, axis_vars, /*value_indices=*/false);
+    }
     std::uint64_t local = 0;
     for (const auto& [x, y] : workload.pairs) {
       const Histogram2D h = selection.histogram2d(t, x, y, workload.nbins,
@@ -142,7 +168,10 @@ TrackBatch parallel_track(const core::Engine& engine,
   TrackBatch batch;
   std::atomic<std::uint64_t> hits{0};
   const core::Selection selection = engine.select(Query::id_in("id", ids));
+  std::optional<Prefetcher> prefetch;
+  if (cluster.host_threads() == 1) prefetch.emplace(engine.dataset());
   batch.run = cluster.run(engine.num_timesteps(), [&](std::size_t t) {
+    if (prefetch) prefetch->request(t + 1, {"id"});
     hits.fetch_add(selection.count(t), std::memory_order_relaxed);
   });
   batch.total_hits = hits.load();

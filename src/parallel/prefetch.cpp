@@ -1,0 +1,79 @@
+#include "parallel/prefetch.hpp"
+
+#include <algorithm>
+
+namespace qdv::par {
+
+Prefetcher::Prefetcher(io::Dataset dataset, std::size_t max_queue)
+    : dataset_(std::move(dataset)),
+      max_queue_(std::max<std::size_t>(1, max_queue)),
+      worker_([this] { run(); }) {}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    queue_.clear();  // abandon what has not started; finish the in-flight one
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+bool Prefetcher::request(std::size_t t, std::vector<std::string> variables,
+                         bool value_indices) {
+  if (t >= dataset_.num_timesteps()) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || queue_.size() >= max_queue_) return false;
+    queue_.push_back(Job{t, std::move(variables), value_indices});
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void Prefetcher::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+std::uint64_t Prefetcher::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void Prefetcher::run() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      const io::TimestepTable& table = dataset_.table(job.t);
+      for (const std::string& var : job.variables) {
+        if (var == "id") {
+          table.prefetch_id_column("id");  // map + kernel read-ahead
+          (void)table.id_index("id");
+        } else {
+          table.prefetch_column(var);
+          if (job.value_indices)
+            (void)table.value_index(var);  // opens the segment directory only
+        }
+      }
+    } catch (...) {
+      // Advisory: a failed prefetch just means the traversal pays the load.
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+      ++completed_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace qdv::par

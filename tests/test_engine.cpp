@@ -16,6 +16,13 @@ namespace {
 
 using namespace qdv;
 
+/// True when the suite runs under a byte budget (QDV_MEMORY_BUDGET, set by
+/// the test_engine_budgeted ctest variant). Eviction pressure makes exact
+/// hit/miss/entry counts nondeterministic, so the strict accounting checks
+/// are skipped — every correctness check still runs, which is the point:
+/// all query paths must produce identical answers out-of-core.
+bool budgeted() { return std::getenv("QDV_MEMORY_BUDGET") != nullptr; }
+
 const std::filesystem::path& dataset_dir() {
   static const std::filesystem::path dir = [] {
     const std::filesystem::path d = qdv::test::scratch_dir("engine");
@@ -81,25 +88,34 @@ void test_cache_accounting() {
 
   const std::uint64_t cold = sel.count(37);
   const core::EngineStats after_cold = engine.stats();
-  CHECK_EQ(after_cold.hits, 0u);
-  CHECK(after_cold.misses >= 3);  // root + two leaves
-  CHECK(after_cold.entries >= 3);
-  CHECK(after_cold.bytes > 0);
-
-  CHECK_EQ(sel.count(37), cold);  // warm: answered from the cache
-  const core::EngineStats after_warm = engine.stats();
-  CHECK_EQ(after_warm.hits, after_cold.hits + 1);
-  CHECK_EQ(after_warm.misses, after_cold.misses);
-
-  // Refinement shares the leaf bitvectors it inherits.
+  CHECK_EQ(sel.count(37), cold);  // warm: same answer, evictions or not
   const core::Selection refined = sel.refine("x >= 0");
   (void)refined.count(37);
-  const core::EngineStats after_refine = engine.stats();
-  CHECK(after_refine.hits >= after_warm.hits + 2);  // px and y leaves reused
+  (void)sel.count(20);  // a different timestep is a different cache entry
 
-  // A different timestep is a different cache entry.
-  (void)sel.count(20);
-  CHECK_EQ(engine.stats().misses, after_refine.misses + 3);
+  if (!budgeted()) {
+    CHECK_EQ(after_cold.hits, 0u);
+    CHECK(after_cold.misses >= 3);  // root + two leaves
+    CHECK(after_cold.entries >= 3);
+    CHECK(after_cold.bytes > 0);
+
+    core::Engine strict = core::Engine::open(dataset_dir());
+    const core::Selection s2 = strict.select("px > 8.872e10 && y > 0");
+    (void)s2.count(37);
+    const core::EngineStats c2 = strict.stats();
+    (void)s2.count(37);  // warm: answered from the cache
+    const core::EngineStats w2 = strict.stats();
+    CHECK_EQ(w2.hits, c2.hits + 1);
+    CHECK_EQ(w2.misses, c2.misses);
+
+    // Refinement shares the leaf bitvectors it inherits.
+    (void)s2.refine("x >= 0").count(37);
+    const core::EngineStats r2 = strict.stats();
+    CHECK(r2.hits >= w2.hits + 2);  // px and y leaves reused
+
+    (void)s2.count(20);
+    CHECK_EQ(strict.stats().misses, r2.misses + 3);
+  }
 
   engine.clear_cache();
   CHECK_EQ(engine.stats().entries, 0u);
@@ -139,9 +155,11 @@ void test_session_views_share_cache() {
   CHECK_EQ(hists.size(), 2u);
   CHECK_EQ(hists[0].total(), count);
   (void)session.render_parallel_coordinates(t, axes);
-  const core::EngineStats stats = session.engine().stats();
-  CHECK(stats.hits >= 1);
-  CHECK_EQ(stats.misses, 1u);  // the single focus leaf, evaluated once
+  if (!budgeted()) {
+    const core::EngineStats stats = session.engine().stats();
+    CHECK(stats.hits >= 1);
+    CHECK_EQ(stats.misses, 1u);  // the single focus leaf, evaluated once
+  }
 
   // Selection handles agree with the session facade.
   const core::Selection sel = session.engine().select("px > 8.872e10");
@@ -187,9 +205,11 @@ void test_parallel_paths_share_engine_cache() {
   const core::EngineStats between = engine.stats();
   const par::HistogramBatch warm = par::parallel_histograms(engine, workload, cluster);
   CHECK_EQ(warm.total_records, cold.total_records);
-  const core::EngineStats after = engine.stats();
-  CHECK_EQ(after.misses, between.misses);  // warm batch: all timesteps cached
-  CHECK(after.hits >= between.hits + engine.num_timesteps());
+  if (!budgeted()) {
+    const core::EngineStats after = engine.stats();
+    CHECK_EQ(after.misses, between.misses);  // warm batch: all timesteps cached
+    CHECK(after.hits >= between.hits + engine.num_timesteps());
+  }
 
   // Engine-shared id tracking agrees with the per-table path.
   std::vector<std::uint64_t> ids = engine.select("px > 8.872e10").ids(37);
