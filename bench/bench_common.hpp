@@ -9,19 +9,101 @@
 //   QDV_BENCH_SCALING_PARTICLES  (default 200,000 per timestep; Figures 14-17)
 //   QDV_BENCH_SCALING_TIMESTEPS  (default 100)
 //   QDV_BENCH_DATA_DIR           (default ./qdv_bench_data)
+// Machine-readable results: pass `--json <path>` (or set QDV_BENCH_JSON) to
+// any figure benchmark and it writes a JSON array of
+//   {"bench": ..., "label": ..., "seconds": ..., <extra metrics>}
+// rows next to its human-readable stdout. scripts/run_benchmarks.sh
+// assembles the per-bench files into BENCH_kernels.json.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "bitmap/index_segments.hpp"
+#include "bitmap/kernels.hpp"
 #include "io/dataset.hpp"
 #include "sim/wakefield.hpp"
 
 namespace qdv::bench {
+
+/// Reconstruction of the pre-kernel ("scalar") two-step range evaluation,
+/// used as the old side of the old/new kernel rows: pairwise-tree or_many
+/// over the touched bin segments and a per-bit candidate resolve. Segments
+/// are decoded at construction so both old and new sides measure warm
+/// evaluation (the engine caches decoded segments in its memory budget).
+class ScalarTwoStepRef {
+ public:
+  ScalarTwoStepRef(const io::TimestepTable& table, const std::string& variable,
+                   const Interval& iv)
+      : values_(table.column(variable)), iv_(iv), nrows_(table.num_rows()) {
+    const SegmentedBitmapIndex* idx = table.value_index(variable);
+    if (idx == nullptr)
+      throw std::runtime_error("ScalarTwoStepRef: no lazy index for " + variable);
+    const detail::BinCoverage cov = detail::classify_bins(idx->bins(), iv);
+    for (std::ptrdiff_t b = cov.full_lo; b <= cov.full_hi; ++b)
+      full_.push_back(idx->decode_segment(static_cast<std::size_t>(b)));
+    for (const std::size_t b : cov.partial)
+      partial_.push_back(idx->decode_segment(b));
+    if (!idx->outside_empty())
+      partial_.push_back(idx->decode_segment(idx->outside_segment()));
+  }
+
+  BitVector evaluate() const {
+    std::vector<const BitVector*> ops;
+    ops.reserve(full_.size());
+    for (const BitVector& b : full_) ops.push_back(&b);
+    BitVector hits = kern::ref::or_many_pairwise(ops, nrows_);
+    ops.clear();
+    for (const BitVector& b : partial_) ops.push_back(&b);
+    const BitVector candidates = kern::ref::or_many_pairwise(ops, nrows_);
+    std::vector<std::uint32_t> verified;
+    candidates.for_each_set([&](std::uint64_t row) {
+      if (iv_.contains(values_[row]))
+        verified.push_back(static_cast<std::uint32_t>(row));
+    });
+    if (verified.empty()) return hits;
+    return hits | BitVector::from_positions(verified, nrows_);
+  }
+
+ private:
+  std::span<const double> values_;
+  Interval iv_;
+  std::uint64_t nrows_;
+  std::vector<BitVector> full_;
+  std::vector<BitVector> partial_;
+};
+
+/// Pre-kernel conditional 2D histogram gather (the other half of the old
+/// path): per-bit for_each_set + per-value Bins::locate over uniform
+/// domain bins. Shared by the fig12 and fig14/15 old/new rows.
+inline Histogram2D scalar_hist2d(const io::TimestepTable& table,
+                                 const std::string& x, const std::string& y,
+                                 std::size_t nbins, const BitVector& rows) {
+  Histogram2D h;
+  const auto [xlo, xhi] = table.domain(x);
+  const auto [ylo, yhi] = table.domain(y);
+  h.xbins = make_uniform_bins(xlo, xhi > xlo ? xhi : xlo + 1.0, nbins);
+  h.ybins = make_uniform_bins(ylo, yhi > ylo ? yhi : ylo + 1.0, nbins);
+  h.counts.assign(nbins * nbins, 0);
+  const std::span<const double> xs = table.column(x);
+  const std::span<const double> ys = table.column(y);
+  rows.for_each_set([&](std::uint64_t row) {
+    const std::ptrdiff_t bx = h.xbins.locate(xs[row]);
+    const std::ptrdiff_t by = h.ybins.locate(ys[row]);
+    if (bx >= 0 && by >= 0)
+      ++h.counts[static_cast<std::size_t>(bx) * nbins +
+                 static_cast<std::size_t>(by)];
+  });
+  return h;
+}
 
 inline std::size_t env_size(const char* name, std::size_t fallback) {
   if (const char* env = std::getenv(name)) {
@@ -72,6 +154,59 @@ inline std::filesystem::path ensure_scaling_dataset() {
   }
   return dir;
 }
+
+/// Collects benchmark rows and writes them as a JSON array when a path was
+/// given via `--json <path>` on the command line or the QDV_BENCH_JSON
+/// environment variable (argv wins). Rows are written on destruction; with
+/// no path configured the reporter is inert.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench, int argc, char** argv)
+      : bench_(std::move(bench)) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    if (path_.empty())
+      if (const char* env = std::getenv("QDV_BENCH_JSON")) path_ = env;
+  }
+
+  ~JsonReporter() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    out << "]\n";
+    if (out)
+      std::cerr << "[bench] wrote " << rows_.size() << " JSON rows to "
+                << path_ << "\n";
+    else
+      std::cerr << "[bench] FAILED to write JSON to " << path_ << "\n";
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// One measurement row; @p extra holds additional numeric metrics
+  /// (e.g. {"hits", 1e4} or {"speedup_vs_scalar", 2.4}).
+  void row(const std::string& label, double seconds,
+           std::initializer_list<std::pair<const char*, double>> extra = {}) {
+    char buf[64];
+    std::string r = "  {\"bench\": \"" + bench_ + "\", \"label\": \"" + label +
+                    "\"";
+    std::snprintf(buf, sizeof(buf), "%.9g", seconds);
+    r += std::string(", \"seconds\": ") + buf;
+    for (const auto& [key, value] : extra) {
+      std::snprintf(buf, sizeof(buf), "%.9g", value);
+      r += std::string(", \"") + key + "\": " + buf;
+    }
+    r += "}";
+    rows_.push_back(std::move(r));
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 /// Run a ClusterRun-producing callable @p reps times and keep the
 /// element-wise minimum task time (and the smallest wall time). Filters the

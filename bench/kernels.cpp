@@ -1,0 +1,213 @@
+// Old-vs-new rows for every execution kernel of DESIGN.md Section 10, over
+// synthetic data (no dataset on disk needed): the scalar pre-PR paths
+// (per-bit for_each_set + per-value Bins::locate + pairwise or_many +
+// thread spawn/join per batch) against the block kernels (dense-block
+// cursor + Bins::Locator + k-way OR + persistent pool). Every comparison
+// asserts the two paths produce identical results and exits nonzero on any
+// mismatch, so this doubles as the CI benchmark smoke check.
+//
+// Sizes scale with QDV_BENCH_KERNEL_ROWS (default 4,000,000; CI uses a tiny
+// value). Emits JSON rows via --json <path> / QDV_BENCH_JSON.
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bitmap/bins.hpp"
+#include "bitmap/kernels.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace qdv;
+
+int mismatches = 0;
+
+void expect(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "[bench_kernels] MISMATCH: %s\n", what);
+    ++mismatches;
+  }
+}
+
+std::uint64_t g_state = 0x9E3779B97F4A7C15ull;
+std::uint64_t next_rand() {
+  g_state ^= g_state << 13;
+  g_state ^= g_state >> 7;
+  g_state ^= g_state << 17;
+  return g_state;
+}
+
+BitVector make_selected(std::uint64_t nbits, double selectivity) {
+  BitVector v;
+  const auto threshold =
+      static_cast<std::uint64_t>(selectivity * 18446744073709551615.0);
+  for (std::uint64_t i = 0; i < nbits; ++i) v.append_bit(next_rand() <= threshold);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rows = bench::env_size("QDV_BENCH_KERNEL_ROWS", 4'000'000);
+  bench::JsonReporter json("kernels", argc, argv);
+
+  std::vector<double> xs(rows);
+  std::vector<double> ys(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    xs[i] = static_cast<double>(next_rand() % 1000003) / 1000003.0;
+    ys[i] = static_cast<double>(next_rand() % 1000003) / 1000003.0;
+  }
+
+  std::printf("# kernel microbenchmarks: %zu rows\n", rows);
+  std::printf("%-44s %14s %14s %10s\n", "kernel", "scalar(s)", "block(s)",
+              "speedup");
+  const auto report = [&](const std::string& label, double scalar,
+                          double block) {
+    std::printf("%-44s %14.5f %14.5f %9.2fx\n", label.c_str(), scalar, block,
+                block > 0.0 ? scalar / block : 0.0);
+    json.row(label + "/scalar", scalar);
+    json.row(label + "/kernel", block,
+             {{"speedup_vs_scalar", block > 0.0 ? scalar / block : 0.0}});
+  };
+
+  // ---- conditional 2D histogram gather (the fig12 inner loop) ----
+  const Bins xbins = make_uniform_bins(0.0, 1.0, 1024);
+  const Bins ybins = make_uniform_bins(0.0, 1.0, 1024);
+  for (const double sel : {1e-4, 1e-2, 0.1, 0.5}) {
+    const BitVector selected = make_selected(rows, sel);
+    std::vector<std::uint64_t> counts_scalar(1024 * 1024);
+    std::vector<std::uint64_t> counts_block(1024 * 1024);
+    const double t_scalar = bench::time_best([&] {
+      std::fill(counts_scalar.begin(), counts_scalar.end(), 0);
+      selected.for_each_set([&](std::uint64_t row) {
+        const std::ptrdiff_t bx = xbins.locate(xs[row]);
+        const std::ptrdiff_t by = ybins.locate(ys[row]);
+        if (bx >= 0 && by >= 0)
+          ++counts_scalar[static_cast<std::size_t>(bx) * 1024 +
+                          static_cast<std::size_t>(by)];
+      });
+    });
+    const Bins::Locator xloc = xbins.locator();
+    const Bins::Locator yloc = ybins.locator();
+    const double t_block = bench::time_best([&] {
+      std::fill(counts_block.begin(), counts_block.end(), 0);
+      kern::gather_hist2d(selected, 0, rows, xs.data(), ys.data(), xloc, yloc,
+                          1024, counts_block.data());
+    });
+    expect(counts_scalar == counts_block, "hist2d gather counts");
+    char label[64];
+    std::snprintf(label, sizeof(label), "hist2d_gather/sel=%g", sel);
+    report(label, t_scalar, t_block);
+  }
+
+  // ---- unconditional 1D histogram (branchless binning + sharded tally) ----
+  {
+    const Bins bins = make_uniform_bins(0.0, 1.0, 1024);
+    std::vector<std::uint64_t> counts_scalar(1024);
+    std::vector<std::uint64_t> counts_block(1024);
+    const double t_scalar = bench::time_best([&] {
+      std::fill(counts_scalar.begin(), counts_scalar.end(), 0);
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::ptrdiff_t b = bins.locate(xs[i]);
+        if (b >= 0) ++counts_scalar[static_cast<std::size_t>(b)];
+      }
+    });
+    const Bins::Locator locate = bins.locator();
+    const double t_block = bench::time_best([&] {
+      std::fill(counts_block.begin(), counts_block.end(), 0);
+      kern::sharded_tally(
+          rows, counts_block.size(), counts_block.data(),
+          [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+            for (std::uint64_t i = begin; i < end; ++i) {
+              const std::ptrdiff_t b = locate(xs[i]);
+              if (b >= 0) ++counts[static_cast<std::size_t>(b)];
+            }
+          });
+    });
+    expect(counts_scalar == counts_block, "hist1d counts");
+    report("hist1d_uncond/1024bins", t_scalar, t_block);
+  }
+
+  // ---- to_positions (two-step gather's position materialization) ----
+  for (const double sel : {1e-3, 0.1, 0.9}) {
+    const BitVector selected = make_selected(rows, sel);
+    std::vector<std::uint32_t> pos_scalar;
+    const double t_scalar = bench::time_best([&] {
+      pos_scalar.clear();
+      selected.for_each_set([&](std::uint64_t p) {
+        pos_scalar.push_back(static_cast<std::uint32_t>(p));
+      });
+    });
+    std::vector<std::uint32_t> pos_block;
+    const double t_block = bench::time_best(
+        [&] { kern::to_positions_blocked(selected, pos_block); });
+    expect(pos_scalar == pos_block, "to_positions");
+    char label[64];
+    std::snprintf(label, sizeof(label), "to_positions/sel=%g", sel);
+    report(label, t_scalar, t_block);
+  }
+
+  // ---- k-way OR (the multi-bin range probe shape) ----
+  for (const std::size_t fanin : {8u, 64u, 256u}) {
+    std::vector<BitVector> bins_bitmaps;
+    bins_bitmaps.reserve(fanin);
+    // Disjoint equality-encoded bin bitmaps, ~rows/fanin bits each.
+    for (std::size_t b = 0; b < fanin; ++b)
+      bins_bitmaps.push_back(make_selected(rows, 1.0 / static_cast<double>(fanin)));
+    std::vector<const BitVector*> ops;
+    for (const BitVector& b : bins_bitmaps) ops.push_back(&b);
+    BitVector out_pair, out_kway;
+    const double t_scalar = bench::time_best(
+        [&] { out_pair = kern::ref::or_many_pairwise(ops, rows); });
+    const double t_block =
+        bench::time_best([&] { out_kway = kern::or_many_kway(ops, rows); });
+    expect(out_pair == out_kway, "or_many result");
+    char label[64];
+    std::snprintf(label, sizeof(label), "or_many/fanin=%zu", fanin);
+    report(label, t_scalar, t_block);
+  }
+
+  // ---- batch dispatch: thread spawn/join per batch vs persistent pool ----
+  {
+    constexpr int kBatches = 200;
+    constexpr std::size_t kTasks = 16;
+    const std::size_t nthreads = 4;
+    std::atomic<std::uint64_t> sink{0};
+    const auto work = [&](std::size_t t) {
+      sink.fetch_add(t + 1, std::memory_order_relaxed);
+    };
+    const double t_scalar = bench::time_best([&] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::atomic<std::size_t> nextt{0};
+        std::vector<std::thread> workers;
+        for (std::size_t w = 0; w < nthreads; ++w)
+          workers.emplace_back([&] {
+            for (;;) {
+              const std::size_t t = nextt.fetch_add(1);
+              if (t >= kTasks) return;
+              work(t);
+            }
+          });
+        for (std::thread& w : workers) w.join();
+      }
+    });
+    par::ThreadPool pool(nthreads);
+    const double t_block = bench::time_best([&] {
+      for (int b = 0; b < kBatches; ++b) pool.parallel_for(kTasks, nthreads, work);
+    });
+    expect(sink.load() > 0, "dispatch sink");
+    report("batch_dispatch/200x16tasks", t_scalar, t_block);
+  }
+
+  if (mismatches > 0) {
+    std::fprintf(stderr, "[bench_kernels] %d kernel/reference mismatches\n",
+                 mismatches);
+    return 1;
+  }
+  std::printf("# all kernel results match their scalar references\n");
+  return 0;
+}

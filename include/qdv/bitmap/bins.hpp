@@ -3,6 +3,7 @@
 // low-precision range constants are answered from the index alone).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <span>
@@ -15,6 +16,64 @@ class Bins {
   Bins() = default;
   explicit Bins(std::vector<double> edges);
 
+  /// Cached, fully-inlineable bin lookup for hot loops: uniform bin sets
+  /// take a branchless `(v - lo) * inv_width` + clamp path, non-uniform
+  /// ones a fixed-shape halving search over the cached edge array — either
+  /// way no out-of-line call per value. Returns the same bin as
+  /// Bins::locate for every input (locate stays the scalar reference used
+  /// by the differential tests). Borrows the Bins' edge storage: the Bins
+  /// must outlive the Locator.
+  class Locator {
+   public:
+    explicit Locator(const Bins& bins)
+        : edges_(bins.edges_.data()),
+          nedges_(bins.edges_.size()),
+          last_(static_cast<std::ptrdiff_t>(bins.num_bins()) - 1),
+          inv_width_(bins.inv_width_),
+          lo_(bins.edges_.empty() ? 0.0 : bins.edges_.front()),
+          hi_(bins.edges_.empty() ? 0.0 : bins.edges_.back()),
+          uniform_(bins.uniform_),
+          empty_(bins.edges_.size() < 2) {}
+
+    std::ptrdiff_t operator()(double value) const {
+      // The negated comparison also rejects NaN (which would otherwise hit
+      // the float->integer cast, undefined behavior).
+      if (empty_ || !(value >= lo_ && value <= hi_)) return -1;
+      if (uniform_) {
+        auto bin = static_cast<std::ptrdiff_t>((value - lo_) * inv_width_);
+        bin = bin > last_ ? last_ : bin;
+        // Settle one-ulp disagreements between the arithmetic and the
+        // stored edges, exactly as Bins::locate does.
+        if (value < edges_[bin]) {
+          --bin;
+        } else if (bin < last_ && value >= edges_[bin + 1]) {
+          ++bin;
+        }
+        return bin;
+      }
+      // Halving search for the last edge <= value: fixed iteration shape,
+      // no per-step bounds branch.
+      std::size_t lo = 0;
+      std::size_t n = nedges_;
+      while (n > 1) {
+        const std::size_t half = n / 2;
+        lo += edges_[lo + half] <= value ? half : 0;
+        n -= half;
+      }
+      return std::min(static_cast<std::ptrdiff_t>(lo), last_);
+    }
+
+   private:
+    const double* edges_;
+    std::size_t nedges_;
+    std::ptrdiff_t last_;
+    double inv_width_;
+    double lo_;
+    double hi_;
+    bool uniform_;
+    bool empty_;
+  };
+
   std::size_t num_bins() const { return edges_.empty() ? 0 : edges_.size() - 1; }
   const std::vector<double>& edges() const { return edges_; }
   double lo() const { return edges_.front(); }
@@ -23,8 +82,12 @@ class Bins {
 
   /// Bin index of @p value, or -1 if outside [lo, hi]. Bins are half-open
   /// [e_i, e_{i+1}) except the last, which is closed. Uniform bin sets use an
-  /// O(1) arithmetic path.
+  /// O(1) arithmetic path. Scalar reference for Locator: per-value loops on
+  /// hot paths should build a Locator once instead.
   std::ptrdiff_t locate(double value) const;
+
+  /// Build the cached lookup for this bin set (see Locator).
+  Locator locator() const { return Locator(*this); }
 
   bool is_uniform() const { return uniform_; }
 

@@ -17,6 +17,10 @@
 
 namespace qdv {
 
+namespace kern {
+struct BitVectorOps;
+}  // namespace kern
+
 namespace detail {
 /// memcpy-based unaligned read from a serialized byte image (mapped files
 /// give no alignment guarantees past the page start). Throws on overrun.
@@ -78,6 +82,11 @@ class BitVector {
   bool test(std::uint64_t pos) const;
 
   /// Invoke @p fn(position) for every set bit, ascending.
+  ///
+  /// Scalar reference implementation: one callback per set bit, fills
+  /// expanded bit by bit. Hot paths use qdv::kern::for_each_set_blocked
+  /// (bitmap/kernels.hpp) instead; this stays element-at-a-time on purpose —
+  /// it is the differential-test baseline for the dense-block kernels.
   template <typename Fn>
   void for_each_set(Fn&& fn) const {
     std::uint64_t pos = 0;
@@ -103,7 +112,10 @@ class BitVector {
     }
   }
 
-  /// Binary serialization (used by the on-disk index format).
+  /// Binary serialization (used by the on-disk index format). load()
+  /// validates the header (word count consistent with the bit count, tail
+  /// width below a group) before allocating, so a corrupt or truncated
+  /// stream throws instead of attempting a huge resize.
   void save(std::ostream& out) const;
   static BitVector load(std::istream& in);
 
@@ -127,6 +139,7 @@ class BitVector {
   void flush_active();
 
   friend class BitRunDecoder;
+  friend struct kern::BitVectorOps;
   template <typename Op>
   friend BitVector combine(const BitVector& a, const BitVector& b, Op op);
 
@@ -136,8 +149,9 @@ class BitVector {
   std::uint64_t nbits_ = 0;
 };
 
-/// K-way OR via pairwise tree reduction: used to assemble range queries from
-/// many per-bin bitmaps. Inputs shorter than @p nbits are zero-extended.
+/// K-way OR: used to assemble range queries from many per-bin bitmaps.
+/// Merges every operand's run decoder in a single pass (kern::or_many_kway);
+/// inputs shorter than @p nbits are zero-extended.
 BitVector or_many(std::vector<const BitVector*> operands, std::uint64_t nbits);
 
 }  // namespace qdv

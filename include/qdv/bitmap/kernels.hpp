@@ -1,0 +1,351 @@
+// Block-oriented execution kernels over WAH bitvectors (DESIGN.md
+// Section 10): the dense-block cursor that decodes compressed words into
+// aligned 64-bit machine words (fills stay symbolic run descriptors), the
+// k-way single-pass OR used by every multi-bin range probe, and the sharded
+// tally driver for intra-timestep parallel histograms.
+//
+// Every kernel here has a scalar reference twin in qdv::kern::ref used by
+// the differential tests (tests/test_kernels.cpp); the references are the
+// original element-at-a-time implementations and must never be "optimized".
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "bitmap/bins.hpp"
+#include "bitmap/bitvector.hpp"
+
+namespace qdv::kern {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define QDV_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define QDV_PREFETCH(addr) ((void)0)
+#endif
+
+/// Access shim for the kernel layer: BitVector grants friendship to this
+/// struct alone, so every kernel reads the compressed words through one
+/// audited surface instead of each being a friend.
+struct BitVectorOps {
+  static constexpr std::uint32_t kFillFlag = 0x80000000u;
+  static constexpr std::uint32_t kFillValueBit = 0x40000000u;
+  static constexpr std::uint32_t kCountMask = 0x3FFFFFFFu;
+  static constexpr std::uint32_t kLiteralMask = 0x7FFFFFFFu;
+  static constexpr std::uint32_t kGroupBits = BitVector::kGroupBits;
+
+  static std::span<const std::uint32_t> words(const BitVector& v) {
+    return v.words_;
+  }
+  static std::uint32_t active(const BitVector& v) { return v.active_; }
+  static std::uint32_t active_bits(const BitVector& v) { return v.active_bits_; }
+  static void append_fill(BitVector& v, bool value, std::uint64_t groups) {
+    v.append_fill(value, groups);
+  }
+  static void append_group(BitVector& v, std::uint32_t literal) {
+    v.append_group(literal);
+  }
+  static void set_tail(BitVector& v, std::uint32_t active,
+                       std::uint32_t active_bits) {
+    v.active_ = active;
+    v.active_bits_ = active_bits;
+  }
+  static void set_nbits(BitVector& v, std::uint64_t nbits) { v.nbits_ = nbits; }
+};
+
+/// Streaming decoder of a WAH BitVector into dense blocks.
+///
+/// Each block is either a *run* — `nbits` identical bits starting at `base`,
+/// never expanded — or a *dense span* of 64-bit words (LSB-first within each
+/// word, word w covers rows [base + 64w, base + 64w + 63]). Short fills
+/// (under kRunThresholdBits) are absorbed into the dense buffer so sparse
+/// literal/fill interleavings don't fragment into tiny blocks; long fills
+/// stay symbolic so an all-ones gigabit vector costs O(1) blocks.
+///
+/// An optional row window [begin, end) restricts decoding for sharded
+/// consumers: set bits outside the window are masked off (dense spans may
+/// still start/stop on 31-bit group boundaries that straddle the window, with
+/// the out-of-window bits cleared), and run blocks are clipped exactly. A
+/// windowed cursor skips words before `begin` with one cheap step each, so a
+/// sharded gather pays O(shards * words) aggregate skip work — acceptable
+/// because sharded_tally caps the shard count (pool size, scratch ceiling).
+///
+/// The dense words live in a buffer owned by the cursor and are only valid
+/// until the next call to next().
+class DenseBlockCursor {
+ public:
+  struct Block {
+    std::uint64_t base = 0;   // row of bit 0 of the block
+    std::uint64_t nbits = 0;  // rows covered
+    bool is_run = false;      // true: nbits copies of `value`, words == nullptr
+    bool value = false;
+    const std::uint64_t* words = nullptr;  // ceil(nbits / 64) words when dense
+  };
+
+  /// Dense buffer capacity (bits per dense block before a flush).
+  static constexpr std::size_t kBufWords = 256;
+  /// One-fills at least this long stay symbolic run blocks; shorter ones
+  /// are expanded into the dense buffer (33 groups = 1023 bits).
+  static constexpr std::uint64_t kRunThresholdBits = 33 * BitVector::kGroupBits;
+  /// Zero fills go symbolic much sooner: consumers skip zero runs for free,
+  /// while expanding them costs buffer writes — on very sparse vectors
+  /// (selectivity ~1e-3 and below) the gaps between set bits would
+  /// otherwise dominate the decode.
+  static constexpr std::uint64_t kZeroRunThresholdBits = 8 * BitVector::kGroupBits;
+
+  explicit DenseBlockCursor(const BitVector& v)
+      : DenseBlockCursor(v, 0, v.size()) {}
+
+  /// Restrict decoding to rows [begin, end) — clamped to v.size().
+  DenseBlockCursor(const BitVector& v, std::uint64_t begin, std::uint64_t end);
+
+  /// Produce the next block; false once the (windowed) vector is exhausted.
+  bool next(Block& out);
+
+ private:
+  void step();
+  void handle_run(bool value, std::uint64_t run_bits);
+  void handle_literal(std::uint32_t literal, std::uint32_t nbits);
+  void emit_dense(Block& out);
+  void push_bits(std::uint64_t bits, std::uint32_t n);
+  void push_zeros(std::uint64_t n);
+  void push_ones(std::uint64_t n);
+
+  std::span<const std::uint32_t> words_;
+  std::uint32_t active_ = 0;
+  std::uint32_t active_bits_ = 0;
+  std::uint64_t begin_ = 0;
+  std::uint64_t end_ = 0;
+
+  std::uint64_t pos_ = 0;  // logical bit position of the next undecoded group
+  std::size_t idx_ = 0;    // next compressed word
+  bool tail_done_ = false;
+  bool done_ = false;
+
+  // Dense accumulation state: buf_[0..nwords_) full words plus accbits_
+  // pending bits in acc_, covering rows starting at dense_base_.
+  std::uint64_t dense_base_ = 0;
+  std::size_t nwords_ = 0;
+  std::uint64_t acc_ = 0;
+  std::uint32_t accbits_ = 0;
+  // Headroom so one absorbed sub-threshold fill can never overflow.
+  std::array<std::uint64_t, kBufWords + (kRunThresholdBits / 64) + 2> buf_;
+
+  // A long fill waiting to be emitted once the dense buffer has flushed.
+  bool have_pending_run_ = false;
+  bool pending_value_ = false;
+  std::uint64_t pending_base_ = 0;
+  std::uint64_t pending_bits_ = 0;
+};
+
+/// Invoke fn(row) for every set bit of @p v inside [begin, end), ascending,
+/// via dense blocks: one-runs become straight row loops (no per-bit decode)
+/// and dense words are walked with countr_zero. The scalar twin is
+/// BitVector::for_each_set.
+template <typename Fn>
+inline void for_each_set_blocked(const BitVector& v, std::uint64_t begin,
+                                 std::uint64_t end, Fn&& fn) {
+  DenseBlockCursor cursor(v, begin, end);
+  DenseBlockCursor::Block b;
+  while (cursor.next(b)) {
+    if (b.is_run) {
+      if (b.value)
+        for (std::uint64_t i = 0; i < b.nbits; ++i) fn(b.base + i);
+      continue;
+    }
+    const std::size_t nw = (b.nbits + 63) / 64;
+    for (std::size_t w = 0; w < nw; ++w) {
+      std::uint64_t bits = b.words[w];
+      const std::uint64_t base = b.base + static_cast<std::uint64_t>(w) * 64;
+      while (bits) {
+        fn(base + static_cast<std::uint64_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
+  }
+}
+
+/// Whole-vector variant of the windowed overload above.
+template <typename Fn>
+inline void for_each_set_blocked(const BitVector& v, Fn&& fn) {
+  for_each_set_blocked(v, 0, v.size(), std::forward<Fn>(fn));
+}
+
+/// Invoke fn(std::span<const std::uint32_t>) over batches (<= 1024 rows) of
+/// the set rows of @p v inside [begin, end), ascending. Materializing rows
+/// in batches lets gather loops issue software prefetches a fixed distance
+/// ahead — the conditional-histogram gather is DRAM-latency-bound at
+/// moderate selectivity, where consecutive set rows land on different cache
+/// lines of the value columns.
+template <typename Fn>
+inline void for_each_set_batched(const BitVector& v, std::uint64_t begin,
+                                 std::uint64_t end, Fn&& fn) {
+  DenseBlockCursor cursor(v, begin, end);
+  DenseBlockCursor::Block b;
+  std::array<std::uint32_t, 1024> rows;
+  while (cursor.next(b)) {
+    if (b.is_run) {
+      if (!b.value) continue;
+      std::uint64_t base = b.base;
+      std::uint64_t left = b.nbits;
+      while (left > 0) {
+        const auto n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(left, rows.size()));
+        for (std::size_t i = 0; i < n; ++i)
+          rows[i] = static_cast<std::uint32_t>(base + i);
+        fn(std::span<const std::uint32_t>(rows.data(), n));
+        base += n;
+        left -= n;
+      }
+      continue;
+    }
+    const std::size_t nw = (static_cast<std::size_t>(b.nbits) + 63) / 64;
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < nw; ++w) {
+      std::uint64_t bits = b.words[w];
+      const std::uint64_t base = b.base + static_cast<std::uint64_t>(w) * 64;
+      while (bits) {
+        rows[n++] = static_cast<std::uint32_t>(
+            base + static_cast<std::uint64_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+      if (n + 64 > rows.size()) {
+        fn(std::span<const std::uint32_t>(rows.data(), n));
+        n = 0;
+      }
+    }
+    if (n > 0) fn(std::span<const std::uint32_t>(rows.data(), n));
+  }
+}
+
+/// Prefetch distance (rows) for the gather kernels below: far enough to
+/// cover DRAM latency, near enough to stay inside one batch.
+inline constexpr std::size_t kGatherPrefetch = 16;
+
+/// True when @p v is so sparse (under ~1 set bit per 64) that the scalar
+/// WAH decode — which skips zero fills arithmetically and never
+/// materializes words — beats the dense-block cursor. The position and
+/// gather kernels fall back to BitVector::for_each_set in this regime;
+/// dense and run-heavy vectors take the block path. The scan bails out the
+/// moment the density threshold is crossed, so on dense vectors it touches
+/// only a prefix of the words (a one-fill exits immediately).
+inline bool prefer_scalar_decode(const BitVector& v) {
+  const std::uint64_t threshold = v.size() / 64;
+  std::uint64_t count = 0;
+  for (const std::uint32_t w : BitVectorOps::words(v)) {
+    if (w & BitVectorOps::kFillFlag) {
+      if (w & BitVectorOps::kFillValueBit)
+        count += static_cast<std::uint64_t>(w & BitVectorOps::kCountMask) *
+                 BitVectorOps::kGroupBits;
+    } else {
+      count += static_cast<std::uint32_t>(std::popcount(w));
+    }
+    if (count >= threshold) return false;
+  }
+  count += static_cast<std::uint32_t>(std::popcount(BitVectorOps::active(v)));
+  return count < threshold;
+}
+
+/// Conditional 1D histogram gather over the set rows of @p v in
+/// [begin, end): counts[loc(values[row])]++ with value loads prefetched
+/// kGatherPrefetch rows ahead.
+inline void gather_hist1d(const BitVector& v, std::uint64_t begin,
+                          std::uint64_t end, const double* values,
+                          const Bins::Locator& loc, std::uint64_t* counts) {
+  // Whole-vector gathers over very sparse selections: scalar decode + the
+  // inlined locator (windowed calls come from the sharded path, which only
+  // triggers on dense work).
+  if (begin == 0 && end >= v.size() && prefer_scalar_decode(v)) {
+    v.for_each_set([&](std::uint64_t row) {
+      const std::ptrdiff_t b = loc(values[row]);
+      if (b >= 0) ++counts[static_cast<std::size_t>(b)];
+    });
+    return;
+  }
+  for_each_set_batched(v, begin, end, [&](std::span<const std::uint32_t> rows) {
+    const std::size_t n = rows.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kGatherPrefetch < n) QDV_PREFETCH(values + rows[i + kGatherPrefetch]);
+      const std::ptrdiff_t b = loc(values[rows[i]]);
+      if (b >= 0) ++counts[static_cast<std::size_t>(b)];
+    }
+  });
+}
+
+/// Conditional 2D histogram gather (row-major counts[bx * ny + by]).
+inline void gather_hist2d(const BitVector& v, std::uint64_t begin,
+                          std::uint64_t end, const double* xs, const double* ys,
+                          const Bins::Locator& xloc, const Bins::Locator& yloc,
+                          std::size_t ny, std::uint64_t* counts) {
+  if (begin == 0 && end >= v.size() && prefer_scalar_decode(v)) {
+    v.for_each_set([&](std::uint64_t row) {
+      const std::ptrdiff_t bx = xloc(xs[row]);
+      const std::ptrdiff_t by = yloc(ys[row]);
+      if (bx >= 0 && by >= 0)
+        ++counts[static_cast<std::size_t>(bx) * ny + static_cast<std::size_t>(by)];
+    });
+    return;
+  }
+  for_each_set_batched(v, begin, end, [&](std::span<const std::uint32_t> rows) {
+    const std::size_t n = rows.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kGatherPrefetch < n) {
+        QDV_PREFETCH(xs + rows[i + kGatherPrefetch]);
+        QDV_PREFETCH(ys + rows[i + kGatherPrefetch]);
+      }
+      const std::ptrdiff_t bx = xloc(xs[rows[i]]);
+      const std::ptrdiff_t by = yloc(ys[rows[i]]);
+      if (bx >= 0 && by >= 0)
+        ++counts[static_cast<std::size_t>(bx) * ny + static_cast<std::size_t>(by)];
+    }
+  });
+}
+
+/// Set-bit positions of @p v via the dense-block cursor (one-runs are bulk
+/// appended). Backs BitVector::to_positions.
+void to_positions_blocked(const BitVector& v, std::vector<std::uint32_t>& out);
+
+/// Set-bit count via a single pass over the compressed words (fills are
+/// arithmetic, literals popcount). Backs BitVector::count.
+std::uint64_t count_words(const BitVector& v);
+
+/// K-way OR: merges all operands' run decoders in one pass, appending fills
+/// and literal groups directly to the output — no pairwise intermediate
+/// BitVectors. Inputs shorter than @p nbits are zero-extended; the result is
+/// as long as the longest of {nbits, operands}. Backs qdv::or_many.
+BitVector or_many_kway(std::span<const BitVector* const> operands,
+                       std::uint64_t nbits);
+
+/// Shard [0, nrows) across the global thread pool, give each shard a private
+/// zeroed count array of @p ncounts cells, and sum the partials into
+/// @p counts at the end. fill(shard_begin, shard_end, partial) must only
+/// write its partial array. Falls back to a single direct fill(0, nrows,
+/// counts) when the work or the pool is too small to shard.
+void sharded_tally(std::uint64_t nrows, std::size_t ncounts,
+                   std::uint64_t* counts,
+                   const std::function<void(std::uint64_t, std::uint64_t,
+                                            std::uint64_t*)>& fill);
+
+/// Test seam: explicit shard-count control (nshards <= 1 runs the direct
+/// path).
+void sharded_tally(std::uint64_t nrows, std::size_t ncounts,
+                   std::uint64_t* counts,
+                   const std::function<void(std::uint64_t, std::uint64_t,
+                                            std::uint64_t*)>& fill,
+                   std::size_t nshards);
+
+namespace ref {
+
+/// Scalar reference twin of or_many_kway: the original pairwise tree
+/// reduction over operator|.
+BitVector or_many_pairwise(std::span<const BitVector* const> operands,
+                           std::uint64_t nbits);
+
+}  // namespace ref
+
+}  // namespace qdv::kern

@@ -32,7 +32,11 @@ struct ClusterRun {
   double speedup(std::size_t nodes) const;
 };
 
-/// Executes task batches on a pool of host threads and times each task.
+/// Executes task batches on the persistent shared thread pool
+/// (par::ThreadPool::global()) and times each task. host_threads caps the
+/// batch's concurrency (the calling thread participates); host_threads == 1
+/// runs tasks serially on the caller so per-task timings stay free of host
+/// contention. No threads are spawned or joined per run() call.
 class VirtualCluster {
  public:
   explicit VirtualCluster(std::size_t host_threads);

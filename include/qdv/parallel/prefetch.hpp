@@ -1,36 +1,40 @@
 // Asynchronous read-ahead for multi-timestep traversals (DESIGN.md
-// Section 9): a background worker that loads the columns and indices a
-// future timestep will touch, so the mapping/page faults of step t+1
-// overlap with the computation of step t. Prefetched residents land in the
-// dataset's shared table cache and memory budget — under budget pressure
-// they compete in the same LRU as everything else, so a prefetch can never
-// grow the footprint past the configured ceiling.
+// Section 9): requests are submitted to the shared persistent thread pool
+// (par::ThreadPool::global()), which loads the columns and indices a future
+// timestep will touch so the mapping/page faults of step t+1 overlap with
+// the computation of step t. Prefetched residents land in the dataset's
+// shared table cache and memory budget — under budget pressure they compete
+// in the same LRU as everything else, so a prefetch can never grow the
+// footprint past the configured ceiling.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
-#include <utility>
 #include <vector>
 
 #include "io/dataset.hpp"
 
 namespace qdv::par {
 
-/// One background worker prefetching (timestep, variables) requests.
+/// Pool-backed prefetcher for (timestep, variables) requests.
 ///
-/// Ownership: holds the Dataset by value (shared state), so the dataset
-/// outlives every in-flight request. Thread-safety: request()/wait_idle()
-/// are safe from any thread. Lifetime: the destructor abandons queued
-/// requests, finishes the one in flight, and joins the worker.
-/// Prefetching is advisory — I/O errors are swallowed, and the traversal
-/// that follows simply pays the load itself. The queue is bounded
-/// (@p max_queue): when the consumer falls behind, further requests are
-/// dropped rather than letting read-ahead run unboundedly far ahead and
-/// thrash the memory budget.
+/// Ownership: the shared state (including a Dataset handle by value) is
+/// co-owned by every in-flight pool task, so requests can never outlive
+/// their data — the destructor marks the state stopped (queued tasks skip
+/// their I/O) and returns without joining anything; there is no dedicated
+/// worker thread to tear down. Thread-safety: request()/wait_idle() are
+/// safe from any thread. Prefetching is advisory — I/O errors are
+/// swallowed, and the traversal that follows simply pays the load itself.
+/// In-flight requests are bounded (@p max_queue): when the consumer falls
+/// behind, further requests are dropped rather than letting read-ahead run
+/// unboundedly far ahead and thrash the memory budget.
+///
+/// Design tradeoff: prefetch I/O shares the compute pool, so in-flight
+/// loads occupy workers. The shipped traversal paths only instantiate a
+/// Prefetcher for single-host-thread runs (par_ops), where the pool is
+/// otherwise idle and the overlap is pure win; wiring one into a
+/// multi-threaded batch would displace compute while the I/O blocks.
 class Prefetcher {
  public:
   explicit Prefetcher(io::Dataset dataset, std::size_t max_queue = 16);
@@ -54,24 +58,8 @@ class Prefetcher {
   std::uint64_t completed() const;
 
  private:
-  struct Job {
-    std::size_t t = 0;
-    std::vector<std::string> variables;
-    bool value_indices = true;
-  };
-
-  void run();
-
-  io::Dataset dataset_;
-  std::size_t max_queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<Job> queue_;
-  bool stop_ = false;
-  bool busy_ = false;
-  std::uint64_t completed_ = 0;
-  std::thread worker_;
+  struct State;  // shared with every in-flight pool task
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace qdv::par

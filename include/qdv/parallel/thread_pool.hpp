@@ -1,0 +1,74 @@
+// Persistent work-stealing thread pool (DESIGN.md Section 10): one set of
+// long-lived workers shared by VirtualCluster batches, the Prefetcher, and
+// the sharded histogram kernels, so parallel sections stop paying a thread
+// spawn/join per run() call.
+//
+// Each worker owns a deque: submissions from a worker go to its own deque
+// (back), idle workers steal from the front of their peers'. parallel_for
+// is a fork-join region on top of submit(): the calling thread always
+// participates (so nested parallel_for from inside a task can never
+// deadlock, even with zero free workers), and while it waits for stragglers
+// it helps drain the deques.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace qdv::par {
+
+class ThreadPool {
+ public:
+  /// @p nthreads persistent workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t nthreads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (callers of parallel_for add themselves on
+  /// top of this).
+  std::size_t size() const;
+
+  /// Enqueue a fire-and-forget task. The task must not throw — exceptions
+  /// escaping a submitted task terminate the process. Use parallel_for for
+  /// exception-propagating batch work.
+  void submit(std::function<void()> task);
+
+  /// Run body(0), ..., body(n - 1) with up to @p max_workers concurrent
+  /// executors (the calling thread participates and counts toward the
+  /// limit, so max_workers == 1 runs everything inline). Blocks until all
+  /// indices have executed. Every index runs even when some throw; the
+  /// first exception is rethrown once the batch has drained.
+  void parallel_for(std::size_t n, std::size_t max_workers,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Lazily-constructed process-wide pool, sized by the QDV_THREADS
+  /// environment variable (default: hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// RAII scope marking the current thread as "no nested data-parallel
+/// fan-out": kern::sharded_tally's auto-gated overload runs single-shard
+/// inside it. VirtualCluster wraps every task in one — per-task timings
+/// feed the makespan model and must not be contaminated by intra-task
+/// multi-threading (DESIGN.md Section 6).
+class SerialSection {
+ public:
+  SerialSection() { ++depth(); }
+  ~SerialSection() { --depth(); }
+  SerialSection(const SerialSection&) = delete;
+  SerialSection& operator=(const SerialSection&) = delete;
+  static bool active() { return depth() > 0; }
+
+ private:
+  // Out-of-line accessor to a function-local thread_local: keeps the TLS
+  // access in one TU (inline cross-TU thread_local members trip clang's
+  // UBSan TLS wrapper).
+  static int& depth();
+};
+
+}  // namespace qdv::par

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "bitmap/kernels.hpp"
+
 namespace qdv {
 
 namespace {
@@ -72,8 +74,9 @@ BinnedRows bin_rows(std::span<const double> values, const Bins& bins) {
   BinnedRows out;
   std::vector<std::int32_t> bin_of(values.size());
   std::vector<std::size_t> counts(n, 0);
+  const Bins::Locator locate = bins.locator();
   for (std::size_t row = 0; row < values.size(); ++row) {
-    const std::ptrdiff_t b = bins.locate(values[row]);
+    const std::ptrdiff_t b = locate(values[row]);
     bin_of[row] = static_cast<std::int32_t>(b);
     if (b >= 0)
       ++counts[static_cast<std::size_t>(b)];
@@ -97,9 +100,15 @@ BitVector resolve_candidates(const Interval& iv, ApproxAnswer approx,
                              std::span<const double> values,
                              std::uint64_t nrows) {
   std::vector<std::uint32_t> verified;
-  approx.candidates.for_each_set([&](std::uint64_t row) {
+  const auto check = [&](std::uint64_t row) {
     if (iv.contains(values[row])) verified.push_back(static_cast<std::uint32_t>(row));
-  });
+  };
+  // Candidate sets are usually a couple of boundary bins — very sparse, the
+  // scalar decoder's best regime; dense candidate sets take the block path.
+  if (kern::prefer_scalar_decode(approx.candidates))
+    approx.candidates.for_each_set(check);
+  else
+    kern::for_each_set_blocked(approx.candidates, check);
   if (verified.empty()) return std::move(approx.hits);
   return approx.hits | BitVector::from_positions(verified, nrows);
 }

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "bitmap/kernels.hpp"
+
 namespace qdv {
 
 namespace {
@@ -109,25 +111,11 @@ BitVector BitVector::from_positions(std::span<const std::uint32_t> positions,
   return v;
 }
 
-std::uint64_t BitVector::count() const {
-  std::uint64_t total = 0;
-  for (const std::uint32_t w : words_) {
-    if (w & kFillFlag) {
-      if (w & kFillValueBit)
-        total += static_cast<std::uint64_t>(w & kCountMask) * kGroupBits;
-    } else {
-      total += static_cast<std::uint32_t>(std::popcount(w));
-    }
-  }
-  total += static_cast<std::uint32_t>(std::popcount(active_));
-  return total;
-}
+std::uint64_t BitVector::count() const { return kern::count_words(*this); }
 
 std::vector<std::uint32_t> BitVector::to_positions() const {
   std::vector<std::uint32_t> out;
-  for_each_set([&out](std::uint64_t pos) {
-    out.push_back(static_cast<std::uint32_t>(pos));
-  });
+  kern::to_positions_blocked(*this, out);
   return out;
 }
 
@@ -204,6 +192,28 @@ class BitRunDecoder {
   std::uint64_t groups_ = 0;
 };
 
+namespace {
+
+/// The 31-bit group with index @p group of @p v, zero-padded past the end:
+/// one pass over the compressed words. Replaces the combine() tail path that
+/// extracted the same bits one test() call each (O(31 * words) per operand).
+std::uint32_t group_word(const BitVector& v, std::uint64_t group) {
+  std::uint64_t g = 0;
+  for (const std::uint32_t w : kern::BitVectorOps::words(v)) {
+    if (w & kFillFlag) {
+      const std::uint64_t run = w & kCountMask;
+      if (group < g + run) return (w & kFillValueBit) ? kLiteralMask : 0u;
+      g += run;
+    } else {
+      if (group == g) return w;
+      ++g;
+    }
+  }
+  return group == g ? kern::BitVectorOps::active(v) : 0u;
+}
+
+}  // namespace
+
 template <typename Op>
 BitVector combine(const BitVector& a, const BitVector& b, Op op) {
   BitVector out;
@@ -236,16 +246,12 @@ BitVector combine(const BitVector& a, const BitVector& b, Op op) {
   // Partial tail group: at most one operand still has literal tail bits.
   const std::uint32_t tail = static_cast<std::uint32_t>(nbits - out.nbits_);
   if (tail > 0) {
-    const auto tail_word = [full_groups, tail](const BitVector& v) -> std::uint32_t {
+    const auto tail_word = [full_groups](const BitVector& v) -> std::uint32_t {
       if (v.nbits_ / BitVector::kGroupBits == full_groups && v.active_bits_ > 0)
         return v.active_;
       // The operand's tail region is covered by compressed words (or it is
-      // shorter than nbits): extract bit by bit via test().
-      std::uint32_t w = 0;
-      const std::uint64_t base = full_groups * BitVector::kGroupBits;
-      for (std::uint32_t i = 0; i < tail; ++i)
-        if (v.test(base + i)) w |= (1u << i);
-      return w;
+      // shorter than nbits): extract the whole group in one pass.
+      return group_word(v, full_groups);
     };
     out.active_ = op(tail_word(a), tail_word(b)) & ((1u << tail) - 1u);
     out.active_bits_ = tail;
@@ -285,30 +291,7 @@ BitVector BitVector::operator~() const {
 }
 
 BitVector or_many(std::vector<const BitVector*> operands, std::uint64_t nbits) {
-  if (operands.empty()) return BitVector::zeros(nbits);
-  if (operands.size() == 1) {
-    BitVector out = *operands[0];
-    if (out.size() < nbits) out.append_run(false, nbits - out.size());
-    return out;
-  }
-  // First reduction level consumes the borrowed pointers; later levels own
-  // their intermediates.
-  std::vector<BitVector> level;
-  level.reserve((operands.size() + 1) / 2);
-  for (std::size_t i = 0; i + 1 < operands.size(); i += 2)
-    level.push_back(*operands[i] | *operands[i + 1]);
-  if (operands.size() % 2 == 1) level.push_back(*operands.back());
-  while (level.size() > 1) {
-    std::vector<BitVector> next;
-    next.reserve((level.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
-      next.push_back(level[i] | level[i + 1]);
-    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
-    level = std::move(next);
-  }
-  BitVector out = std::move(level.front());
-  if (out.size() < nbits) out.append_run(false, nbits - out.size());
-  return out;
+  return kern::or_many_kway(operands, nbits);
 }
 
 void BitVector::save(std::ostream& out) const {
@@ -321,6 +304,26 @@ void BitVector::save(std::ostream& out) const {
             static_cast<std::streamsize>(nwords * sizeof(std::uint32_t)));
 }
 
+namespace {
+
+/// Header sanity shared by both load() paths, checked BEFORE any allocation
+/// so a corrupt/truncated .bmi or cache file throws instead of attempting a
+/// huge resize. The invariants are exactly what append_run maintains: the
+/// tail group holds nbits % 31 bits with nothing above them, and every
+/// compressed word covers at least one 31-bit group.
+void validate_header(std::uint64_t nbits, std::uint64_t nwords,
+                     std::uint32_t active, std::uint32_t active_bits) {
+  if (active_bits >= BitVector::kGroupBits ||
+      active_bits != nbits % BitVector::kGroupBits)
+    throw std::runtime_error("BitVector::load: corrupt header (tail width)");
+  if (active_bits == 0 ? active != 0 : (active >> active_bits) != 0)
+    throw std::runtime_error("BitVector::load: corrupt header (tail bits)");
+  if (nwords > nbits / BitVector::kGroupBits)
+    throw std::runtime_error("BitVector::load: corrupt header (word count)");
+}
+
+}  // namespace
+
 BitVector BitVector::load(std::istream& in) {
   BitVector v;
   std::uint64_t nwords = 0;
@@ -328,10 +331,30 @@ BitVector BitVector::load(std::istream& in) {
   in.read(reinterpret_cast<char*>(&nwords), sizeof(nwords));
   in.read(reinterpret_cast<char*>(&v.active_), sizeof(v.active_));
   in.read(reinterpret_cast<char*>(&v.active_bits_), sizeof(v.active_bits_));
-  v.words_.resize(nwords);
-  in.read(reinterpret_cast<char*>(v.words_.data()),
-          static_cast<std::streamsize>(nwords * sizeof(std::uint32_t)));
   if (!in) throw std::runtime_error("BitVector::load: truncated stream");
+  validate_header(v.nbits_, nwords, v.active_, v.active_bits_);
+  // Read the payload in bounded chunks: a forged header whose nbits/nwords
+  // are mutually consistent but enormous must fail at the first short read,
+  // never commit gigabytes up front (memory grows only as data arrives).
+  constexpr std::uint64_t kChunkWords = 1u << 20;  // 4 MiB per chunk
+  std::uint64_t read_words = 0;
+  while (read_words < nwords) {
+    const std::uint64_t n = std::min(kChunkWords, nwords - read_words);
+    if (v.words_.capacity() < read_words + n)
+      v.words_.reserve(std::max<std::uint64_t>(2 * v.words_.capacity(),
+                                               read_words + n));
+    v.words_.resize(static_cast<std::size_t>(read_words + n));
+    in.read(reinterpret_cast<char*>(v.words_.data() + read_words),
+            static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+    if (!in) throw std::runtime_error("BitVector::load: truncated stream");
+    read_words += n;
+  }
+  // The decoded groups must cover exactly the declared full-group count.
+  std::uint64_t groups = 0;
+  for (const std::uint32_t w : v.words_)
+    groups += (w & kFillFlag) ? (w & kCountMask) : 1;
+  if (groups != v.nbits_ / kGroupBits)
+    throw std::runtime_error("BitVector::load: word/bit count mismatch");
   return v;
 }
 
@@ -356,6 +379,7 @@ BitVector BitVector::load(std::span<const std::byte> image, std::size_t& offset)
   const auto nwords = detail::read_unaligned<std::uint64_t>(image, offset + 8);
   v.active_ = detail::read_unaligned<std::uint32_t>(image, offset + 16);
   v.active_bits_ = detail::read_unaligned<std::uint32_t>(image, offset + 20);
+  validate_header(v.nbits_, nwords, v.active_, v.active_bits_);
   const std::size_t payload =
       static_cast<std::size_t>(nwords) * sizeof(std::uint32_t);
   if (offset + kRecordHeaderBytes + payload > image.size())
@@ -364,6 +388,14 @@ BitVector BitVector::load(std::span<const std::byte> image, std::size_t& offset)
   std::memcpy(v.words_.data(), image.data() + offset + kRecordHeaderBytes,
               payload);
   offset += kRecordHeaderBytes + payload;
+  // Same group-coverage consistency check as the stream loader: a mapped
+  // .bmi with bit-rotted fill counts must throw, not silently decode to a
+  // vector whose words disagree with its declared size.
+  std::uint64_t groups = 0;
+  for (const std::uint32_t w : v.words_)
+    groups += (w & kFillFlag) ? (w & kCountMask) : 1;
+  if (groups != v.nbits_ / kGroupBits)
+    throw std::runtime_error("BitVector: corrupt serialized image (group count)");
   return v;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "bitmap/kernels.hpp"
 #include "io/timestep_table.hpp"
 
 namespace qdv {
@@ -85,10 +86,17 @@ Bins make_adaptive_bins(double lo, double hi, std::span<const double> values,
   Histogram1D fine;
   fine.bins = make_uniform_bins(lo, safe_hi, oversample);
   fine.counts.assign(oversample, 0);
-  for (const double v : values) {
-    const std::ptrdiff_t b = fine.bins.locate(v);
-    if (b >= 0) ++fine.counts[static_cast<std::size_t>(b)];
-  }
+  // The oversampling bins are uniform: the branchless locator turns the
+  // per-value search into one multiply + clamp.
+  const Bins::Locator locate = fine.bins.locator();
+  kern::sharded_tally(
+      values.size(), fine.counts.size(), fine.counts.data(),
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+        for (std::uint64_t row = begin; row < end; ++row) {
+          const std::ptrdiff_t b = locate(values[row]);
+          if (b >= 0) ++counts[static_cast<std::size_t>(b)];
+        }
+      });
   return make_equal_weight_bins(fine, nbins);
 }
 
@@ -112,10 +120,15 @@ Histogram1D HistogramEngine::histogram1d(const std::string& variable,
   h.bins = bins_for(variable, nbins, binning);
   h.counts.assign(h.bins.num_bins(), 0);
   const std::span<const double> values = table_->column(variable);
-  for (std::uint64_t row = 0; row < values.size(); ++row) {
-    const std::ptrdiff_t b = h.bins.locate(values[row]);
-    if (b >= 0) ++h.counts[static_cast<std::size_t>(b)];
-  }
+  const Bins::Locator locate = h.bins.locator();
+  kern::sharded_tally(
+      values.size(), h.counts.size(), h.counts.data(),
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+        for (std::uint64_t row = begin; row < end; ++row) {
+          const std::ptrdiff_t b = locate(values[row]);
+          if (b >= 0) ++counts[static_cast<std::size_t>(b)];
+        }
+      });
   return h;
 }
 
@@ -126,10 +139,14 @@ Histogram1D HistogramEngine::histogram1d(const std::string& variable,
   h.bins = bins_for(variable, nbins, binning);
   h.counts.assign(h.bins.num_bins(), 0);
   const std::span<const double> values = table_->column(variable);
-  rows.for_each_set([&](std::uint64_t row) {
-    const std::ptrdiff_t b = h.bins.locate(values[row]);
-    if (b >= 0) ++h.counts[static_cast<std::size_t>(b)];
-  });
+  const Bins::Locator locate = h.bins.locator();
+  // Dense-block gather with value prefetch; each shard decodes only its row
+  // window of the condition bitvector.
+  kern::sharded_tally(
+      values.size(), h.counts.size(), h.counts.data(),
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+        kern::gather_hist1d(rows, begin, end, values.data(), locate, counts);
+      });
   return h;
 }
 
@@ -147,12 +164,19 @@ Histogram2D HistogramEngine::histogram2d(const std::string& x, const std::string
   const std::span<const double> xs = table_->column(x);
   const std::span<const double> ys = table_->column(y);
   const std::size_t ny = h.ybins.num_bins();
-  for (std::uint64_t row = 0; row < xs.size(); ++row) {
-    const std::ptrdiff_t bx = h.xbins.locate(xs[row]);
-    const std::ptrdiff_t by = h.ybins.locate(ys[row]);
-    if (bx >= 0 && by >= 0)
-      ++h.counts[static_cast<std::size_t>(bx) * ny + static_cast<std::size_t>(by)];
-  }
+  const Bins::Locator xloc = h.xbins.locator();
+  const Bins::Locator yloc = h.ybins.locator();
+  kern::sharded_tally(
+      xs.size(), h.counts.size(), h.counts.data(),
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+        for (std::uint64_t row = begin; row < end; ++row) {
+          const std::ptrdiff_t bx = xloc(xs[row]);
+          const std::ptrdiff_t by = yloc(ys[row]);
+          if (bx >= 0 && by >= 0)
+            ++counts[static_cast<std::size_t>(bx) * ny +
+                     static_cast<std::size_t>(by)];
+        }
+      });
   return h;
 }
 
@@ -167,12 +191,14 @@ Histogram2D HistogramEngine::histogram2d(const std::string& x, const std::string
   const std::span<const double> xs = table_->column(x);
   const std::span<const double> ys = table_->column(y);
   const std::size_t ny = h.ybins.num_bins();
-  rows.for_each_set([&](std::uint64_t row) {
-    const std::ptrdiff_t bx = h.xbins.locate(xs[row]);
-    const std::ptrdiff_t by = h.ybins.locate(ys[row]);
-    if (bx >= 0 && by >= 0)
-      ++h.counts[static_cast<std::size_t>(bx) * ny + static_cast<std::size_t>(by)];
-  });
+  const Bins::Locator xloc = h.xbins.locator();
+  const Bins::Locator yloc = h.ybins.locator();
+  kern::sharded_tally(
+      xs.size(), h.counts.size(), h.counts.data(),
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+        kern::gather_hist2d(rows, begin, end, xs.data(), ys.data(), xloc, yloc,
+                            ny, counts);
+      });
   return h;
 }
 

@@ -1,0 +1,586 @@
+#include "bitmap/kernels.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+
+namespace qdv::kern {
+
+// ------------------------------------------------------------------------
+// DenseBlockCursor
+// ------------------------------------------------------------------------
+
+DenseBlockCursor::DenseBlockCursor(const BitVector& v, std::uint64_t begin,
+                                   std::uint64_t end)
+    : words_(BitVectorOps::words(v)),
+      active_(BitVectorOps::active(v)),
+      active_bits_(BitVectorOps::active_bits(v)),
+      begin_(std::min(begin, v.size())),
+      end_(std::min(end, v.size())) {
+  if (begin_ >= end_) done_ = true;
+  dense_base_ = begin_;
+}
+
+bool DenseBlockCursor::next(Block& out) {
+  for (;;) {
+    if (have_pending_run_) {
+      // Flush the dense buffer first so blocks come out in row order.
+      if (nwords_ > 0 || accbits_ > 0) {
+        emit_dense(out);
+        return true;
+      }
+      out.base = pending_base_;
+      out.nbits = pending_bits_;
+      out.is_run = true;
+      out.value = pending_value_;
+      out.words = nullptr;
+      have_pending_run_ = false;
+      dense_base_ = pending_base_ + pending_bits_;
+      return true;
+    }
+    if (done_) {
+      if (nwords_ > 0 || accbits_ > 0) {
+        emit_dense(out);
+        return true;
+      }
+      return false;
+    }
+    if (nwords_ >= kBufWords) {
+      emit_dense(out);
+      return true;
+    }
+    // Hot path: consecutive literal groups fully inside the window need no
+    // clipping and no per-word dispatch — this is the shape of every
+    // moderately-selective bitmap between its fills.
+    if (pos_ >= begin_) {
+      while (idx_ < words_.size() && nwords_ < kBufWords &&
+             pos_ + BitVectorOps::kGroupBits <= end_) {
+        const std::uint32_t w = words_[idx_];
+        if (w & BitVectorOps::kFillFlag) break;
+        ++idx_;
+        if (nwords_ == 0 && accbits_ == 0) dense_base_ = pos_;
+        pos_ += BitVectorOps::kGroupBits;
+        push_bits(w, BitVectorOps::kGroupBits);
+      }
+      if (nwords_ >= kBufWords) {
+        emit_dense(out);
+        return true;
+      }
+    }
+    step();
+  }
+}
+
+void DenseBlockCursor::step() {
+  if (pos_ >= end_) {
+    done_ = true;
+    return;
+  }
+  if (idx_ < words_.size()) {
+    const std::uint32_t w = words_[idx_++];
+    if (w & BitVectorOps::kFillFlag) {
+      handle_run((w & BitVectorOps::kFillValueBit) != 0,
+                 static_cast<std::uint64_t>(w & BitVectorOps::kCountMask) *
+                     BitVectorOps::kGroupBits);
+    } else {
+      handle_literal(w, BitVectorOps::kGroupBits);
+    }
+    return;
+  }
+  if (!tail_done_ && active_bits_ > 0) {
+    tail_done_ = true;
+    handle_literal(active_, active_bits_);
+    return;
+  }
+  done_ = true;
+}
+
+void DenseBlockCursor::handle_run(bool value, std::uint64_t run_bits) {
+  const std::uint64_t start = pos_;
+  pos_ += run_bits;
+  const std::uint64_t lo = std::max(start, begin_);
+  const std::uint64_t hi = std::min(pos_, end_);
+  if (lo >= hi) return;  // no overlap with the row window
+  const std::uint64_t n = hi - lo;
+  if (n >= (value ? kRunThresholdBits : kZeroRunThresholdBits)) {
+    have_pending_run_ = true;
+    pending_value_ = value;
+    pending_base_ = lo;
+    pending_bits_ = n;
+    return;
+  }
+  // Short fill: absorb into the dense buffer (contiguous with it by
+  // construction — either the buffer is empty or it ends exactly at lo).
+  if (nwords_ == 0 && accbits_ == 0) dense_base_ = lo;
+  if (value)
+    push_ones(n);
+  else
+    push_zeros(n);
+}
+
+void DenseBlockCursor::handle_literal(std::uint32_t literal, std::uint32_t nbits) {
+  const std::uint64_t start = pos_;
+  pos_ += nbits;
+  if (pos_ <= begin_ || start >= end_) return;  // fully outside the window
+  std::uint32_t w = literal;
+  // Mask window edges; the group itself stays whole, so dense blocks keep
+  // 31-bit-group alignment and the masked bits read as zeros.
+  if (start < begin_)
+    w &= ~0u << static_cast<std::uint32_t>(begin_ - start);
+  if (pos_ > end_)
+    w &= (1u << static_cast<std::uint32_t>(end_ - start)) - 1u;
+  if (nwords_ == 0 && accbits_ == 0) dense_base_ = start;
+  push_bits(w, nbits);
+}
+
+void DenseBlockCursor::emit_dense(Block& out) {
+  std::size_t nw = nwords_;
+  const std::uint64_t nbits =
+      static_cast<std::uint64_t>(nwords_) * 64 + accbits_;
+  if (accbits_ > 0) buf_[nw++] = acc_;
+  out.base = dense_base_;
+  out.nbits = nbits;
+  out.is_run = false;
+  out.value = false;
+  out.words = buf_.data();
+  dense_base_ += nbits;
+  nwords_ = 0;
+  acc_ = 0;
+  accbits_ = 0;
+}
+
+void DenseBlockCursor::push_bits(std::uint64_t bits, std::uint32_t n) {
+  acc_ |= bits << accbits_;
+  const std::uint32_t total = accbits_ + n;
+  if (total >= 64) {
+    buf_[nwords_++] = acc_;
+    const std::uint32_t spilled = total - 64;
+    acc_ = spilled > 0 ? (bits >> (n - spilled)) : 0;
+    accbits_ = spilled;
+  } else {
+    accbits_ = total;
+  }
+}
+
+void DenseBlockCursor::push_zeros(std::uint64_t n) {
+  std::uint64_t total = accbits_ + n;
+  if (total < 64) {
+    accbits_ = static_cast<std::uint32_t>(total);
+    return;
+  }
+  buf_[nwords_++] = acc_;
+  acc_ = 0;
+  total -= 64;
+  while (total >= 64) {
+    buf_[nwords_++] = 0;
+    total -= 64;
+  }
+  accbits_ = static_cast<std::uint32_t>(total);
+}
+
+void DenseBlockCursor::push_ones(std::uint64_t n) {
+  std::uint64_t total = accbits_ + n;
+  acc_ |= ~std::uint64_t{0} << accbits_;
+  if (total < 64) {
+    acc_ &= (std::uint64_t{1} << total) - 1u;
+    accbits_ = static_cast<std::uint32_t>(total);
+    return;
+  }
+  buf_[nwords_++] = acc_;
+  total -= 64;
+  while (total >= 64) {
+    buf_[nwords_++] = ~std::uint64_t{0};
+    total -= 64;
+  }
+  acc_ = total > 0 ? (std::uint64_t{1} << total) - 1u : 0;
+  accbits_ = static_cast<std::uint32_t>(total);
+}
+
+// ------------------------------------------------------------------------
+// Position / count kernels
+// ------------------------------------------------------------------------
+
+void to_positions_blocked(const BitVector& v, std::vector<std::uint32_t>& out) {
+  out.clear();
+  if (prefer_scalar_decode(v)) {
+    v.for_each_set([&out](std::uint64_t pos) {
+      out.push_back(static_cast<std::uint32_t>(pos));
+    });
+    return;
+  }
+  DenseBlockCursor cursor(v);
+  DenseBlockCursor::Block b;
+  while (cursor.next(b)) {
+    if (b.is_run) {
+      if (!b.value) continue;
+      // A run of ones appends consecutive rows in bulk.
+      const std::size_t old = out.size();
+      out.resize(old + static_cast<std::size_t>(b.nbits));
+      auto row = static_cast<std::uint32_t>(b.base);
+      for (std::size_t i = old; i < out.size(); ++i) out[i] = row++;
+      continue;
+    }
+    const std::size_t nw = (static_cast<std::size_t>(b.nbits) + 63) / 64;
+    for (std::size_t w = 0; w < nw; ++w) {
+      std::uint64_t bits = b.words[w];
+      const std::uint64_t base = b.base + static_cast<std::uint64_t>(w) * 64;
+      while (bits) {
+        out.push_back(static_cast<std::uint32_t>(
+            base + static_cast<std::uint64_t>(std::countr_zero(bits))));
+        bits &= bits - 1;
+      }
+    }
+  }
+}
+
+std::uint64_t count_words(const BitVector& v) {
+  std::uint64_t total = 0;
+  for (const std::uint32_t w : BitVectorOps::words(v)) {
+    if (w & BitVectorOps::kFillFlag) {
+      if (w & BitVectorOps::kFillValueBit)
+        total += static_cast<std::uint64_t>(w & BitVectorOps::kCountMask) *
+                 BitVectorOps::kGroupBits;
+    } else {
+      total += static_cast<std::uint32_t>(std::popcount(w));
+    }
+  }
+  total += static_cast<std::uint32_t>(std::popcount(BitVectorOps::active(v)));
+  return total;
+}
+
+// ------------------------------------------------------------------------
+// K-way OR
+// ------------------------------------------------------------------------
+
+namespace {
+
+/// Decoder over one operand's compressed words that only surfaces *content*
+/// — literal groups and one-fills — skipping zero fills arithmetically. The
+/// k-way OR never needs to look at an operand between its set regions, so
+/// merging k sparse bin bitmaps costs O(content words * log k), not
+/// O(groups * k): range probes OR hundreds of mostly-empty per-bin bitmaps.
+struct ContentCursor {
+  std::span<const std::uint32_t> words;
+  std::uint32_t active = 0;
+  std::uint32_t active_bits = 0;
+  std::size_t idx = 0;
+  bool tail_done = false;
+
+  std::uint64_t pos = 0;         // group index where the current content starts
+  std::uint64_t run_groups = 0;  // content length in groups (literal = 1)
+  bool is_one_fill = false;
+  std::uint32_t literal = 0;  // valid when !is_one_fill
+  bool exhausted = false;
+
+  explicit ContentCursor(const BitVector& v)
+      : words(BitVectorOps::words(v)),
+        active(BitVectorOps::active(v)),
+        active_bits(BitVectorOps::active_bits(v)) {
+    next_content();
+  }
+
+  /// Advance past the current content to the next literal / one-fill.
+  void next_content() {
+    pos += run_groups;
+    run_groups = 0;
+    for (;;) {
+      if (idx < words.size()) {
+        const std::uint32_t w = words[idx++];
+        if (w & BitVectorOps::kFillFlag) {
+          const std::uint64_t g = w & BitVectorOps::kCountMask;
+          if (w & BitVectorOps::kFillValueBit) {
+            is_one_fill = true;
+            run_groups = g;
+            return;
+          }
+          pos += g;  // zero fill: free skip
+          continue;
+        }
+        is_one_fill = false;
+        literal = w;
+        run_groups = 1;
+        return;
+      }
+      if (!tail_done && active_bits > 0) {
+        tail_done = true;
+        if (active != 0) {
+          is_one_fill = false;
+          literal = active;  // zero-padded to a whole group
+          run_groups = 1;
+          return;
+        }
+        pos += 1;
+        continue;
+      }
+      exhausted = true;
+      return;
+    }
+  }
+
+  /// Ensure the current content starts at group >= @p group (consuming any
+  /// part of it the output has already covered).
+  void skip_to(std::uint64_t group) {
+    while (!exhausted && pos + run_groups <= group) next_content();
+    if (!exhausted && pos < group) {
+      // Only a one-fill can straddle (literals span one group).
+      run_groups -= group - pos;
+      pos = group;
+    }
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Dense-accumulator OR: scatter every operand's content into an
+/// uncompressed per-group uint32 array, then recompress once. O(total
+/// content words + groups) with no per-group coordination — the winner when
+/// the operands' combined content is dense relative to the output range
+/// (e.g. a threshold query ORing hundreds of well-filled bin bitmaps).
+BitVector or_many_dense(std::span<const BitVector* const> operands,
+                        std::uint64_t target) {
+  const std::uint64_t full_groups = target / BitVectorOps::kGroupBits;
+  const auto tail =
+      static_cast<std::uint32_t>(target - full_groups * BitVectorOps::kGroupBits);
+  std::vector<std::uint32_t> acc(full_groups + (tail > 0 ? 1 : 0), 0);
+  for (const BitVector* v : operands) {
+    std::size_t g = 0;
+    for (const std::uint32_t w : BitVectorOps::words(*v)) {
+      if (w & BitVectorOps::kFillFlag) {
+        const std::uint64_t run = w & BitVectorOps::kCountMask;
+        if (w & BitVectorOps::kFillValueBit)
+          std::fill(acc.begin() + static_cast<std::ptrdiff_t>(g),
+                    acc.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min<std::uint64_t>(g + run, acc.size())),
+                    BitVectorOps::kLiteralMask);
+        g += run;
+      } else {
+        acc[g++] |= w;
+      }
+    }
+    if (BitVectorOps::active_bits(*v) > 0 && g < acc.size())
+      acc[g] |= BitVectorOps::active(*v);
+  }
+  BitVector out;
+  std::size_t g = 0;
+  while (g < full_groups) {
+    const std::uint32_t w = acc[g];
+    if (w == 0 || w == BitVectorOps::kLiteralMask) {
+      std::size_t e = g + 1;
+      while (e < full_groups && acc[e] == w) ++e;
+      BitVectorOps::append_fill(out, w != 0, e - g);
+      g = e;
+    } else {
+      BitVectorOps::append_group(out, w);
+      ++g;
+    }
+  }
+  BitVectorOps::set_nbits(out, full_groups * BitVectorOps::kGroupBits);
+  if (tail > 0) {
+    BitVectorOps::set_tail(out, acc[full_groups] & ((1u << tail) - 1u), tail);
+    BitVectorOps::set_nbits(out, target);
+  }
+  return out;
+}
+
+/// Scratch ceiling for the dense accumulator (groups -> 4 bytes each).
+constexpr std::uint64_t kMaxDenseGroups = 1ull << 22;  // 16 MiB scratch
+
+}  // namespace
+
+BitVector or_many_kway(std::span<const BitVector* const> operands,
+                       std::uint64_t nbits) {
+  std::uint64_t target = nbits;
+  std::uint64_t total_words = 0;
+  for (const BitVector* v : operands) {
+    target = std::max(target, v->size());
+    total_words += v->word_count();
+  }
+  if (operands.empty()) return BitVector::zeros(target);
+  if (operands.size() == 1) {
+    BitVector out = *operands[0];
+    if (out.size() < target) out.append_run(false, target - out.size());
+    return out;
+  }
+  const std::uint64_t full_groups = target / BitVectorOps::kGroupBits;
+  // Dense accumulation when the combined content is a meaningful fraction
+  // of the range (total_words over-counts content by including fill words —
+  // an acceptable bias toward the dense path, whose worst case is mild);
+  // heap merge otherwise (and always for ranges too big to scatter into).
+  if (full_groups <= kMaxDenseGroups && total_words >= full_groups / 8)
+    return or_many_dense(operands, target);
+  std::vector<ContentCursor> cursors;
+  cursors.reserve(operands.size());
+  for (const BitVector* v : operands) cursors.emplace_back(*v);
+
+  // Min-heap of cursor indices ordered by content position.
+  std::vector<std::size_t> heap;
+  heap.reserve(cursors.size());
+  const auto by_pos = [&](std::size_t a, std::size_t b) {
+    return cursors[a].pos > cursors[b].pos;  // min-heap
+  };
+  for (std::size_t i = 0; i < cursors.size(); ++i)
+    if (!cursors[i].exhausted) heap.push_back(i);
+  std::make_heap(heap.begin(), heap.end(), by_pos);
+  const auto pop_min = [&] {
+    std::pop_heap(heap.begin(), heap.end(), by_pos);
+    const std::size_t i = heap.back();
+    heap.pop_back();
+    return i;
+  };
+  const auto push = [&](std::size_t i) {
+    heap.push_back(i);
+    std::push_heap(heap.begin(), heap.end(), by_pos);
+  };
+
+  BitVector out;
+  std::uint64_t done = 0;
+  while (!heap.empty() && done < full_groups) {
+    const std::size_t i = pop_min();
+    ContentCursor& c = cursors[i];
+    if (c.pos >= full_groups) break;  // heap min: every cursor is past the end
+    if (c.pos < done) {
+      // Content already covered by an emitted one-fill: fast-forward.
+      c.skip_to(done);
+      if (!c.exhausted) push(i);
+      continue;
+    }
+    if (c.pos > done) {
+      // Nothing has content before c.pos: the gap is all zeros.
+      BitVectorOps::append_fill(out, false, c.pos - done);
+      done = c.pos;
+    }
+    if (c.is_one_fill) {
+      const std::uint64_t g = std::min(c.run_groups, full_groups - done);
+      BitVectorOps::append_fill(out, true, g);
+      done += g;
+      c.skip_to(done);
+      if (!c.exhausted) push(i);
+      continue;
+    }
+    // Literal group at `done`: OR in every other cursor with content here.
+    std::uint32_t w = c.literal;
+    c.skip_to(done + 1);
+    while (!heap.empty() && cursors[heap.front()].pos == done) {
+      const std::size_t j = pop_min();
+      ContentCursor& d = cursors[j];
+      // A one-fill starting here covers this group entirely; its remainder
+      // (starting at done + 1) is emitted by later heap pops.
+      w |= d.is_one_fill ? BitVectorOps::kLiteralMask : d.literal;
+      d.skip_to(done + 1);
+      if (!d.exhausted) push(j);
+    }
+    BitVectorOps::append_group(out, w & BitVectorOps::kLiteralMask);
+    ++done;
+    if (!c.exhausted) push(i);
+  }
+  if (done < full_groups)
+    BitVectorOps::append_fill(out, false, full_groups - done);
+  BitVectorOps::set_nbits(out, full_groups * BitVectorOps::kGroupBits);
+  const auto tail =
+      static_cast<std::uint32_t>(target - full_groups * BitVectorOps::kGroupBits);
+  if (tail > 0) {
+    // The zero-padded tail group: OR of each operand's group at full_groups.
+    std::uint32_t w = 0;
+    for (ContentCursor& c : cursors) {
+      c.skip_to(full_groups);
+      if (!c.exhausted && c.pos == full_groups)
+        w |= c.is_one_fill ? BitVectorOps::kLiteralMask : c.literal;
+    }
+    BitVectorOps::set_tail(out, w & ((1u << tail) - 1u), tail);
+    BitVectorOps::set_nbits(out, target);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// Sharded tally
+// ------------------------------------------------------------------------
+
+void sharded_tally(std::uint64_t nrows, std::size_t ncounts,
+                   std::uint64_t* counts,
+                   const std::function<void(std::uint64_t, std::uint64_t,
+                                            std::uint64_t*)>& fill,
+                   std::size_t nshards) {
+  nshards = std::min<std::uint64_t>(nshards, nrows);
+  if (nshards <= 1) {
+    fill(0, nrows, counts);
+    return;
+  }
+  std::vector<std::vector<std::uint64_t>> partials(
+      nshards, std::vector<std::uint64_t>(ncounts, 0));
+  par::ThreadPool::global().parallel_for(
+      nshards, nshards, [&](std::size_t s) {
+        const std::uint64_t begin = nrows * s / nshards;
+        const std::uint64_t end = nrows * (s + 1) / nshards;
+        fill(begin, end, partials[s].data());
+      });
+  for (const std::vector<std::uint64_t>& partial : partials)
+    for (std::size_t i = 0; i < ncounts; ++i) counts[i] += partial[i];
+}
+
+void sharded_tally(std::uint64_t nrows, std::size_t ncounts,
+                   std::uint64_t* counts,
+                   const std::function<void(std::uint64_t, std::uint64_t,
+                                            std::uint64_t*)>& fill) {
+  // Inside a VirtualCluster task (or any SerialSection) fan-out is
+  // forbidden: per-task timings feed the makespan model.
+  if (par::SerialSection::active()) {
+    fill(0, nrows, counts);
+    return;
+  }
+  const std::size_t workers = par::ThreadPool::global().size() + 1;
+  // Sharding pays an O(shards * ncounts) merge: only worth it when the row
+  // count dominates both the bin count and the per-shard setup. The partial
+  // arrays are scratch outside the io::MemoryBudget, so cap their total at
+  // 32 MiB — on many-core hosts with big 2D bin grids this trims the shard
+  // count instead of letting the transient burst blow past the configured
+  // out-of-core ceiling.
+  constexpr std::uint64_t kMaxScratchBytes = std::uint64_t{32} << 20;
+  const std::uint64_t scratch_per_shard =
+      static_cast<std::uint64_t>(ncounts) * sizeof(std::uint64_t);
+  const std::size_t max_shards_by_mem = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, kMaxScratchBytes / std::max<std::uint64_t>(
+                                                        1, scratch_per_shard)));
+  const bool big = nrows >= (std::uint64_t{1} << 17) &&
+                   nrows >= static_cast<std::uint64_t>(ncounts) * 8;
+  const std::size_t nshards = std::min(workers, max_shards_by_mem);
+  sharded_tally(nrows, ncounts, counts, fill, (big && nshards > 1) ? nshards : 1);
+}
+
+// ------------------------------------------------------------------------
+// Scalar references (differential-test twins; do not optimize)
+// ------------------------------------------------------------------------
+
+namespace ref {
+
+BitVector or_many_pairwise(std::span<const BitVector* const> operands,
+                           std::uint64_t nbits) {
+  if (operands.empty()) return BitVector::zeros(nbits);
+  if (operands.size() == 1) {
+    BitVector out = *operands[0];
+    if (out.size() < nbits) out.append_run(false, nbits - out.size());
+    return out;
+  }
+  std::vector<BitVector> level;
+  level.reserve((operands.size() + 1) / 2);
+  for (std::size_t i = 0; i + 1 < operands.size(); i += 2)
+    level.push_back(*operands[i] | *operands[i + 1]);
+  if (operands.size() % 2 == 1) level.push_back(*operands.back());
+  while (level.size() > 1) {
+    std::vector<BitVector> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(level[i] | level[i + 1]);
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  BitVector out = std::move(level.front());
+  if (out.size() < nbits) out.append_run(false, nbits - out.size());
+  return out;
+}
+
+}  // namespace ref
+
+}  // namespace qdv::kern

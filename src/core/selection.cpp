@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "bitmap/kernels.hpp"
 #include "engine_state.hpp"
 
 namespace qdv::core {
@@ -36,7 +37,8 @@ std::vector<std::uint64_t> Selection::ids(std::size_t t) const {
     out.assign(id_col.begin(), id_col.end());
     return out;
   }
-  bits(t)->for_each_set([&](std::uint64_t row) { out.push_back(id_col[row]); });
+  kern::for_each_set_blocked(
+      *bits(t), [&](std::uint64_t row) { out.push_back(id_col[row]); });
   return out;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "bitmap/kernels.hpp"
+
 namespace qdv::core {
 
 ExplorationSession ExplorationSession::open(const std::filesystem::path& dir) {
@@ -98,16 +100,18 @@ std::vector<Histogram2D> ExplorationSession::pair_histograms(
     h.counts.assign(h.nx() * h.ny(), 0);
     const std::span<const double> xs = columns[pair];
     const std::span<const double> ys = columns[pair + 1];
+    const Bins::Locator xloc = h.xbins.locator();
+    const Bins::Locator yloc = h.ybins.locator();
     const auto tally = [&](std::uint64_t row) {
-      const std::ptrdiff_t bx = h.xbins.locate(xs[row]);
-      const std::ptrdiff_t by = h.ybins.locate(ys[row]);
+      const std::ptrdiff_t bx = xloc(xs[row]);
+      const std::ptrdiff_t by = yloc(ys[row]);
       if (bx >= 0 && by >= 0)
         ++h.at(static_cast<std::size_t>(bx), static_cast<std::size_t>(by));
     };
     if (all_rows) {
       for (std::uint64_t row = 0; row < xs.size(); ++row) tally(row);
     } else {
-      rows->for_each_set(tally);
+      kern::for_each_set_blocked(*rows, tally);
     }
     hists.push_back(std::move(h));
   }
@@ -239,7 +243,7 @@ render::Image ExplorationSession::render_scatter(
   if (context_.selects_all()) {
     for (std::uint64_t row = 0; row < xs.size(); ++row) draw_dim(row);
   } else {
-    context_.bits(t)->for_each_set(draw_dim);
+    kern::for_each_set_blocked(*context_.bits(t), draw_dim);
   }
   // Focus (or everything when unset): pseudocolored by the color variable.
   const auto draw_colored = [&](std::uint64_t row) {
@@ -252,7 +256,7 @@ render::Image ExplorationSession::render_scatter(
   if (focus_.selects_all()) {
     for (std::uint64_t row = 0; row < xs.size(); ++row) draw_colored(row);
   } else {
-    focus_.bits(t)->for_each_set(draw_colored);
+    kern::for_each_set_blocked(*focus_.bits(t), draw_colored);
   }
   return img;
 }

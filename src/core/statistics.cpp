@@ -6,6 +6,8 @@
 #include <limits>
 #include <span>
 
+#include "bitmap/kernels.hpp"
+
 namespace qdv::core {
 
 namespace {
@@ -55,7 +57,10 @@ SummaryStats conditional_stats(const io::TimestepTable& table,
   if (condition == nullptr) {
     for (std::uint64_t row = 0; row < values.size(); ++row) accumulate(row);
   } else {
-    table.query(*condition, mode).for_each_set(std::ref(accumulate));
+    // Dense-block gather: same ascending row order as the scalar
+    // for_each_set, so the floating-point sums are bit-identical.
+    kern::for_each_set_blocked(table.query(*condition, mode),
+                               std::ref(accumulate));
   }
   return accumulate.finish();
 }
@@ -64,7 +69,7 @@ SummaryStats conditional_stats(const io::TimestepTable& table,
                                const std::string& variable,
                                const BitVector& rows) {
   StatsAccumulator accumulate(table.column(variable));
-  rows.for_each_set(std::ref(accumulate));
+  kern::for_each_set_blocked(rows, std::ref(accumulate));
   return accumulate.finish();
 }
 

@@ -209,12 +209,33 @@ std::pair<double, double> TimestepTable::domain(const std::string& name) const {
 
 namespace {
 
+/// Append one bit per row, coalescing equal neighbors into append_run calls
+/// so the WAH encoder sees whole runs instead of 31 single-bit appends per
+/// group (scan results are run-heavy at both selectivity extremes).
+template <typename Pred>
+BitVector scan_predicate(std::uint64_t rows, Pred&& pred) {
+  BitVector out;
+  std::uint64_t run_start = 0;
+  bool run_value = false;
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    const bool v = pred(row);
+    if (row == 0) {
+      run_value = v;
+    } else if (v != run_value) {
+      out.append_run(run_value, row - run_start);
+      run_start = row;
+      run_value = v;
+    }
+  }
+  out.append_run(run_value, rows - run_start);
+  return out;
+}
+
 BitVector scan_interval(const TimestepTable& table, const std::string& variable,
                         const Interval& iv) {
   const std::span<const double> values = table.column(variable);
-  BitVector out;
-  for (const double v : values) out.append_bit(iv.contains(v));
-  return out;
+  return scan_predicate(values.size(),
+                        [&](std::uint64_t row) { return iv.contains(values[row]); });
 }
 
 /// Shared index-first path of kCompare and kInterval: two-step evaluation
@@ -248,10 +269,9 @@ BitVector eval_interval(const TimestepTable& table, const std::string& variable,
 BitVector scan_id_in(const TimestepTable& table, const IdInQuery& q) {
   const std::span<const std::uint64_t> ids = table.id_column(q.variable());
   const std::vector<std::uint64_t>& search = q.ids();
-  BitVector out;
-  for (const std::uint64_t id : ids)
-    out.append_bit(std::binary_search(search.begin(), search.end(), id));
-  return out;
+  return scan_predicate(ids.size(), [&](std::uint64_t row) {
+    return std::binary_search(search.begin(), search.end(), ids[row]);
+  });
 }
 
 }  // namespace

@@ -6,10 +6,10 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
-#include <thread>
 
 #include "core/custom_scan.hpp"
 #include "parallel/prefetch.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace qdv::par {
 
@@ -38,38 +38,35 @@ ClusterRun VirtualCluster::run(std::size_t ntasks,
   ClusterRun result;
   result.task_seconds.assign(ntasks, 0.0);
   const auto batch_start = clock::now();
+  // Every task runs inside a SerialSection: its measured time feeds the
+  // makespan model, so intra-task kernels must not fan out underneath it.
   if (host_threads_ == 1) {
     for (std::size_t t = 0; t < ntasks; ++t) {
+      const SerialSection serial;
       const auto start = clock::now();
       task(t);
       result.task_seconds[t] =
           std::chrono::duration<double>(clock::now() - start).count();
     }
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> workers;
-    const std::size_t nworkers = std::min(host_threads_, ntasks);
-    workers.reserve(nworkers);
+    // Persistent pool instead of a thread spawn/join per batch: the calling
+    // thread participates and host_threads_ caps the concurrency. Exceptions
+    // are recorded per task (so its time is still measured) and the first
+    // one is rethrown after the batch drains, as before.
     std::exception_ptr error;
     std::mutex error_mutex;
-    for (std::size_t w = 0; w < nworkers; ++w) {
-      workers.emplace_back([&] {
-        for (;;) {
-          const std::size_t t = next.fetch_add(1);
-          if (t >= ntasks) return;
-          const auto start = clock::now();
-          try {
-            task(t);
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!error) error = std::current_exception();
-          }
-          result.task_seconds[t] =
-              std::chrono::duration<double>(clock::now() - start).count();
-        }
-      });
-    }
-    for (std::thread& w : workers) w.join();
+    ThreadPool::global().parallel_for(ntasks, host_threads_, [&](std::size_t t) {
+      const SerialSection serial;
+      const auto start = clock::now();
+      try {
+        task(t);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      result.task_seconds[t] =
+          std::chrono::duration<double>(clock::now() - start).count();
+    });
     if (error) std::rethrow_exception(error);
   }
   result.wall_seconds =

@@ -1,79 +1,88 @@
 #include "parallel/prefetch.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
 
 namespace qdv::par {
 
+struct Prefetcher::State {
+  State(io::Dataset d, std::size_t q)
+      : dataset(std::move(d)), max_queue(std::max<std::size_t>(1, q)) {}
+
+  io::Dataset dataset;
+  std::size_t max_queue;
+  mutable std::mutex mutex;
+  std::condition_variable idle_cv;
+  std::size_t inflight = 0;
+  std::uint64_t completed = 0;
+  bool stop = false;
+};
+
 Prefetcher::Prefetcher(io::Dataset dataset, std::size_t max_queue)
-    : dataset_(std::move(dataset)),
-      max_queue_(std::max<std::size_t>(1, max_queue)),
-      worker_([this] { run(); }) {}
+    : state_(std::make_shared<State>(std::move(dataset), max_queue)) {}
 
 Prefetcher::~Prefetcher() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-    queue_.clear();  // abandon what has not started; finish the in-flight one
-  }
-  work_cv_.notify_all();
-  worker_.join();
+  // In-flight tasks co-own the state; queued-but-unstarted ones see stop and
+  // skip their I/O. Nothing to join.
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->stop = true;
 }
 
 bool Prefetcher::request(std::size_t t, std::vector<std::string> variables,
                          bool value_indices) {
-  if (t >= dataset_.num_timesteps()) return false;
+  std::shared_ptr<State> state = state_;
+  if (t >= state->dataset.num_timesteps()) return false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stop_ || queue_.size() >= max_queue_) return false;
-    queue_.push_back(Job{t, std::move(variables), value_indices});
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->stop || state->inflight >= state->max_queue) return false;
+    ++state->inflight;
   }
-  work_cv_.notify_one();
+  ThreadPool::global().submit(
+      [state, t, variables = std::move(variables), value_indices] {
+        bool stopped;
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          stopped = state->stop;
+        }
+        if (!stopped) {
+          try {
+            const io::TimestepTable& table = state->dataset.table(t);
+            for (const std::string& var : variables) {
+              if (var == "id") {
+                table.prefetch_id_column("id");  // map + kernel read-ahead
+                (void)table.id_index("id");
+              } else {
+                table.prefetch_column(var);
+                if (value_indices)
+                  (void)table.value_index(var);  // segment directory only
+              }
+            }
+          } catch (...) {
+            // Advisory: a failed prefetch means the traversal pays the load.
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          --state->inflight;
+          if (!stopped) ++state->completed;
+        }
+        state->idle_cv.notify_all();
+      });
   return true;
 }
 
 void Prefetcher::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->idle_cv.wait(lock, [this] { return state_->inflight == 0; });
 }
 
 std::uint64_t Prefetcher::completed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return completed_;
-}
-
-void Prefetcher::run() {
-  for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      busy_ = true;
-    }
-    try {
-      const io::TimestepTable& table = dataset_.table(job.t);
-      for (const std::string& var : job.variables) {
-        if (var == "id") {
-          table.prefetch_id_column("id");  // map + kernel read-ahead
-          (void)table.id_index("id");
-        } else {
-          table.prefetch_column(var);
-          if (job.value_indices)
-            (void)table.value_index(var);  // opens the segment directory only
-        }
-      }
-    } catch (...) {
-      // Advisory: a failed prefetch just means the traversal pays the load.
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      busy_ = false;
-      ++completed_;
-    }
-    idle_cv_.notify_all();
-  }
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->completed;
 }
 
 }  // namespace qdv::par

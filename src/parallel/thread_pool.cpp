@@ -1,0 +1,205 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qdv::par {
+
+namespace {
+
+struct Batch {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;  // signalled on the final done increment
+};
+
+/// Claim indices off the shared counter until the batch is exhausted.
+/// Helpers arriving after exhaustion (body may already be dangling) return
+/// without touching it.
+void run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t t = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= batch.n) return;
+    try {
+      (*batch.body)(t);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
+      std::lock_guard<std::mutex> lock(batch.done_mutex);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct WorkDeque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Worker identity of the current thread: the pool it belongs to and its
+  /// 1-based slot there. Both must be consulted together — a worker of one
+  /// pool is an external thread to every other pool (indexing another
+  /// pool's deques by this slot would be out of bounds).
+  static thread_local Impl* tls_pool;
+  static thread_local std::size_t tls_worker_slot;
+
+  std::vector<std::unique_ptr<WorkDeque>> deques;
+  std::vector<std::thread> threads;
+  std::mutex sleep_mutex;
+  std::condition_variable wake_cv;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> pending{0};
+  std::atomic<std::size_t> round_robin{0};
+
+  /// Pop from deque @p self's back (LIFO for locality), else steal from the
+  /// front of a peer; run the task. False when every deque was empty.
+  bool try_run_one(std::size_t self) {
+    if (pending.load(std::memory_order_acquire) == 0) return false;
+    std::function<void()> task;
+    const std::size_t nd = deques.size();
+    for (std::size_t k = 0; k < nd && !task; ++k) {
+      const std::size_t i = (self + k) % nd;
+      WorkDeque& d = *deques[i];
+      std::lock_guard<std::mutex> lock(d.mutex);
+      if (d.tasks.empty()) continue;
+      if (k == 0) {
+        task = std::move(d.tasks.back());
+        d.tasks.pop_back();
+      } else {
+        task = std::move(d.tasks.front());
+        d.tasks.pop_front();
+      }
+    }
+    if (!task) return false;
+    pending.fetch_sub(1, std::memory_order_acq_rel);
+    task();
+    return true;
+  }
+
+  void push(std::function<void()> task) {
+    const std::size_t slot =
+        tls_pool == this && tls_worker_slot > 0
+            ? tls_worker_slot - 1
+            : round_robin.fetch_add(1, std::memory_order_relaxed) % deques.size();
+    // Count BEFORE enqueueing: a pop can only follow the enqueue, so its
+    // decrement always sees this increment — enqueue-first would let two
+    // pops race two half-finished pushes and wrap pending below zero.
+    pending.fetch_add(1, std::memory_order_release);
+    {
+      WorkDeque& d = *deques[slot];
+      std::lock_guard<std::mutex> lock(d.mutex);
+      d.tasks.push_back(std::move(task));
+    }
+    {
+      // Empty critical section: a worker between its predicate check and
+      // wait() either sees pending > 0 or gets this notification.
+      std::lock_guard<std::mutex> lock(sleep_mutex);
+    }
+    wake_cv.notify_one();
+  }
+
+  void worker_loop(std::size_t id) {
+    tls_pool = this;
+    tls_worker_slot = id + 1;
+    for (;;) {
+      if (try_run_one(id)) continue;
+      std::unique_lock<std::mutex> lock(sleep_mutex);
+      wake_cv.wait(lock, [this] {
+        return stop.load(std::memory_order_acquire) ||
+               pending.load(std::memory_order_acquire) > 0;
+      });
+      if (stop.load(std::memory_order_acquire) &&
+          pending.load(std::memory_order_acquire) == 0)
+        return;
+    }
+  }
+};
+
+thread_local ThreadPool::Impl* ThreadPool::Impl::tls_pool = nullptr;
+thread_local std::size_t ThreadPool::Impl::tls_worker_slot = 0;
+
+int& SerialSection::depth() {
+  static thread_local int depth = 0;
+  return depth;
+}
+
+ThreadPool::ThreadPool(std::size_t nthreads) : impl_(std::make_unique<Impl>()) {
+  const std::size_t n = nthreads > 0 ? nthreads : 1;
+  impl_->deques.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    impl_->deques.push_back(std::make_unique<Impl::WorkDeque>());
+  impl_->threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    impl_->threads.emplace_back([this, i] { impl_->worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->stop.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(impl_->sleep_mutex);
+  }
+  impl_->wake_cv.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+std::size_t ThreadPool::size() const { return impl_->threads.size(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  impl_->push(std::move(task));
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t max_workers,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (max_workers == 0) max_workers = 1;
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->body = &body;
+  const std::size_t helpers =
+      std::min({max_workers - 1, impl_->threads.size(), n - 1});
+  for (std::size_t h = 0; h < helpers; ++h)
+    impl_->push([batch] { run_batch(*batch); });
+  run_batch(*batch);
+  // Only helpers mid-index remain: block on the batch's completion signal.
+  // The caller must NOT steal other pool work here — batch progress never
+  // depends on it (the caller exhausts the index counter itself; nested
+  // regions complete through their own callers), and stealing could run an
+  // unrelated long task (e.g. a prefetch I/O job) inline, adding its full
+  // latency to this batch.
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mutex);
+    batch->done_cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) >= n;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("QDV_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hc > 0 ? hc : 1);
+  }());
+  return pool;
+}
+
+}  // namespace qdv::par

@@ -118,12 +118,21 @@ void ParallelCoordinatesPlot::draw_hybrid_layer(
           max_density = std::max(max_density, h.density(bx, by));
     cutoff[pair] = outlier_fraction * max_density;
   }
+  // Cached locators hoist the per-row bin search out of the hot loop.
+  std::vector<Bins::Locator> xloc;
+  std::vector<Bins::Locator> yloc;
+  xloc.reserve(npairs);
+  yloc.reserve(npairs);
+  for (std::size_t pair = 0; pair < npairs; ++pair) {
+    xloc.push_back(hists[pair].xbins.locator());
+    yloc.push_back(hists[pair].ybins.locator());
+  }
   const std::size_t rows = columns.front().size();
   for (std::size_t row = 0; row < rows; ++row) {
     for (std::size_t pair = 0; pair < npairs; ++pair) {
       const Histogram2D& h = hists[pair];
-      const std::ptrdiff_t bx = h.xbins.locate(columns[pair][row]);
-      const std::ptrdiff_t by = h.ybins.locate(columns[pair + 1][row]);
+      const std::ptrdiff_t bx = xloc[pair](columns[pair][row]);
+      const std::ptrdiff_t by = yloc[pair](columns[pair + 1][row]);
       const bool sparse =
           bx < 0 || by < 0 ||
           h.density(static_cast<std::size_t>(bx), static_cast<std::size_t>(by)) <

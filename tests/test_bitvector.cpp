@@ -3,6 +3,8 @@
 // over 1, 2, and 33 inputs — each cross-checked against a plain
 // std::vector<bool> reference model.
 #include <cstdint>
+#include <cstring>
+#include <sstream>
 #include <vector>
 
 #include "bitmap/bitvector.hpp"
@@ -160,6 +162,69 @@ void test_or_many() {
   CHECK_EQ(none.count(), 0u);
 }
 
+void test_load_validates_header() {
+  const Model m = make_model(5000, 2024, 77);
+  std::ostringstream saved;
+  m.v.save(saved);
+  const std::string good = saved.str();
+
+  // Round trip still works.
+  {
+    std::istringstream in(good);
+    CHECK(BitVector::load(in) == m.v);
+  }
+  // Serialized layout: nbits u64 | nwords u64 | active u32 | active_bits u32.
+  const auto corrupt_at = [&](std::size_t offset, std::uint64_t value,
+                              std::size_t width) {
+    std::string bad = good;
+    std::memcpy(bad.data() + offset, &value, width);
+    std::istringstream in(bad);
+    CHECK_THROWS(BitVector::load(in));
+  };
+  // A huge word count must throw before any allocation is attempted.
+  corrupt_at(8, 0x7FFFFFFFFFFFFFFFull, 8);
+  // Word count inconsistent with the bit count.
+  corrupt_at(8, 5000 / 31 + 1, 8);
+  // Tail width >= the group size, or inconsistent with nbits.
+  corrupt_at(20, 31, 4);
+  corrupt_at(20, 200, 4);
+  // Garbage bits above the declared tail width.
+  corrupt_at(16, 0xFFFFFFFFull, 4);
+  // Truncated payload.
+  {
+    std::istringstream in(good.substr(0, good.size() - 3));
+    CHECK_THROWS(BitVector::load(in));
+  }
+  // Truncated header.
+  {
+    std::istringstream in(good.substr(0, 10));
+    CHECK_THROWS(BitVector::load(in));
+  }
+  // The span-based loader applies the same header validation.
+  {
+    std::string bad = good;
+    const std::uint64_t nwords = 0x10000000000ull;
+    std::memcpy(bad.data() + 8, &nwords, 8);
+    std::size_t offset = 0;
+    const std::span<const std::byte> image(
+        reinterpret_cast<const std::byte*>(bad.data()), bad.size());
+    CHECK_THROWS(BitVector::load(image, offset));
+  }
+  // ... and the group-coverage check: a bit-rotted fill count that keeps
+  // the header plausible must still throw on either path.
+  {
+    std::string bad = good;
+    const std::uint32_t fat_fill = 0x80000000u | 0x12345u;  // zero fill, huge
+    std::memcpy(bad.data() + 24, &fat_fill, 4);  // first payload word
+    std::size_t offset = 0;
+    const std::span<const std::byte> image(
+        reinterpret_cast<const std::byte*>(bad.data()), bad.size());
+    CHECK_THROWS(BitVector::load(image, offset));
+    std::istringstream in(bad);
+    CHECK_THROWS(BitVector::load(in));
+  }
+}
+
 void test_for_each_set_order() {
   const Model m = make_model(5000, 31337, 61);
   std::vector<std::uint32_t> seen;
@@ -178,6 +243,7 @@ int main() {
   test_logical_ops_against_model();
   test_from_positions_roundtrip();
   test_or_many();
+  test_load_validates_header();
   test_for_each_set_order();
   return qdv::test::finish("test_bitvector");
 }

@@ -1,0 +1,322 @@
+// Differential tests for the block-oriented execution kernels (DESIGN.md
+// Section 10): every kernel is pitted against its scalar reference across
+// adversarial shapes — fills crossing the 30-bit fill-counter boundary,
+// mixed-length operands, empty/all-ones vectors, selectivities from 1e-5
+// to 1.0 — and results must be bit-identical.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "bitmap/bins.hpp"
+#include "bitmap/kernels.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using qdv::Bins;
+using qdv::BitVector;
+
+/// Deterministic xorshift run generator; max_run controls the shape (short
+/// runs = literal-heavy, long runs = fill-heavy).
+BitVector make_runs(std::uint64_t nbits, std::uint64_t seed, std::uint64_t max_run) {
+  BitVector v;
+  std::uint64_t state = seed;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  bool value = next() & 1;
+  std::uint64_t pos = 0;
+  while (pos < nbits) {
+    const std::uint64_t run = std::min(nbits - pos, 1 + next() % max_run);
+    v.append_run(value, run);
+    value = !value;
+    pos += run;
+  }
+  return v;
+}
+
+/// Sparse vector at the given selectivity (fraction of set bits).
+BitVector make_sparse(std::uint64_t nbits, double selectivity, std::uint64_t seed) {
+  BitVector v;
+  std::uint64_t state = seed | 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const auto threshold =
+      static_cast<std::uint64_t>(selectivity * 18446744073709551615.0);
+  for (std::uint64_t i = 0; i < nbits; ++i) v.append_bit(next() <= threshold);
+  return v;
+}
+
+/// Scalar reference: positions via the element-at-a-time for_each_set.
+std::vector<std::uint64_t> ref_positions(const BitVector& v) {
+  std::vector<std::uint64_t> out;
+  v.for_each_set([&](std::uint64_t pos) { out.push_back(pos); });
+  return out;
+}
+
+/// The adversarial shape zoo shared by the cursor and OR tests.
+std::vector<BitVector> shape_zoo() {
+  std::vector<BitVector> shapes;
+  shapes.emplace_back();                        // empty
+  shapes.push_back(BitVector::zeros(1));        // single zero
+  shapes.push_back(BitVector::ones(1));         // single one
+  shapes.push_back(BitVector::zeros(100000));   // long zero fill
+  shapes.push_back(BitVector::ones(100000));    // long one fill
+  shapes.push_back(make_runs(31, 7, 5));        // exactly one group
+  shapes.push_back(make_runs(62, 11, 9));       // exactly two groups
+  shapes.push_back(make_runs(63, 13, 64));      // tail of 1 bit
+  shapes.push_back(make_runs(12345, 17, 3));    // literal-heavy, odd tail
+  shapes.push_back(make_runs(50000, 19, 4000)); // fill/literal interleave
+  shapes.push_back(make_sparse(40000, 1e-5, 23));
+  shapes.push_back(make_sparse(40000, 1e-3, 29));
+  shapes.push_back(make_sparse(40000, 0.1, 31));
+  shapes.push_back(make_sparse(40000, 0.5, 37));
+  shapes.push_back(make_sparse(40000, 1.0, 41));
+  // Dense buffer boundary: just below / at / above kBufWords * 64 bits of
+  // consecutive literals.
+  const std::uint64_t buf_bits = qdv::kern::DenseBlockCursor::kBufWords * 64;
+  shapes.push_back(make_runs(buf_bits - 1, 43, 2));
+  shapes.push_back(make_runs(buf_bits, 47, 2));
+  shapes.push_back(make_runs(buf_bits + 65, 53, 2));
+  // Fill exactly at the symbolic-run threshold boundary.
+  {
+    BitVector v = make_runs(310, 59, 2);
+    v.append_run(true, qdv::kern::DenseBlockCursor::kRunThresholdBits);
+    v.append_run(false, qdv::kern::DenseBlockCursor::kRunThresholdBits - 1);
+    v.append_run(true, 17);
+    shapes.push_back(std::move(v));
+  }
+  return shapes;
+}
+
+void test_cursor_matches_for_each_set() {
+  for (const BitVector& v : shape_zoo()) {
+    const std::vector<std::uint64_t> expect = ref_positions(v);
+    std::vector<std::uint64_t> got;
+    qdv::kern::for_each_set_blocked(v, [&](std::uint64_t pos) {
+      got.push_back(pos);
+    });
+    CHECK(got == expect);
+    CHECK_EQ(v.count(), expect.size());
+    // to_positions rides the same cursor.
+    const std::vector<std::uint32_t> pos32 = v.to_positions();
+    CHECK_EQ(pos32.size(), expect.size());
+    for (std::size_t i = 0; i < pos32.size(); ++i)
+      CHECK_EQ(static_cast<std::uint64_t>(pos32[i]), expect[i]);
+  }
+}
+
+void test_cursor_blocks_tile_and_stay_ordered() {
+  for (const BitVector& v : shape_zoo()) {
+    qdv::kern::DenseBlockCursor cursor(v);
+    qdv::kern::DenseBlockCursor::Block b;
+    std::uint64_t prev_end = 0;
+    bool first = true;
+    while (cursor.next(b)) {
+      CHECK(b.nbits > 0);
+      if (!first) CHECK_EQ(b.base, prev_end);  // contiguous tiling
+      first = false;
+      prev_end = b.base + b.nbits;
+    }
+    if (!first) CHECK(prev_end >= v.size());  // covers the whole vector
+  }
+}
+
+void test_cursor_windows() {
+  for (const BitVector& v : shape_zoo()) {
+    const std::vector<std::uint64_t> all = ref_positions(v);
+    const std::uint64_t n = v.size();
+    const std::uint64_t windows[][2] = {
+        {0, n},           {0, n / 2},       {n / 2, n},     {n / 3, 2 * n / 3},
+        {0, 0},           {n, n},           {1, 2},         {31, 62},
+        {30, 33},         {n > 5 ? n - 5 : 0, n},           {7, 8},
+    };
+    for (const auto& w : windows) {
+      const std::uint64_t begin = w[0], end = w[1];
+      std::vector<std::uint64_t> expect;
+      for (const std::uint64_t p : all)
+        if (p >= begin && p < end) expect.push_back(p);
+      std::vector<std::uint64_t> got;
+      qdv::kern::for_each_set_blocked(v, begin, end, [&](std::uint64_t pos) {
+        got.push_back(pos);
+      });
+      CHECK(got == expect);
+    }
+  }
+}
+
+void test_giant_fills_cross_counter_boundary() {
+  // A fill longer than the 30-bit group counter (kCountMask groups) must be
+  // split across words; the kernels must still see one logical run.
+  constexpr std::uint64_t kCounterGroups = 0x3FFFFFFFull;
+  constexpr std::uint64_t kGiant = kCounterGroups * 31 + 200;  // crosses it
+  {
+    BitVector v;
+    v.append_run(false, kGiant);
+    v.append_run(true, 95);
+    v.append_run(false, 40);
+    CHECK_EQ(v.count(), 95u);
+    std::uint64_t seen = 0, first = 0;
+    qdv::kern::for_each_set_blocked(v, [&](std::uint64_t pos) {
+      if (seen == 0) first = pos;
+      ++seen;
+    });
+    CHECK_EQ(seen, 95u);
+    CHECK_EQ(first, kGiant);
+    // Windowed decode deep inside the giant fill.
+    std::uint64_t in_window = 0;
+    qdv::kern::for_each_set_blocked(v, kGiant - 10, kGiant + 5,
+                                    [&](std::uint64_t) { ++in_window; });
+    CHECK_EQ(in_window, 5u);
+  }
+  {
+    BitVector v;
+    v.append_run(true, kGiant);
+    CHECK_EQ(v.count(), kGiant);
+    // Count via run blocks only: iterating bits would take forever.
+    qdv::kern::DenseBlockCursor cursor(v);
+    qdv::kern::DenseBlockCursor::Block b;
+    std::uint64_t ones = 0;
+    std::size_t blocks = 0;
+    while (cursor.next(b)) {
+      ++blocks;
+      if (b.is_run) {
+        if (b.value) ones += b.nbits;
+      } else {
+        for (std::size_t w = 0; w < (b.nbits + 63) / 64; ++w)
+          ones += static_cast<std::uint64_t>(std::popcount(b.words[w]));
+      }
+    }
+    CHECK_EQ(ones, kGiant);
+    CHECK(blocks <= 4);  // fills stay symbolic, never expanded
+  }
+}
+
+void test_or_many_kway_vs_pairwise() {
+  const std::vector<BitVector> shapes = shape_zoo();
+  // Operand sets of mixed shapes and lengths, including duplicates.
+  const std::size_t picks[][6] = {
+      {3, 4, 0, 0, 0, 2},   {10, 11, 12, 13, 14, 6},  {1, 2, 3, 4, 5, 6},
+      {9, 9, 9, 10, 15, 3}, {16, 17, 18, 14, 8, 5},
+  };
+  for (const auto& pick : picks) {
+    const std::size_t k = pick[5];
+    std::vector<const BitVector*> ops;
+    std::uint64_t nbits = 0;
+    for (std::size_t i = 0; i < k && i < 5; ++i) {
+      ops.push_back(&shapes[pick[i]]);
+      nbits = std::max(nbits, shapes[pick[i]].size());
+    }
+    const BitVector kway = qdv::kern::or_many_kway(ops, nbits);
+    const BitVector pairwise = qdv::kern::ref::or_many_pairwise(ops, nbits);
+    CHECK(kway == pairwise);
+    CHECK_EQ(kway.size(), pairwise.size());
+    // Also with extension beyond the longest operand.
+    const BitVector kway_ext = qdv::kern::or_many_kway(ops, nbits + 777);
+    const BitVector pair_ext = qdv::kern::ref::or_many_pairwise(ops, nbits + 777);
+    CHECK(kway_ext == pair_ext);
+  }
+  // Wide fan-in: 33 sparse operands (the multi-bin range probe shape).
+  std::vector<BitVector> bins;
+  for (std::size_t i = 0; i < 33; ++i)
+    bins.push_back(make_sparse(20000, 0.01, 1000 + i));
+  std::vector<const BitVector*> ops;
+  for (const BitVector& b : bins) ops.push_back(&b);
+  CHECK(qdv::kern::or_many_kway(ops, 20000) ==
+        qdv::kern::ref::or_many_pairwise(ops, 20000));
+  // Degenerate inputs.
+  CHECK_EQ(qdv::kern::or_many_kway({}, 512).size(), 512u);
+  CHECK_EQ(qdv::kern::or_many_kway({}, 512).count(), 0u);
+}
+
+void test_locator_matches_locate() {
+  std::uint64_t state = 99;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<Bins> bin_sets;
+  bin_sets.push_back(qdv::make_uniform_bins(-3.5, 12.25, 64));
+  bin_sets.push_back(qdv::make_uniform_bins(0.0, 1.0, 1024));
+  bin_sets.push_back(qdv::make_precision_bins(-1.0, 1.0, 2, 4096));
+  {
+    std::vector<double> values;
+    for (int i = 0; i < 5000; ++i)
+      values.push_back(std::pow(static_cast<double>(next() % 1000) / 100.0, 2.0));
+    bin_sets.push_back(qdv::make_quantile_bins(values, 32));  // non-uniform
+  }
+  for (const Bins& bins : bin_sets) {
+    const Bins::Locator locator = bins.locator();
+    std::vector<double> probes;
+    for (const double e : bins.edges()) {
+      probes.push_back(e);
+      probes.push_back(std::nextafter(e, -1e300));
+      probes.push_back(std::nextafter(e, 1e300));
+    }
+    probes.push_back(bins.lo() - 1.0);
+    probes.push_back(bins.hi() + 1.0);
+    probes.push_back(std::numeric_limits<double>::quiet_NaN());
+    probes.push_back(std::numeric_limits<double>::infinity());
+    probes.push_back(-std::numeric_limits<double>::infinity());
+    const double span = bins.hi() - bins.lo();
+    for (int i = 0; i < 10000; ++i)
+      probes.push_back(bins.lo() +
+                       span * (static_cast<double>(next() % 1000003) / 1000003.0));
+    for (const double v : probes) CHECK_EQ(locator(v), bins.locate(v));
+  }
+}
+
+void test_sharded_tally_matches_direct() {
+  // Synthetic per-row tally: bucket = row % ncounts, weighted by a second
+  // pass over a bitvector gather to exercise the windowed cursor per shard.
+  constexpr std::uint64_t kRows = 100003;
+  constexpr std::size_t kCounts = 97;
+  const BitVector rows = make_sparse(kRows, 0.2, 4242);
+  std::vector<std::uint64_t> direct(kCounts, 0);
+  rows.for_each_set([&](std::uint64_t row) { ++direct[row % kCounts]; });
+  for (const std::size_t nshards : {1u, 2u, 3u, 8u, 31u}) {
+    std::vector<std::uint64_t> sharded(kCounts, 0);
+    qdv::kern::sharded_tally(
+        kRows, kCounts, sharded.data(),
+        [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+          qdv::kern::for_each_set_blocked(rows, begin, end, [&](std::uint64_t r) {
+            ++counts[r % kCounts];
+          });
+        },
+        nshards);
+    CHECK(sharded == direct);
+  }
+  // The auto-sharding overload must agree too.
+  std::vector<std::uint64_t> autos(kCounts, 0);
+  qdv::kern::sharded_tally(
+      kRows, kCounts, autos.data(),
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+        qdv::kern::for_each_set_blocked(rows, begin, end, [&](std::uint64_t r) {
+          ++counts[r % kCounts];
+        });
+      });
+  CHECK(autos == direct);
+}
+
+}  // namespace
+
+int main() {
+  test_cursor_matches_for_each_set();
+  test_cursor_blocks_tile_and_stay_ordered();
+  test_cursor_windows();
+  test_giant_fills_cross_counter_boundary();
+  test_or_many_kway_vs_pairwise();
+  test_locator_matches_locate();
+  test_sharded_tally_matches_direct();
+  return qdv::test::finish("test_kernels");
+}

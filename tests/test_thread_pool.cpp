@@ -1,0 +1,165 @@
+// Stress tests for the persistent work-stealing thread pool: reuse across
+// many batches, nested parallel_for from inside pool tasks, exception
+// propagation (every index still runs, first error rethrown), concurrent
+// external submitters, and the max_workers concurrency cap.
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using qdv::par::ThreadPool;
+
+void test_basic_parallel_for() {
+  for (const std::size_t nthreads : {1u, 2u, 4u}) {
+    ThreadPool pool(nthreads);
+    CHECK_EQ(pool.size(), nthreads);
+    std::vector<std::atomic<int>> seen(257);
+    pool.parallel_for(257, nthreads + 1, [&](std::size_t i) {
+      seen[i].fetch_add(1);
+    });
+    for (const auto& s : seen) CHECK_EQ(s.load(), 1);
+  }
+}
+
+void test_reuse_across_batches() {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.parallel_for(17, 4, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  CHECK_EQ(total.load(), 200u * 17u);
+}
+
+void test_nested_parallel_for() {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> inner_total{0};
+  // Outer tasks each fork an inner region on the same (busy) pool; the
+  // caller-participates design means this can never deadlock even when
+  // every worker is occupied by an outer task.
+  pool.parallel_for(8, 3, [&](std::size_t) {
+    pool.parallel_for(25, 3, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  CHECK_EQ(inner_total.load(), 8u * 25u);
+}
+
+void test_exception_propagation() {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> ran(64);
+  bool threw = false;
+  try {
+    pool.parallel_for(64, 3, [&](std::size_t i) {
+      ran[i].fetch_add(1);
+      if (i % 13 == 5) throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  CHECK(threw);
+  // Every index still ran exactly once despite the failures.
+  for (const auto& r : ran) CHECK_EQ(r.load(), 1);
+  // The pool survives the exception and keeps working.
+  std::atomic<int> after{0};
+  pool.parallel_for(10, 3, [&](std::size_t) { after.fetch_add(1); });
+  CHECK_EQ(after.load(), 10);
+}
+
+void test_max_workers_cap() {
+  ThreadPool pool(4);
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  pool.parallel_for(64, 2, [&](std::size_t) {
+    const int now = active.fetch_add(1) + 1;
+    int p = peak.load();
+    while (now > p && !peak.compare_exchange_weak(p, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    active.fetch_sub(1);
+  });
+  CHECK(peak.load() <= 2);  // caller + at most one helper
+  // max_workers == 1 runs inline on the caller.
+  std::atomic<int> inline_peak{0};
+  pool.parallel_for(16, 1, [&](std::size_t) {
+    CHECK_EQ(active.fetch_add(1) + 1, 1);
+    active.fetch_sub(1);
+    inline_peak.fetch_add(1);
+  });
+  CHECK_EQ(inline_peak.load(), 16);
+}
+
+void test_concurrent_external_submitters() {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> done{0};
+  constexpr std::size_t kPerThread = 500;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i)
+        pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  // Drain: submitted work completes without any explicit flush call.
+  while (done.load() < 4 * kPerThread) std::this_thread::yield();
+  CHECK_EQ(done.load(), 4 * kPerThread);
+}
+
+void test_submit_from_worker() {
+  ThreadPool pool(2);
+  std::atomic<int> chained{0};
+  pool.parallel_for(4, 3, [&](std::size_t) {
+    // Tasks submitted from inside a pool task land on the submitting
+    // worker's own deque.
+    pool.submit([&chained] { chained.fetch_add(1); });
+  });
+  while (chained.load() < 4) std::this_thread::yield();
+  CHECK_EQ(chained.load(), 4);
+}
+
+void test_cross_pool_submission() {
+  // A worker of one pool is an external thread to every other pool: its
+  // worker slot must never index the other pool's (smaller) deque array.
+  ThreadPool wide(6);
+  ThreadPool narrow(2);
+  std::atomic<int> inner{0};
+  wide.parallel_for(6, 7, [&](std::size_t) {
+    narrow.parallel_for(8, 3, [&](std::size_t) { inner.fetch_add(1); });
+    narrow.submit([&inner] { inner.fetch_add(1); });
+  });
+  while (inner.load() < 6 * 8 + 6) std::this_thread::yield();
+  CHECK_EQ(inner.load(), 6 * 8 + 6);
+}
+
+void test_global_pool() {
+  ThreadPool& g1 = ThreadPool::global();
+  ThreadPool& g2 = ThreadPool::global();
+  CHECK(&g1 == &g2);
+  CHECK(g1.size() >= 1);
+  std::atomic<int> n{0};
+  g1.parallel_for(12, 8, [&](std::size_t) { n.fetch_add(1); });
+  CHECK_EQ(n.load(), 12);
+}
+
+}  // namespace
+
+int main() {
+  test_basic_parallel_for();
+  test_reuse_across_batches();
+  test_nested_parallel_for();
+  test_exception_propagation();
+  test_max_workers_cap();
+  test_concurrent_external_submitters();
+  test_submit_from_worker();
+  test_cross_pool_submission();
+  test_global_pool();
+  return qdv::test::finish("test_thread_pool");
+}
