@@ -14,11 +14,23 @@
 //            [--vars a,b,c] [--limit N]
 //   render   <dir> -t <timestep> --axes a,b,c [-q "<query>"] [--bins N]
 //            [--gamma G] -o <out.ppm>
+//   serve    <dir> --socket <path> [--concurrency N] [--no-cache]
+//            [--budget <MiB>]
+//   bombard  <dir> [--socket <path>] [--clients N] [--requests M] [--seed S]
+//            [--dup F] [--json <file>]
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/session.hpp"
@@ -26,6 +38,8 @@
 #include "io/export.hpp"
 #include "parallel/prefetch.hpp"
 #include "sim/wakefield.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
 
 namespace {
 
@@ -284,6 +298,220 @@ int cmd_render(const std::string& dir, const Args& args) {
   return 0;
 }
 
+svc::ServiceConfig service_config_from(const Args& args) {
+  svc::ServiceConfig config;
+  config.max_concurrency = args.size_option("--concurrency", 0);
+  if (args.flag("--no-cache")) config.cache_results = false;
+  return config;
+}
+
+core::Engine open_service_engine(const std::string& dir, const Args& args) {
+  io::OpenOptions options = io::default_open_options();
+  if (const auto mib = args.option("--budget"))
+    options.budget_bytes = static_cast<std::uint64_t>(std::stoull(*mib)) << 20;
+  return core::Engine(io::Dataset::open(dir, options));
+}
+
+int cmd_serve(const std::string& dir, const Args& args) {
+  const auto socket = args.option("--socket");
+  if (!socket) {
+    std::cerr << "serve: missing --socket <path>\n";
+    return 2;
+  }
+  svc::QueryService service(open_service_engine(dir, args),
+                            service_config_from(args));
+  svc::SocketServer server(service, *socket);
+  server.start();
+  std::cout << "serving " << dir << " on " << *socket
+            << " (line protocol; Ctrl-C to stop)\n";
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+/// Seeded mixed read workload: count / histogram / summary requests over a
+/// hot pool (shared, coalescible) and cold unique thresholds.
+class BombardWorkload {
+ public:
+  BombardWorkload(const io::Dataset& dataset, std::uint64_t seed,
+                  double dup_fraction, std::size_t hot_pool)
+      : timesteps_(dataset.num_timesteps()), dup_fraction_(dup_fraction) {
+    for (const char* var : {"px", "x", "y"}) {
+      if (std::find(dataset.variables().begin(), dataset.variables().end(),
+                    var) != dataset.variables().end())
+        domains_.emplace_back(var, dataset.global_domain(var));
+    }
+    if (domains_.empty())
+      domains_.emplace_back(dataset.variables().front(),
+                            dataset.global_domain(dataset.variables().front()));
+    std::uint64_t state = seed * 2654435761u + 1;
+    for (std::size_t i = 0; i < hot_pool; ++i)
+      hot_.push_back(make_request(state, /*hot_index=*/static_cast<long>(i)));
+  }
+
+  /// The i-th request of @p client (deterministic in (seed, client, i)).
+  svc::WireRequest request(std::uint64_t client_seed, std::size_t i) const {
+    std::uint64_t state = client_seed * 1099511628211ull + i * 2654435761u + 17;
+    if (!hot_.empty() &&
+        static_cast<double>(next(state) % 1000) < dup_fraction_ * 1000.0)
+      return hot_[next(state) % hot_.size()];
+    return make_request(state, /*hot_index=*/-1);
+  }
+
+ private:
+  static std::uint64_t next(std::uint64_t& state) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+
+  svc::WireRequest make_request(std::uint64_t& state, long hot_index) const {
+    svc::WireRequest wire;
+    svc::Request& r = wire.request;
+    r.timestep = next(state) % std::max<std::size_t>(1, timesteps_);
+    const auto& [var, domain] = domains_[next(state) % domains_.size()];
+    // Cold thresholds get a fine-grained fraction so repeats are unlikely;
+    // hot ones are quantized by pool slot.
+    const double frac =
+        hot_index >= 0
+            ? 0.1 + 0.8 * static_cast<double>(hot_index) /
+                        static_cast<double>(std::max(1l, hot_index + 1))
+            : static_cast<double>(next(state) % 100000) / 100000.0;
+    const double threshold = domain.first + frac * (domain.second - domain.first);
+    r.query = var + " > " + qdv::format_double(threshold);
+    switch (next(state) % 10) {
+      case 0: case 1: case 2: case 3: case 4:
+        r.kind = svc::RequestKind::kCount;
+        break;
+      case 5: case 6: case 7:
+        r.kind = svc::RequestKind::kHistogram1D;
+        r.var_x = domains_.front().first;
+        r.nxbins = 64;
+        break;
+      case 8:
+        r.kind = svc::RequestKind::kHistogram2D;
+        r.var_x = domains_.front().first;
+        r.var_y = domains_.back().first;
+        r.nxbins = r.nybins = 32;
+        break;
+      default:
+        r.kind = svc::RequestKind::kSummary;
+        r.var_x = domains_.front().first;
+        break;
+    }
+    r.priority = next(state) % 4 == 0 ? svc::Priority::kInteractive
+                                      : svc::Priority::kNormal;
+    return wire;
+  }
+
+  std::size_t timesteps_;
+  double dup_fraction_;
+  std::vector<std::pair<std::string, std::pair<double, double>>> domains_;
+  std::vector<svc::WireRequest> hot_;
+};
+
+int cmd_bombard(const std::string& dir, const Args& args) {
+  const std::size_t clients = args.size_option("--clients", 8);
+  const std::size_t requests = args.size_option("--requests", 200);
+  const std::uint64_t seed = args.size_option("--seed", 42);
+  const double dup = args.double_option("--dup", 0.5);
+  const std::size_t hot_pool = args.size_option("--hot", 8);
+
+  // Self-host unless pointed at an external server: spin up the service and
+  // a socket in-process so one command measures the full wire path.
+  std::optional<svc::QueryService> service;
+  std::optional<svc::SocketServer> server;
+  std::string socket = args.option_or("--socket", "");
+  if (socket.empty()) {
+    socket = (std::filesystem::temp_directory_path() /
+              ("qdv_bombard_" + std::to_string(::getpid()) + ".sock"))
+                 .string();
+    service.emplace(open_service_engine(dir, args), service_config_from(args));
+    server.emplace(*service, socket);
+    server->start();
+  }
+
+  const BombardWorkload workload(io::Dataset::open(dir), seed, dup, hot_pool);
+  std::mutex merge_mutex;
+  std::vector<double> latencies_us;
+  std::uint64_t errors = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> local;
+      local.reserve(requests);
+      std::uint64_t local_errors = 0;
+      // A dead socket or a dropped connection is a counted failure, not a
+      // std::terminate: the run still produces its report and exits 1.
+      try {
+        svc::SocketClient client{std::filesystem::path(socket)};
+        for (std::size_t i = 0; i < requests; ++i) {
+          const std::string line =
+              svc::format_request_line(workload.request(seed + c + 1, i));
+          const auto start = std::chrono::steady_clock::now();
+          const std::string response = client.request(line);
+          local.push_back(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+          std::string body;
+          if (!svc::parse_response_line(response, body)) ++local_errors;
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        std::cerr << "client " << c << ": " << e.what() << "\n";
+        ++local_errors;
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      errors += local_errors;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::string server_stats = "unavailable";
+  try {
+    svc::SocketClient client{std::filesystem::path(socket)};
+    std::string body;
+    if (svc::parse_response_line(client.request("stats"), body))
+      server_stats = body;
+  } catch (const std::exception&) {
+    // Report latencies even when the server died mid-run.
+  }
+  if (server) server->stop();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto at = [&](double q) { return svc::sorted_percentile(latencies_us, q); };
+  double mean = 0.0;
+  for (const double v : latencies_us) mean += v;
+  if (!latencies_us.empty()) mean /= static_cast<double>(latencies_us.size());
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"workload\": {\"clients\": " << clients
+       << ", \"requests_per_client\": " << requests << ", \"seed\": " << seed
+       << ", \"dup_fraction\": " << dup << ", \"hot_pool\": " << hot_pool
+       << "},\n"
+       << "  \"latency_us\": {\"p50\": " << at(0.50) << ", \"p95\": " << at(0.95)
+       << ", \"p99\": " << at(0.99)
+       << ", \"max\": " << (latencies_us.empty() ? 0.0 : latencies_us.back())
+       << ", \"mean\": " << mean << "},\n"
+       << "  \"errors\": " << errors << ",\n"
+       << "  \"server_stats\": \"" << server_stats << "\"\n"
+       << "}\n";
+  std::cout << "bombard: " << clients << " clients x " << requests
+            << " requests, p50 " << at(0.50) << " us, p95 " << at(0.95)
+            << " us, p99 " << at(0.99) << " us, " << errors << " errors\n";
+  std::cout << "server: " << server_stats << "\n";
+  if (const auto out = args.option("--json")) {
+    std::ofstream file(*out);
+    file << json.str();
+    std::cout << "wrote " << *out << "\n";
+  } else {
+    std::cout << json.str();
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 void usage() {
   std::cout <<
       R"(qdv_tool — query-driven exploration of particle datasets
@@ -299,6 +527,8 @@ commands:
   stats      conditional summary statistics of one variable
   track      select particles, trace them across timesteps
   render     histogram-based parallel coordinates to a PPM image
+  serve      host the dataset as a concurrent query service (unix socket)
+  bombard    replay a seeded concurrent workload against a service
 
 run a command without options to see its required arguments.
 full reference: docs/qdv_tool.md
@@ -330,6 +560,8 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(dir, args);
     if (command == "track") return cmd_track(dir, args);
     if (command == "render") return cmd_render(dir, args);
+    if (command == "serve") return cmd_serve(dir, args);
+    if (command == "bombard") return cmd_bombard(dir, args);
     std::cerr << "unknown command '" << command << "'\n";
     usage();
     return 2;

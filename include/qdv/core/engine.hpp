@@ -72,6 +72,13 @@ class Engine {
   Selection select(const std::string& query_text) const;
   Selection select(QueryPtr query) const;
 
+  /// Thread-safe shared-plan path for concurrent services: the same query
+  /// text is parsed/canonicalized/planned once (bounded per-engine plan
+  /// cache) and every returned Selection shares that one ExecutionPlan, so
+  /// many sessions issuing the same query share the plan object as well as
+  /// the per-timestep bitvector cache. Empty text = match everything.
+  std::shared_ptr<const Selection> select_shared(const std::string& query_text) const;
+
   /// The match-everything selection (unset focus/context).
   Selection all() const;
 

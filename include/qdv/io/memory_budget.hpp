@@ -25,9 +25,10 @@ enum class ResidentClass : unsigned {
   kColumn = 0,        // mapped raw column pages
   kIndexSegment = 1,  // decoded per-bin WAH bitmaps (and pinned id indices)
   kBitVector = 2,     // evaluated per-timestep query bitvectors
+  kResult = 3,        // completed service results (svc::QueryService cache)
 };
 
-inline constexpr std::size_t kNumResidentClasses = 3;
+inline constexpr std::size_t kNumResidentClasses = 4;
 
 /// Snapshot of one class's counters.
 struct ResidentClassStats {
@@ -134,8 +135,10 @@ class MemoryBudget {
 
   mutable std::mutex mutex_;
   std::uint64_t budget_bytes_ = kUnlimited;
+  // One cap per class; a missing initializer here would silently become a
+  // cap of zero, so keep the list in sync with kNumResidentClasses.
   std::size_t entry_caps_[kNumResidentClasses] = {kNoEntryCap, kNoEntryCap,
-                                                  kNoEntryCap};
+                                                  kNoEntryCap, kNoEntryCap};
   EntryList lru_;  // front = most recently used
   ClassList class_lru_[kNumResidentClasses];
   std::unordered_map<std::string, EntryList::iterator> by_key_;

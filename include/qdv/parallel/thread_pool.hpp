@@ -17,6 +17,12 @@
 
 namespace qdv::par {
 
+/// Scheduling class of a submitted task. kHigh tasks are claimed before any
+/// kNormal task pool-wide — the query service's request dispatchers ride
+/// this so interactive work is not stuck behind bulk parallel_for shards or
+/// prefetch I/O already in the deques.
+enum class TaskPriority { kNormal, kHigh };
+
 class ThreadPool {
  public:
   /// @p nthreads persistent workers (clamped to >= 1).
@@ -33,6 +39,7 @@ class ThreadPool {
   /// escaping a submitted task terminate the process. Use parallel_for for
   /// exception-propagating batch work.
   void submit(std::function<void()> task);
+  void submit(std::function<void()> task, TaskPriority priority);
 
   /// Run body(0), ..., body(n - 1) with up to @p max_workers concurrent
   /// executors (the calling thread participates and counts toward the

@@ -1,0 +1,49 @@
+// Line protocol of the qdv query service (DESIGN.md Section 11): one
+// newline-terminated request per line, one newline-terminated response.
+// Text-only so sessions can be driven by hand (`nc -U`), replayed from
+// files, and asserted in tests.
+//
+// Requests:   <op> [t=N] [x=VAR] [y=VAR] [bins=N] [ybins=N] [adaptive=1]
+//             [pri=0|1|2] [limit=N] [q=QUERY TEXT TO END OF LINE]
+//   ops: count | ids | hist1 | hist2 | sum | stats | ping | quit
+//   `q=` must come last — everything after it (spaces included) is the
+//   query; omitting it selects all records.
+// Responses:  `ok <key>=<value> ...` or `err <message>`.
+//
+// Stateless free functions; safe to call concurrently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/query_service.hpp"
+
+namespace qdv::svc {
+
+/// One parsed request line.
+struct WireRequest {
+  enum class Op { kQuery, kStats, kPing, kQuit };
+  Op op = Op::kQuery;
+  Request request;            // valid when op == kQuery
+  std::size_t ids_limit = 16; // ids listed in the response (limit=N)
+};
+
+/// Parse @p line into @p out. False (with @p error set) on a malformed
+/// line; the server answers those with `err`.
+bool parse_request_line(const std::string& line, WireRequest& out,
+                        std::string& error);
+
+/// Canonical text of @p request (parse_request_line round-trips it).
+std::string format_request_line(const WireRequest& request);
+
+/// `ok ...` / `err ...` response line for a completed request.
+std::string format_response_line(const Result& result, std::size_t ids_limit);
+
+/// `ok ...` response line for the `stats` op.
+std::string format_stats_line(const ServiceStats& stats);
+
+/// Minimal response split for clients: true on `ok`, false on `err` (body
+/// receives everything after the tag either way).
+bool parse_response_line(const std::string& line, std::string& body);
+
+}  // namespace qdv::svc

@@ -1,0 +1,212 @@
+// QueryService: the concurrent query-service layer (DESIGN.md Section 11).
+// One shared core::Engine serves many client sessions: requests pass an
+// admission/priority queue executed on the persistent par::ThreadPool,
+// identical in-flight requests coalesce onto a single execution
+// (single-flight per canonical plan cache key), completed results are
+// cached in the engine's unified io::MemoryBudget, and per-client fairness
+// and byte budgets bound what any one session can queue.
+//
+// Ownership: QueryService is a handle over shared state co-owned by every
+// in-flight pool task, so workers can never outlive the data they touch;
+// the destructor drains the queue before releasing the handle.
+// Thread-safety: every method is safe to call concurrently from any
+// thread. Do not destroy the service from inside a pool task it scheduled
+// (the drain would wait on itself).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bitmap/histogram.hpp"
+#include "core/engine.hpp"
+#include "core/statistics.hpp"
+
+namespace qdv::svc {
+
+/// Admission classes, strongest first: a queued interactive request always
+/// dispatches before queued normal/batch work.
+enum class Priority : unsigned {
+  kInteractive = 0,
+  kNormal = 1,
+  kBatch = 2,
+};
+
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// What a request computes. All kinds are reads; they differ only in the
+/// derived quantity gathered after the (shared, cached) selection evaluates.
+enum class RequestKind {
+  kCount,        // matching-record count
+  kIds,          // matching identifier values, row-ascending
+  kHistogram1D,  // conditional 1D histogram of var_x
+  kHistogram2D,  // conditional 2D histogram of var_x x var_y
+  kSummary,      // summary statistics of var_x
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kCount;
+  std::string query;        // query text; empty = all records
+  std::size_t timestep = 0;
+  Priority priority = Priority::kNormal;
+
+  std::string var_x;        // histogram / summary variable
+  std::string var_y;        // second histogram2d variable
+  std::size_t nxbins = 64;
+  std::size_t nybins = 64;
+  BinningMode binning = BinningMode::kUniform;
+};
+
+enum class Status {
+  kOk,
+  kError,           // evaluation threw (message in Result::error)
+  kRejectedQueue,   // admission queue at max_queue
+  kRejectedBudget,  // session in-flight byte budget exhausted
+  kShutdown,        // service stopping
+};
+
+/// How a completed request's Result was produced. A request coalesced onto
+/// an in-flight execution receives the executing flight's Result (served ==
+/// kExecuted; ServiceStats::coalesce_hits counts the attaches).
+enum class Served {
+  kExecuted,   // an evaluation ran for this Result
+  kCached,     // answered from the budget-resident result cache
+};
+
+/// The outcome of one request. Shared immutable payload: every coalesced
+/// requester receives the same Result object.
+struct Result {
+  Status status = Status::kOk;
+  std::string error;
+  RequestKind kind = RequestKind::kCount;  // what was computed
+
+  std::uint64_t count = 0;            // kCount (and total of ids)
+  std::vector<std::uint64_t> ids;     // kIds
+  Histogram1D hist1d;                 // kHistogram1D
+  Histogram2D hist2d;                 // kHistogram2D
+  core::SummaryStats summary;         // kSummary
+
+  std::uint64_t payload_bytes = 0;    // response-payload size (accounting)
+  Served served = Served::kExecuted;
+  double exec_seconds = 0.0;          // evaluation time (0 when kCached)
+  /// 1-based execution ordinal of the producing flight (0 for rejections
+  /// and cache-served copies) — makes dispatch order observable, which is
+  /// what the priority/fairness tests assert on.
+  std::uint64_t sequence = 0;
+};
+
+using ResultPtr = std::shared_ptr<const Result>;
+using ResultFuture = std::shared_future<ResultPtr>;
+
+struct ServiceConfig {
+  /// Max requests evaluating concurrently; 0 = thread-pool size.
+  std::size_t max_concurrency = 0;
+  /// Max queued flights (coalesced attaches don't count). Beyond this,
+  /// submissions are rejected with kRejectedQueue.
+  std::size_t max_queue = 1024;
+  /// Default per-session budget for estimated in-flight response bytes
+  /// (kUnlimited = none). A session whose queued + executing requests
+  /// exceed it gets kRejectedBudget until work drains.
+  std::uint64_t session_budget_bytes = kUnlimitedBudget;
+  /// Keep completed results resident in the engine's io::MemoryBudget
+  /// (ResidentClass::kResult) so repeats are answered without re-executing;
+  /// they compete in the same LRU as columns/segments/bitvectors. The
+  /// class is additionally capped at max_cached_results entries so an
+  /// unlimited budget cannot accrete distinct results without bound.
+  bool cache_results = true;
+  std::size_t max_cached_results = 1024;
+  /// Results with payloads above this are not cached (caching copies the
+  /// payload once; a full-table id dump is not worth that copy or the
+  /// budget residency — in-flight coalescing still dedupes concurrent
+  /// duplicates of any size).
+  std::uint64_t max_cached_result_bytes = 1 << 20;
+  /// Completed-request latency samples retained for the percentiles.
+  std::size_t latency_capacity = 1 << 14;
+
+  static constexpr std::uint64_t kUnlimitedBudget = ~std::uint64_t{0};
+};
+
+/// Value at quantile @p q (in [0, 1]) of an ascending-sorted sample set,
+/// nearest-rank; 0 when empty. The one percentile definition shared by
+/// ServiceStats and the bombard latency reporter.
+double sorted_percentile(std::span<const double> sorted_ascending, double q);
+
+/// Snapshot of the service counters (see QueryService::stats()).
+struct ServiceStats {
+  // Invariant once idle: submitted == completed + rejected_queue +
+  // rejected_budget + rejected_shutdown.
+  std::uint64_t submitted = 0;        // all submissions (incl. rejected)
+  std::uint64_t completed = 0;        // requests whose future resolved kOk/kError
+  std::uint64_t failed = 0;           // completed with Status::kError
+  std::uint64_t rejected_queue = 0;
+  std::uint64_t rejected_budget = 0;
+  std::uint64_t rejected_shutdown = 0;
+
+  std::uint64_t executed = 0;           // flights that ran an evaluation
+  std::uint64_t coalesce_hits = 0;      // attached to an in-flight execution
+  std::uint64_t result_cache_hits = 0;  // served from the cached result
+
+  std::uint64_t queue_depth = 0;      // flights waiting right now
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t inflight = 0;         // flights executing right now
+  std::uint64_t open_sessions = 0;
+  std::uint64_t bytes_served = 0;     // cumulative result payload bytes
+
+  // Completed-request latency (submit -> resolve), seconds, over the
+  // retained sample window.
+  std::uint64_t latency_samples = 0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  /// Fraction of accepted requests served without their own evaluation
+  /// (in-flight attach or result-cache hit).
+  double coalesce_rate() const {
+    const std::uint64_t accepted = executed + coalesce_hits + result_cache_hits;
+    return accepted == 0 ? 0.0
+                         : static_cast<double>(coalesce_hits + result_cache_hits) /
+                               static_cast<double>(accepted);
+  }
+};
+
+class QueryService {
+ public:
+  using SessionId = std::uint64_t;
+
+  explicit QueryService(core::Engine engine, ServiceConfig config = {});
+  /// Drains queued and executing work, then releases the shared state.
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Register a client session. Passing kUnlimitedBudget (the default)
+  /// inherits the config's session_budget_bytes; any other value overrides
+  /// the per-session in-flight byte budget.
+  SessionId open_session(std::string name = {},
+                         std::uint64_t budget_bytes = ServiceConfig::kUnlimitedBudget);
+  void close_session(SessionId session);
+
+  /// Enqueue @p request. Never blocks on evaluation: the returned future
+  /// resolves when the request completes, coalesces, or is rejected
+  /// (rejections resolve immediately with the rejecting Status).
+  ResultFuture submit(SessionId session, Request request);
+
+  /// submit() + wait. Convenience for synchronous callers (wire server).
+  ResultPtr execute(SessionId session, Request request);
+
+  /// Block until no request is queued or executing.
+  void drain();
+
+  ServiceStats stats() const;
+  const core::Engine& engine() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace qdv::svc

@@ -1,0 +1,65 @@
+// Unix-domain-socket front end of the query service: `qdv_tool serve` hosts
+// a SocketServer over one QueryService; clients (including `qdv_tool
+// bombard` and the tests) speak the line protocol of svc/protocol.hpp, one
+// service session per connection.
+//
+// Ownership: the server borrows the QueryService — the caller keeps it
+// alive until stop() returns. Thread model: one accept thread plus one
+// thread per connection; stop() closes every socket and joins them all.
+// POSIX-only (AF_UNIX), like the mmap-backed io layer.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "svc/query_service.hpp"
+
+namespace qdv::svc {
+
+class SocketServer {
+ public:
+  /// Binds and listens on @p socket_path (an existing socket file there is
+  /// removed first); throws std::runtime_error on any socket failure.
+  SocketServer(QueryService& service, std::filesystem::path socket_path);
+  ~SocketServer();  // stop()s if still running
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Start the accept loop (idempotent).
+  void start();
+  /// Close the listener and every live connection, join all threads, and
+  /// unlink the socket file (idempotent).
+  void stop();
+
+  const std::filesystem::path& socket_path() const;
+  /// Connections accepted so far.
+  std::uint64_t connections() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Blocking line-protocol client used by bombard and the tests.
+class SocketClient {
+ public:
+  /// Connect to a listening SocketServer; throws std::runtime_error on
+  /// failure (retries briefly while the server is still coming up).
+  explicit SocketClient(const std::filesystem::path& socket_path);
+  ~SocketClient();
+  SocketClient(SocketClient&& other) noexcept;
+  SocketClient& operator=(SocketClient&&) = delete;
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  /// Send one request line, wait for the one response line.
+  std::string request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last response line
+};
+
+}  // namespace qdv::svc

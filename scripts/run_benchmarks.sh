@@ -2,16 +2,20 @@
 # Runs the kernel-comparison benchmarks and assembles BENCH_kernels.json:
 # old (scalar) vs new (block-kernel) rows for the kernel microbenchmarks,
 # fig12 conditional histograms, and the fig14/15 parallel histogram batch.
+# When the build contains qdv_tool, also runs the seeded `bombard` workload
+# against an in-process query service and writes BENCH_service.json
+# (p50/p95/p99 request latency + server coalescing counters).
 #
-#   scripts/run_benchmarks.sh <build-dir> [output.json]
+#   scripts/run_benchmarks.sh <build-dir> [kernels.json] [service.json]
 #
 # Sizes scale via the usual QDV_BENCH_* environment variables; CI's smoke
 # job runs with tiny sizes (the benchmarks assert kernel/reference result
 # equality regardless of size, so the smoke run still verifies correctness).
 set -euo pipefail
 
-build_dir=${1:?usage: run_benchmarks.sh <build-dir> [output.json]}
+build_dir=${1:?usage: run_benchmarks.sh <build-dir> [kernels.json] [service.json]}
 output=${2:-BENCH_kernels.json}
+service_output=${3:-BENCH_service.json}
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -43,3 +47,24 @@ run fig14_15 "$build_dir/bench_fig14_15_parallel_hist"
 } > "$output"
 
 echo "[run_benchmarks] wrote $output" >&2
+
+# Service workload: seeded concurrent bombard through the unix-socket line
+# protocol (self-hosted server). Skipped when the build has no qdv_tool
+# (QDV_BUILD_EXAMPLES=OFF).
+if [ -x "$build_dir/qdv_tool" ]; then
+  svc_data=${QDV_BENCH_DATA_DIR:-$tmpdir}/service_ds
+  if [ ! -f "$svc_data/qdv_manifest.txt" ]; then
+    echo "[run_benchmarks] generating service dataset ..." >&2
+    "$build_dir/qdv_tool" generate "$svc_data" --preset bench \
+      --particles "${QDV_BENCH_SERVICE_PARTICLES:-50000}" \
+      --timesteps "${QDV_BENCH_SERVICE_TIMESTEPS:-6}" --seed 42 >&2
+  fi
+  echo "[run_benchmarks] bombard ..." >&2
+  "$build_dir/qdv_tool" bombard "$svc_data" \
+    --clients "${QDV_BENCH_SERVICE_CLIENTS:-8}" \
+    --requests "${QDV_BENCH_SERVICE_REQUESTS:-200}" \
+    --seed 42 --dup 0.5 --json "$service_output" >&2
+  echo "[run_benchmarks] wrote $service_output" >&2
+else
+  echo "[run_benchmarks] no qdv_tool in $build_dir: skipping service bench" >&2
+fi

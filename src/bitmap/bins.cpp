@@ -57,7 +57,14 @@ Bins make_uniform_bins(double lo, double hi, std::size_t nbins) {
 Bins make_quantile_bins(std::span<const double> values, std::size_t nbins) {
   if (values.empty() || nbins == 0)
     throw std::invalid_argument("make_quantile_bins: empty input");
-  std::vector<double> sorted(values.begin(), values.end());
+  // NaN rows never land in a bin (the locate contract), so they must not
+  // shape the bin edges either — and sorting NaN is undefined behavior.
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  for (const double v : values)
+    if (!std::isnan(v)) sorted.push_back(v);
+  if (sorted.empty())
+    throw std::invalid_argument("make_quantile_bins: all-NaN input");
   std::sort(sorted.begin(), sorted.end());
   std::vector<double> edges;
   edges.reserve(nbins + 1);

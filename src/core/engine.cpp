@@ -98,6 +98,34 @@ Selection Engine::select(QueryPtr query) const {
 
 Selection Engine::all() const { return select(QueryPtr{}); }
 
+std::shared_ptr<const Selection> Engine::select_shared(
+    const std::string& query_text) const {
+  std::shared_ptr<const ExecutionPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(state_->plan_mutex);
+    const auto it = state_->plan_cache.find(query_text);
+    if (it != state_->plan_cache.end()) plan = it->second;
+  }
+  if (!plan) {
+    // Parse/plan outside the lock (pure, idempotent); two racing threads
+    // may both plan — the first insert wins, matching the bitvector cache
+    // race.
+    const io::TimestepTable* probe =
+        state_->dataset.num_timesteps() > 0 ? &state_->dataset.table(0) : nullptr;
+    plan = std::make_shared<const ExecutionPlan>(
+        plan_query(query_text.empty() ? QueryPtr{} : parse_query(query_text),
+                   probe));
+    std::lock_guard<std::mutex> lock(state_->plan_mutex);
+    if (state_->plan_cache.size() >= detail::EngineState::kPlanCacheCap)
+      state_->plan_cache.clear();
+    plan = state_->plan_cache.try_emplace(query_text, std::move(plan))
+               .first->second;
+  }
+  // The Selection handle itself is two shared_ptr copies — built per call
+  // so the cache never stores anything that points back at this state.
+  return std::make_shared<const Selection>(Selection(state_, std::move(plan)));
+}
+
 EngineStats Engine::stats() const {
   EngineStats s;
   s.hits = state_->hits.load(std::memory_order_relaxed);

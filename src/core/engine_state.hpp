@@ -7,7 +7,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "bitmap/bitvector.hpp"
 #include "core/plan.hpp"
@@ -19,6 +21,17 @@ namespace qdv::core::detail {
 struct EngineState {
   io::Dataset dataset;
   EvalMode mode = EvalMode::kAuto;
+
+  // Plan cache behind Engine::select_shared(): query text -> planned
+  // ExecutionPlan. Plans only (never Selection handles — a Selection holds
+  // this state, so caching one here would be a shared_ptr cycle). Guarded
+  // by its own mutex (planning never holds the budget lock); cleared
+  // wholesale when it outgrows kPlanCacheCap so a long-lived service
+  // cannot accrete plans for unbounded distinct texts.
+  static constexpr std::size_t kPlanCacheCap = 1024;
+  std::mutex plan_mutex;
+  std::unordered_map<std::string, std::shared_ptr<const ExecutionPlan>>
+      plan_cache;
 
   // The dataset's budget, adopted at Engine construction: bitvector cache
   // entries (ResidentClass::kBitVector) live next to the io residents, so

@@ -49,6 +49,8 @@ struct ThreadPool::Impl {
   struct WorkDeque {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
+    // High-priority lane: claimed FIFO by everyone before any normal task.
+    std::deque<std::function<void()>> high;
   };
 
   /// Worker identity of the current thread: the pool it belongs to and its
@@ -64,14 +66,28 @@ struct ThreadPool::Impl {
   std::condition_variable wake_cv;
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> pending{0};
+  std::atomic<std::size_t> high_pending{0};
   std::atomic<std::size_t> round_robin{0};
 
-  /// Pop from deque @p self's back (LIFO for locality), else steal from the
+  /// Claim the high-priority lanes first (FIFO across all deques), then pop
+  /// from deque @p self's back (LIFO for locality), else steal from the
   /// front of a peer; run the task. False when every deque was empty.
+  /// The high-lane scan is gated on an atomic count so pure parallel_for
+  /// workloads never pay the extra per-claim deque locking.
   bool try_run_one(std::size_t self) {
     if (pending.load(std::memory_order_acquire) == 0) return false;
     std::function<void()> task;
     const std::size_t nd = deques.size();
+    if (high_pending.load(std::memory_order_acquire) > 0) {
+      for (std::size_t k = 0; k < nd && !task; ++k) {
+        WorkDeque& d = *deques[(self + k) % nd];
+        std::lock_guard<std::mutex> lock(d.mutex);
+        if (d.high.empty()) continue;
+        task = std::move(d.high.front());
+        d.high.pop_front();
+        high_pending.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
     for (std::size_t k = 0; k < nd && !task; ++k) {
       const std::size_t i = (self + k) % nd;
       WorkDeque& d = *deques[i];
@@ -91,7 +107,7 @@ struct ThreadPool::Impl {
     return true;
   }
 
-  void push(std::function<void()> task) {
+  void push(std::function<void()> task, TaskPriority priority) {
     const std::size_t slot =
         tls_pool == this && tls_worker_slot > 0
             ? tls_worker_slot - 1
@@ -100,10 +116,15 @@ struct ThreadPool::Impl {
     // decrement always sees this increment — enqueue-first would let two
     // pops race two half-finished pushes and wrap pending below zero.
     pending.fetch_add(1, std::memory_order_release);
+    if (priority == TaskPriority::kHigh)
+      high_pending.fetch_add(1, std::memory_order_release);
     {
       WorkDeque& d = *deques[slot];
       std::lock_guard<std::mutex> lock(d.mutex);
-      d.tasks.push_back(std::move(task));
+      if (priority == TaskPriority::kHigh)
+        d.high.push_back(std::move(task));
+      else
+        d.tasks.push_back(std::move(task));
     }
     {
       // Empty critical section: a worker between its predicate check and
@@ -160,7 +181,11 @@ ThreadPool::~ThreadPool() {
 std::size_t ThreadPool::size() const { return impl_->threads.size(); }
 
 void ThreadPool::submit(std::function<void()> task) {
-  impl_->push(std::move(task));
+  impl_->push(std::move(task), TaskPriority::kNormal);
+}
+
+void ThreadPool::submit(std::function<void()> task, TaskPriority priority) {
+  impl_->push(std::move(task), priority);
 }
 
 void ThreadPool::parallel_for(std::size_t n, std::size_t max_workers,
@@ -173,7 +198,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t max_workers,
   const std::size_t helpers =
       std::min({max_workers - 1, impl_->threads.size(), n - 1});
   for (std::size_t h = 0; h < helpers; ++h)
-    impl_->push([batch] { run_batch(*batch); });
+    impl_->push([batch] { run_batch(*batch); }, TaskPriority::kNormal);
   run_batch(*batch);
   // Only helpers mid-index remain: block on the batch's completion signal.
   // The caller must NOT steal other pool work here — batch progress never

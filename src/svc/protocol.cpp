@@ -1,0 +1,201 @@
+#include "svc/protocol.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace qdv::svc {
+
+namespace {
+
+bool parse_size(const std::string& text, std::size_t& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+const char* status_text(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kError: return "error";
+    case Status::kRejectedQueue: return "queue-full";
+    case Status::kRejectedBudget: return "over-budget";
+    case Status::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool parse_request_line(const std::string& line, WireRequest& out,
+                        std::string& error) {
+  out = WireRequest{};
+  std::istringstream in(line);
+  std::string op;
+  if (!(in >> op)) {
+    error = "empty request";
+    return false;
+  }
+  if (op == "stats") {
+    out.op = WireRequest::Op::kStats;
+    return true;
+  }
+  if (op == "ping") {
+    out.op = WireRequest::Op::kPing;
+    return true;
+  }
+  if (op == "quit") {
+    out.op = WireRequest::Op::kQuit;
+    return true;
+  }
+  out.op = WireRequest::Op::kQuery;
+  Request& r = out.request;
+  if (op == "count") {
+    r.kind = RequestKind::kCount;
+  } else if (op == "ids") {
+    r.kind = RequestKind::kIds;
+  } else if (op == "hist1") {
+    r.kind = RequestKind::kHistogram1D;
+  } else if (op == "hist2") {
+    r.kind = RequestKind::kHistogram2D;
+  } else if (op == "sum") {
+    r.kind = RequestKind::kSummary;
+  } else {
+    error = "unknown op '" + op + "'";
+    return false;
+  }
+  std::string token;
+  bool ybins_given = false;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      error = "expected key=value, got '" + token + "'";
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "q") {
+      // The query runs to the end of the line, spaces included.
+      std::string rest;
+      std::getline(in, rest);
+      r.query = value + rest;
+      return true;
+    }
+    std::size_t n = 0;
+    if (key == "x") {
+      r.var_x = std::move(value);
+    } else if (key == "y") {
+      r.var_y = std::move(value);
+    } else if (key == "t" && parse_size(value, n)) {
+      r.timestep = n;
+    } else if (key == "bins" && parse_size(value, n)) {
+      r.nxbins = n;
+      if (!ybins_given) r.nybins = n;  // bins= sets both unless ybins= given
+    } else if (key == "ybins" && parse_size(value, n)) {
+      r.nybins = n;
+      ybins_given = true;
+    } else if (key == "adaptive" && parse_size(value, n)) {
+      r.binning = n != 0 ? BinningMode::kAdaptive : BinningMode::kUniform;
+    } else if (key == "pri" && parse_size(value, n) && n < kNumPriorities) {
+      r.priority = static_cast<Priority>(n);
+    } else if (key == "limit" && parse_size(value, n)) {
+      out.ids_limit = n;
+    } else {
+      error = "bad option '" + token + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string format_request_line(const WireRequest& wire) {
+  switch (wire.op) {
+    case WireRequest::Op::kStats: return "stats";
+    case WireRequest::Op::kPing: return "ping";
+    case WireRequest::Op::kQuit: return "quit";
+    case WireRequest::Op::kQuery: break;
+  }
+  const Request& r = wire.request;
+  std::ostringstream out;
+  switch (r.kind) {
+    case RequestKind::kCount: out << "count"; break;
+    case RequestKind::kIds: out << "ids"; break;
+    case RequestKind::kHistogram1D: out << "hist1"; break;
+    case RequestKind::kHistogram2D: out << "hist2"; break;
+    case RequestKind::kSummary: out << "sum"; break;
+  }
+  out << " t=" << r.timestep;
+  if (!r.var_x.empty()) out << " x=" << r.var_x;
+  if (!r.var_y.empty()) out << " y=" << r.var_y;
+  if (r.kind == RequestKind::kHistogram1D || r.kind == RequestKind::kHistogram2D) {
+    out << " bins=" << r.nxbins;
+    if (r.kind == RequestKind::kHistogram2D && r.nybins != r.nxbins)
+      out << " ybins=" << r.nybins;
+    if (r.binning == BinningMode::kAdaptive) out << " adaptive=1";
+  }
+  if (r.priority != Priority::kNormal)
+    out << " pri=" << static_cast<unsigned>(r.priority);
+  if (wire.ids_limit != 16) out << " limit=" << wire.ids_limit;
+  if (!r.query.empty()) out << " q=" << r.query;
+  return out.str();
+}
+
+std::string format_response_line(const Result& result, std::size_t ids_limit) {
+  if (result.status != Status::kOk) {
+    std::string line = "err ";
+    line += status_text(result.status);
+    if (!result.error.empty()) line += ": " + result.error;
+    return line;
+  }
+  std::ostringstream out;
+  out << "ok count=" << result.count;
+  if (result.kind == RequestKind::kIds) {
+    out << " ids=";
+    const std::size_t n = std::min(result.ids.size(), ids_limit);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0) out << ',';
+      out << result.ids[i];
+    }
+    if (result.ids.size() > n) out << ",...";
+  }
+  if (result.kind == RequestKind::kHistogram1D)
+    out << " bins=" << result.hist1d.counts.size()
+        << " nonempty=" << result.hist1d.nonempty_bins()
+        << " maxbin=" << result.hist1d.max_count();
+  if (result.kind == RequestKind::kHistogram2D)
+    out << " nx=" << result.hist2d.nx() << " ny=" << result.hist2d.ny()
+        << " nonempty=" << result.hist2d.nonempty_bins()
+        << " maxbin=" << result.hist2d.max_count();
+  if (result.kind == RequestKind::kSummary)
+    out << " min=" << result.summary.min << " max=" << result.summary.max
+        << " mean=" << result.summary.mean << " stddev=" << result.summary.stddev;
+  out << " src=" << (result.served == Served::kCached ? "cache" : "exec");
+  out << " exec_us="
+      << static_cast<std::uint64_t>(result.exec_seconds * 1e6);
+  return out.str();
+}
+
+std::string format_stats_line(const ServiceStats& s) {
+  std::ostringstream out;
+  out << "ok submitted=" << s.submitted << " completed=" << s.completed
+      << " executed=" << s.executed << " coalesced=" << s.coalesce_hits
+      << " cached=" << s.result_cache_hits << " failed=" << s.failed
+      << " rejected=" << (s.rejected_queue + s.rejected_budget)
+      << " queue=" << s.queue_depth << " peak_queue=" << s.peak_queue_depth
+      << " sessions=" << s.open_sessions
+      << " p50_us=" << static_cast<std::uint64_t>(s.p50_seconds * 1e6)
+      << " p95_us=" << static_cast<std::uint64_t>(s.p95_seconds * 1e6)
+      << " p99_us=" << static_cast<std::uint64_t>(s.p99_seconds * 1e6);
+  return out.str();
+}
+
+bool parse_response_line(const std::string& line, std::string& body) {
+  if (line.rfind("ok", 0) == 0) {
+    body = line.size() > 3 ? line.substr(3) : std::string();
+    return true;
+  }
+  body = line.rfind("err ", 0) == 0 ? line.substr(4) : line;
+  return false;
+}
+
+}  // namespace qdv::svc

@@ -1,0 +1,481 @@
+#include "svc/query_service.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/selection.hpp"
+#include "io/memory_budget.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace qdv::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using SessionId = QueryService::SessionId;
+
+double seconds_since(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+const char* kind_tag(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kCount: return "count";
+    case RequestKind::kIds: return "ids";
+    case RequestKind::kHistogram1D: return "hist1";
+    case RequestKind::kHistogram2D: return "hist2";
+    case RequestKind::kSummary: return "sum";
+  }
+  return "?";
+}
+
+std::uint64_t histogram1d_bytes(const Histogram1D& h) {
+  return (h.counts.size() + h.bins.edges().size()) * 8;
+}
+
+std::uint64_t histogram2d_bytes(const Histogram2D& h) {
+  return (h.counts.size() + h.xbins.edges().size() + h.ybins.edges().size()) * 8;
+}
+
+ResultPtr make_rejection(Status status, std::string message) {
+  auto r = std::make_shared<Result>();
+  r->status = status;
+  r->error = std::move(message);
+  return r;
+}
+
+ResultFuture ready_future(ResultPtr result) {
+  std::promise<ResultPtr> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future().share();
+}
+
+}  // namespace
+
+double sorted_percentile(std::span<const double> sorted_ascending, double q) {
+  if (sorted_ascending.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ascending.size() - 1) + 0.5);
+  return sorted_ascending[std::min(idx, sorted_ascending.size() - 1)];
+}
+
+/// One admitted execution: the unit of single-flight coalescing. The leader
+/// request creates it; later requests with the same key attach (their
+/// session + submit time recorded for latency/budget accounting) and share
+/// the leader's future.
+struct Flight {
+  std::string key;
+  Request request;
+  std::shared_ptr<const core::Selection> selection;
+  std::promise<ResultPtr> promise;
+  ResultFuture future;
+
+  struct Attach {
+    SessionId session = 0;
+    Clock::time_point at{};
+    std::uint64_t charged_bytes = 0;  // admission estimate held while in flight
+  };
+  std::vector<Attach> attaches;  // [0] = the leader
+};
+
+struct QueryService::Impl {
+  Impl(core::Engine e, ServiceConfig c) : engine(std::move(e)), config(c) {}
+
+  core::Engine engine;
+  ServiceConfig config;
+  std::shared_ptr<io::MemoryBudget> budget;  // the engine's unified budget
+  std::size_t max_concurrency = 1;
+
+  struct Session {
+    std::string name;
+    std::uint64_t budget_bytes = ServiceConfig::kUnlimitedBudget;
+    std::uint64_t inflight_bytes = 0;  // admission estimates currently held
+    std::uint64_t served_weight = 0;   // executed flights led by this session
+  };
+
+  mutable std::mutex mutex;
+  std::condition_variable idle_cv;
+  bool stopping = false;
+  SessionId next_session = 1;
+  std::unordered_map<SessionId, Session> sessions;
+
+  // Admission queue: per-priority, per-session FIFO lanes. The scheduler
+  // serves the strongest non-empty priority class; inside a class it picks
+  // the session with the least executed work (deficit fairness), so one
+  // flooding client cannot starve its peers at equal priority.
+  std::array<std::unordered_map<SessionId, std::deque<std::shared_ptr<Flight>>>,
+             kNumPriorities>
+      queue;
+  std::size_t queued = 0;
+
+  // Single-flight table: every queued or executing flight, by coalesce key.
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_by_key;
+  std::size_t executing = 0;
+  std::size_t active_workers = 0;
+  std::uint64_t exec_ordinal = 0;  // dispatch order, exposed as Result::sequence
+
+  // Cumulative counters (the queue_depth/inflight/latency fields of the
+  // public struct are derived in stats()).
+  ServiceStats counters;
+  std::vector<double> latencies;  // ring buffer of completed-request latencies
+  std::size_t latency_pos = 0;
+  double latency_max = 0.0;
+
+  void record_latency_locked(double s) {
+    ++counters.latency_samples;
+    latency_max = std::max(latency_max, s);
+    if (latencies.size() < config.latency_capacity) {
+      latencies.push_back(s);
+    } else if (!latencies.empty()) {
+      latencies[latency_pos] = s;
+      latency_pos = (latency_pos + 1) % latencies.size();
+    }
+  }
+
+  /// Admission-time response-size estimate: what a session is charged while
+  /// the request is queued/executing. Intentionally pessimistic for kIds
+  /// (all rows could match), so id dumps are what a byte budget throttles.
+  std::uint64_t estimate_bytes(const Request& r) const {
+    switch (r.kind) {
+      case RequestKind::kCount:
+      case RequestKind::kSummary:
+        return 64;
+      case RequestKind::kHistogram1D:
+        return (r.nxbins + r.nxbins + 1) * 8 + 64;
+      case RequestKind::kHistogram2D:
+        return (r.nxbins * r.nybins + r.nxbins + r.nybins + 2) * 8 + 64;
+      case RequestKind::kIds:
+        return engine.dataset().table(r.timestep).num_rows() * 8 + 64;
+    }
+    return 64;
+  }
+
+  /// Highest-priority, fairness-ordered queued flight; nullptr when empty.
+  std::shared_ptr<Flight> pop_locked() {
+    for (auto& bucket : queue) {
+      const SessionId* best = nullptr;
+      std::uint64_t best_weight = 0;
+      for (const auto& [sid, lane] : bucket) {
+        if (lane.empty()) continue;
+        const auto it = sessions.find(sid);
+        const std::uint64_t weight =
+            it == sessions.end() ? 0 : it->second.served_weight;
+        if (best == nullptr || weight < best_weight ||
+            (weight == best_weight && sid < *best)) {
+          best = &sid;
+          best_weight = weight;
+        }
+      }
+      if (best == nullptr) continue;
+      auto lane = bucket.find(*best);
+      std::shared_ptr<Flight> flight = std::move(lane->second.front());
+      lane->second.pop_front();
+      if (lane->second.empty()) bucket.erase(lane);
+      --queued;
+      return flight;
+    }
+    return nullptr;
+  }
+
+  std::shared_ptr<Result> run_flight(const Flight& flight) {
+    auto r = std::make_shared<Result>();
+    r->kind = flight.request.kind;
+    const Clock::time_point start = Clock::now();
+    try {
+      const core::Selection& sel = *flight.selection;
+      const Request& req = flight.request;
+      switch (req.kind) {
+        case RequestKind::kCount:
+          r->count = sel.count(req.timestep);
+          r->payload_bytes = 8;
+          break;
+        case RequestKind::kIds:
+          r->ids = sel.ids(req.timestep);
+          r->count = r->ids.size();
+          r->payload_bytes = r->ids.size() * 8;
+          break;
+        case RequestKind::kHistogram1D:
+          r->hist1d = sel.histogram1d(req.timestep, req.var_x, req.nxbins,
+                                      req.binning);
+          r->count = r->hist1d.total();
+          r->payload_bytes = histogram1d_bytes(r->hist1d);
+          break;
+        case RequestKind::kHistogram2D:
+          r->hist2d = sel.histogram2d(req.timestep, req.var_x, req.var_y,
+                                      req.nxbins, req.nybins, req.binning);
+          r->count = r->hist2d.total();
+          r->payload_bytes = histogram2d_bytes(r->hist2d);
+          break;
+        case RequestKind::kSummary:
+          r->summary = sel.summary(req.timestep, req.var_x);
+          r->count = r->summary.count;
+          r->payload_bytes = 5 * 8;
+          break;
+      }
+    } catch (const std::exception& e) {
+      r->status = Status::kError;
+      r->error = e.what();
+    }
+    r->exec_seconds = seconds_since(start, Clock::now());
+    return r;
+  }
+
+  /// Drain loop of one dispatch slot: claim queued flights until none are
+  /// left, then retire. Runs on the shared pool; nested parallel_for inside
+  /// an evaluation is safe (the pool is nested-reentrant).
+  void worker() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      std::shared_ptr<Flight> flight = pop_locked();
+      if (!flight) break;
+      ++executing;
+      const std::uint64_t ordinal = ++exec_ordinal;
+      if (const auto it = sessions.find(flight->attaches.front().session);
+          it != sessions.end())
+        ++it->second.served_weight;
+      lock.unlock();
+
+      const std::shared_ptr<Result> result = run_flight(*flight);
+      result->sequence = ordinal;
+      if (config.cache_results && result->status == Status::kOk &&
+          result->payload_bytes <= config.max_cached_result_bytes) {
+        // Cache a copy marked kCached: later identical requests are served
+        // from the budget (same LRU as columns/segments/bitvectors), while
+        // the live flight's requesters see the kExecuted original.
+        auto cached = std::make_shared<Result>(*result);
+        cached->served = Served::kCached;
+        cached->exec_seconds = 0.0;
+        cached->sequence = 0;
+        budget->put(flight->key, std::move(cached),
+                    std::max<std::uint64_t>(result->payload_bytes, 64),
+                    io::ResidentClass::kResult);
+      }
+
+      // Bookkeeping BEFORE fulfilling the promise: once a requester's
+      // get() returns, stats() already reflects its request. Erasing the
+      // key first also freezes the attach list — nothing can join a flight
+      // that is no longer in the single-flight table.
+      lock.lock();
+      inflight_by_key.erase(flight->key);
+      --executing;
+      ++counters.executed;
+      const Clock::time_point now = Clock::now();
+      for (const Flight::Attach& attach : flight->attaches) {
+        ++counters.completed;
+        if (result->status != Status::kOk) ++counters.failed;
+        counters.bytes_served += result->payload_bytes;
+        record_latency_locked(seconds_since(attach.at, now));
+        if (const auto it = sessions.find(attach.session); it != sessions.end())
+          it->second.inflight_bytes -=
+              std::min(it->second.inflight_bytes, attach.charged_bytes);
+      }
+      if (queued == 0 && executing == 0) idle_cv.notify_all();
+      lock.unlock();
+      flight->promise.set_value(result);
+      lock.lock();
+    }
+    --active_workers;
+    if (queued == 0 && executing == 0 && active_workers == 0)
+      idle_cv.notify_all();
+  }
+};
+
+QueryService::QueryService(core::Engine engine, ServiceConfig config)
+    : impl_(std::make_shared<Impl>(std::move(engine), config)) {
+  impl_->budget = impl_->engine.dataset().memory_budget();
+  // Entry-cap the result class (mirroring the engine's bitvector cap): an
+  // unlimited byte budget must not let distinct results accrete forever.
+  if (config.cache_results &&
+      impl_->budget->class_entry_cap(io::ResidentClass::kResult) ==
+          io::MemoryBudget::kNoEntryCap)
+    impl_->budget->set_class_entry_cap(
+        io::ResidentClass::kResult,
+        std::max<std::size_t>(1, config.max_cached_results));
+  impl_->max_concurrency = config.max_concurrency > 0
+                               ? config.max_concurrency
+                               : par::ThreadPool::global().size();
+  impl_->latencies.reserve(std::min<std::size_t>(config.latency_capacity, 4096));
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;  // queued work still completes; new work bounces
+  }
+  drain();
+}
+
+QueryService::SessionId QueryService::open_session(std::string name,
+                                                   std::uint64_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const SessionId id = impl_->next_session++;
+  Impl::Session& s = impl_->sessions[id];
+  s.name = std::move(name);
+  s.budget_bytes = budget_bytes == ServiceConfig::kUnlimitedBudget
+                       ? impl_->config.session_budget_bytes
+                       : budget_bytes;
+  return id;
+}
+
+void QueryService::close_session(SessionId session) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->sessions.erase(session);  // queued flights finish; accounting via find()
+}
+
+ResultFuture QueryService::submit(SessionId session, Request request) {
+  const Clock::time_point now = Clock::now();
+  const auto impl = impl_;
+
+  // Parse/canonicalize/plan (shared, cached) and estimate the response size
+  // before taking the service lock — both only touch their own locks.
+  std::shared_ptr<const core::Selection> selection;
+  std::string key;
+  std::uint64_t estimate = 0;
+  try {
+    if (request.timestep >= impl->engine.num_timesteps())
+      throw std::invalid_argument("timestep out of range");
+    if (request.kind != RequestKind::kCount && request.kind != RequestKind::kIds) {
+      if (request.var_x.empty())
+        throw std::invalid_argument("request needs a variable");
+      if (request.kind == RequestKind::kHistogram2D && request.var_y.empty())
+        throw std::invalid_argument("histogram2d needs a second variable");
+      if (request.kind != RequestKind::kSummary &&
+          (request.nxbins == 0 || request.nybins == 0))
+        throw std::invalid_argument("zero histogram bins");
+    }
+    selection = impl->engine.select_shared(request.query);
+    key = "svc|";
+    key += kind_tag(request.kind);
+    key += "|t#" + std::to_string(request.timestep);
+    if (request.kind != RequestKind::kCount && request.kind != RequestKind::kIds) {
+      // '|' between every variable-length field: variable names may
+      // themselves contain letters like 'x', so bare joins could collide.
+      key += '|' + request.var_x;
+      if (request.kind == RequestKind::kHistogram2D) key += '|' + request.var_y;
+      if (request.kind != RequestKind::kSummary) {
+        key += '#' + std::to_string(request.nxbins);
+        if (request.kind == RequestKind::kHistogram2D)
+          key += '#' + std::to_string(request.nybins);
+        key += request.binning == BinningMode::kAdaptive ? 'a' : 'u';
+      }
+    }
+    key += '|' + selection->cache_key();
+    estimate = impl->estimate_bytes(request);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    ++impl->counters.submitted;
+    ++impl->counters.completed;
+    ++impl->counters.failed;
+    return ready_future(make_rejection(Status::kError, e.what()));
+  }
+
+  std::unique_lock<std::mutex> lock(impl->mutex);
+  ++impl->counters.submitted;
+  if (impl->stopping) {
+    ++impl->counters.rejected_shutdown;
+    return ready_future(make_rejection(Status::kShutdown, "service stopping"));
+  }
+  const auto sit = impl->sessions.find(session);
+  if (sit == impl->sessions.end()) {
+    ++impl->counters.completed;
+    ++impl->counters.failed;
+    return ready_future(make_rejection(Status::kError, "unknown session"));
+  }
+
+  // Completed-result reuse: identical requests are answered from the
+  // budget-resident cache without touching the queue.
+  if (impl->config.cache_results) {
+    if (auto cached = impl->budget->get(key, io::ResidentClass::kResult)) {
+      ++impl->counters.result_cache_hits;
+      ++impl->counters.completed;
+      impl->record_latency_locked(seconds_since(now, Clock::now()));
+      auto result = std::static_pointer_cast<const Result>(cached);
+      impl->counters.bytes_served += result->payload_bytes;
+      return ready_future(std::move(result));
+    }
+  }
+
+  // In-flight coalescing: attach to a queued/executing flight of this key.
+  if (const auto it = impl->inflight_by_key.find(key);
+      it != impl->inflight_by_key.end()) {
+    ++impl->counters.coalesce_hits;
+    it->second->attaches.push_back({session, now, 0});
+    return it->second->future;
+  }
+
+  if (impl->queued >= impl->config.max_queue) {
+    ++impl->counters.rejected_queue;
+    return ready_future(
+        make_rejection(Status::kRejectedQueue, "admission queue full"));
+  }
+  Impl::Session& sess = sit->second;
+  if (sess.budget_bytes != ServiceConfig::kUnlimitedBudget &&
+      sess.inflight_bytes + estimate > sess.budget_bytes) {
+    ++impl->counters.rejected_budget;
+    return ready_future(
+        make_rejection(Status::kRejectedBudget, "session byte budget exhausted"));
+  }
+  sess.inflight_bytes += estimate;
+
+  auto flight = std::make_shared<Flight>();
+  flight->key = std::move(key);
+  flight->request = std::move(request);
+  flight->selection = std::move(selection);
+  flight->future = flight->promise.get_future().share();
+  flight->attaches.push_back({session, now, estimate});
+  const auto priority = static_cast<unsigned>(flight->request.priority);
+  impl->queue[priority < kNumPriorities ? priority : kNumPriorities - 1][session]
+      .push_back(flight);
+  ++impl->queued;
+  impl->counters.peak_queue_depth =
+      std::max<std::uint64_t>(impl->counters.peak_queue_depth, impl->queued);
+  impl->inflight_by_key.emplace(flight->key, flight);
+  ResultFuture future = flight->future;
+
+  const bool spawn = impl->active_workers < impl->max_concurrency;
+  if (spawn) ++impl->active_workers;
+  lock.unlock();
+  if (spawn)
+    par::ThreadPool::global().submit([impl] { impl->worker(); },
+                                     par::TaskPriority::kHigh);
+  return future;
+}
+
+ResultPtr QueryService::execute(SessionId session, Request request) {
+  return submit(session, std::move(request)).get();
+}
+
+void QueryService::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->idle_cv.wait(lock, [this] {
+    return impl_->queued == 0 && impl_->executing == 0 &&
+           impl_->active_workers == 0;
+  });
+}
+
+ServiceStats QueryService::stats() const {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  ServiceStats s = impl_->counters;
+  s.queue_depth = impl_->queued;
+  s.inflight = impl_->executing;
+  s.open_sessions = impl_->sessions.size();
+  s.max_seconds = impl_->latency_max;
+  std::vector<double> sorted = impl_->latencies;
+  lock.unlock();
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_seconds = sorted_percentile(sorted, 0.50);
+  s.p95_seconds = sorted_percentile(sorted, 0.95);
+  s.p99_seconds = sorted_percentile(sorted, 0.99);
+  return s;
+}
+
+const core::Engine& QueryService::engine() const { return impl_->engine; }
+
+}  // namespace qdv::svc

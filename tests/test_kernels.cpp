@@ -254,6 +254,16 @@ void test_locator_matches_locate() {
     for (int i = 0; i < 5000; ++i)
       values.push_back(std::pow(static_cast<double>(next() % 1000) / 100.0, 2.0));
     bin_sets.push_back(qdv::make_quantile_bins(values, 32));  // non-uniform
+    // NaN rows must not shape quantile edges (they can never land in a
+    // bin): edges built from a NaN-polluted copy match the clean ones.
+    std::vector<double> polluted = values;
+    for (std::size_t i = 0; i < polluted.size(); i += 97)
+      polluted[i] = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> clean;
+    for (std::size_t i = 0; i < values.size(); ++i)
+      if (i % 97 != 0) clean.push_back(values[i]);
+    CHECK(qdv::make_quantile_bins(polluted, 32) ==
+          qdv::make_quantile_bins(clean, 32));
   }
   for (const Bins& bins : bin_sets) {
     const Bins::Locator locator = bins.locator();
@@ -273,6 +283,77 @@ void test_locator_matches_locate() {
       probes.push_back(bins.lo() +
                        span * (static_cast<double>(next() % 1000003) / 1000003.0));
     for (const double v : probes) CHECK_EQ(locator(v), bins.locate(v));
+  }
+}
+
+void test_gather_hist_nan_rows() {
+  // NaN/±inf rows in the value columns: the block-gather kernels, the
+  // sharded tally, and the scalar locate reference must agree exactly —
+  // NaN never lands in a bin, ±inf only when the bin range reaches it.
+  constexpr std::uint64_t kRows = 20011;
+  std::uint64_t state = 1234;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<double> xs(kRows), ys(kRows);
+  for (std::uint64_t i = 0; i < kRows; ++i) {
+    xs[i] = static_cast<double>(next() % 2000) / 10.0 - 50.0;
+    ys[i] = static_cast<double>(next() % 997) / 100.0;
+    switch (next() % 23) {
+      case 0: xs[i] = std::numeric_limits<double>::quiet_NaN(); break;
+      case 1: xs[i] = std::numeric_limits<double>::infinity(); break;
+      case 2: xs[i] = -std::numeric_limits<double>::infinity(); break;
+      case 3: ys[i] = std::numeric_limits<double>::quiet_NaN(); break;
+      default: break;
+    }
+  }
+  const Bins xbins = qdv::make_uniform_bins(-50.0, 150.0, 48);
+  std::vector<double> quantile_input(ys.begin(), ys.begin() + 5000);
+  const Bins ybins = qdv::make_quantile_bins(quantile_input, 16);  // non-uniform
+  const Bins::Locator xloc = xbins.locator();
+  const Bins::Locator yloc = ybins.locator();
+
+  for (const BitVector& rows :
+       {make_sparse(kRows, 0.3, 5), make_sparse(kRows, 1e-3, 9),
+        BitVector::ones(kRows), make_runs(kRows, 77, 3000)}) {
+    // Scalar reference: element-at-a-time decode + Bins::locate.
+    std::vector<std::uint64_t> ref1(xbins.num_bins(), 0);
+    std::vector<std::uint64_t> ref2(xbins.num_bins() * ybins.num_bins(), 0);
+    rows.for_each_set([&](std::uint64_t row) {
+      const std::ptrdiff_t bx = xbins.locate(xs[row]);
+      const std::ptrdiff_t by = ybins.locate(ys[row]);
+      if (bx >= 0) ++ref1[static_cast<std::size_t>(bx)];
+      if (bx >= 0 && by >= 0)
+        ++ref2[static_cast<std::size_t>(bx) * ybins.num_bins() +
+               static_cast<std::size_t>(by)];
+    });
+    std::uint64_t nan_dropped = 0;
+    rows.for_each_set([&](std::uint64_t row) {
+      if (std::isnan(xs[row])) ++nan_dropped;
+    });
+    if (rows.count() > 1000) CHECK(nan_dropped > 0);  // fixtures bite
+    // Whole-vector gather (covers the sparse scalar-decode fallback too).
+    std::vector<std::uint64_t> got1(ref1.size(), 0);
+    qdv::kern::gather_hist1d(rows, 0, kRows, xs.data(), xloc, got1.data());
+    CHECK(got1 == ref1);
+    std::vector<std::uint64_t> got2(ref2.size(), 0);
+    qdv::kern::gather_hist2d(rows, 0, kRows, xs.data(), ys.data(), xloc, yloc,
+                             ybins.num_bins(), got2.data());
+    CHECK(got2 == ref2);
+    // Sharded path: per-shard windows, merged partials.
+    for (const std::size_t nshards : {2u, 7u}) {
+      std::vector<std::uint64_t> sharded(ref1.size(), 0);
+      qdv::kern::sharded_tally(
+          kRows, sharded.size(), sharded.data(),
+          [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+            qdv::kern::gather_hist1d(rows, begin, end, xs.data(), xloc, counts);
+          },
+          nshards);
+      CHECK(sharded == ref1);
+    }
   }
 }
 
@@ -317,6 +398,7 @@ int main() {
   test_giant_fills_cross_counter_boundary();
   test_or_many_kway_vs_pairwise();
   test_locator_matches_locate();
+  test_gather_hist_nan_rows();
   test_sharded_tally_matches_direct();
   return qdv::test::finish("test_kernels");
 }

@@ -1,0 +1,338 @@
+// svc::QueryService functional suite: request kinds against direct
+// Selection answers, deterministic in-flight coalescing and result-cache
+// reuse, priority and per-client fairness dispatch order (observed through
+// Result::sequence while the pool is gated), session byte budgets, the
+// line protocol round-trip, and the unix-socket server end-to-end.
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/selection.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/wakefield.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using namespace qdv;
+
+const std::filesystem::path& dataset_dir() {
+  static const std::filesystem::path dir = [] {
+    const std::filesystem::path d = qdv::test::scratch_dir("service");
+    sim::WakefieldConfig cfg = sim::WakefieldConfig::preset_2d(300, /*seed=*/21);
+    cfg.num_timesteps = 8;
+    io::IndexConfig index_config;
+    index_config.nbins = 64;
+    CHECK(sim::generate_dataset(cfg, d, index_config) > 0);
+    return d;
+  }();
+  return dir;
+}
+
+/// Occupies every worker of the global pool until release(): while held,
+/// nothing submitted to the pool can start, so queued service flights stay
+/// queued — the deterministic window the coalescing/ordering tests need.
+class PoolGate {
+ public:
+  PoolGate() {
+    const std::size_t n = par::ThreadPool::global().size();
+    for (std::size_t i = 0; i < n; ++i)
+      par::ThreadPool::global().submit([this] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++held_;
+        changed_.notify_all();
+        changed_.wait(lock, [this] { return open_; });
+        --held_;
+        changed_.notify_all();
+      });
+    std::unique_lock<std::mutex> lock(mutex_);
+    changed_.wait(lock, [&] { return held_ == n; });
+  }
+
+  void release() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    open_ = true;
+    changed_.notify_all();
+    changed_.wait(lock, [this] { return held_ == 0; });
+  }
+
+  ~PoolGate() { release(); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable changed_;
+  std::size_t held_ = 0;
+  bool open_ = false;
+};
+
+svc::Request count_request(const std::string& query, std::size_t t,
+                           svc::Priority pri = svc::Priority::kNormal) {
+  svc::Request r;
+  r.kind = svc::RequestKind::kCount;
+  r.query = query;
+  r.timestep = t;
+  r.priority = pri;
+  return r;
+}
+
+void test_request_kinds_match_selection() {
+  const core::Engine engine = core::Engine::open(dataset_dir());
+  svc::QueryService service{core::Engine::open(dataset_dir())};
+  const auto session = service.open_session("kinds");
+  const std::string query = "px > 1e9 && y > 0";
+  const std::size_t t = 5;
+  const core::Selection sel = engine.select(query);
+
+  svc::Request r = count_request(query, t);
+  CHECK_EQ(service.execute(session, r)->count, sel.count(t));
+
+  r.kind = svc::RequestKind::kIds;
+  CHECK(service.execute(session, r)->ids == sel.ids(t));
+
+  r.kind = svc::RequestKind::kHistogram1D;
+  r.var_x = "px";
+  r.nxbins = 32;
+  const svc::ResultPtr h1 = service.execute(session, r);
+  CHECK(h1->hist1d.counts == sel.histogram1d(t, "px", 32).counts);
+
+  r.kind = svc::RequestKind::kHistogram2D;
+  r.var_y = "x";
+  r.nybins = 16;
+  const svc::ResultPtr h2 = service.execute(session, r);
+  CHECK(h2->hist2d.counts == sel.histogram2d(t, "px", "x", 32, 16).counts);
+
+  r.kind = svc::RequestKind::kSummary;
+  const svc::ResultPtr sm = service.execute(session, r);
+  CHECK_EQ(sm->summary.count, sel.summary(t, "px").count);
+  CHECK_EQ(sm->summary.mean, sel.summary(t, "px").mean);
+
+  // Errors surface as kError results, not exceptions.
+  CHECK_EQ(service.execute(session, count_request("px >", 0))->status,
+           svc::Status::kError);
+  CHECK_EQ(service.execute(session, count_request("px > 0", 999))->status,
+           svc::Status::kError);
+  CHECK_EQ(service.execute(77777, count_request("px > 0", 0))->status,
+           svc::Status::kError);
+  const svc::ServiceStats stats = service.stats();
+  CHECK_EQ(stats.failed, 3u);
+  CHECK(stats.latency_samples > 0);
+}
+
+void test_result_cache_and_semantic_coalescing() {
+  svc::QueryService service{core::Engine::open(dataset_dir())};
+  const auto session = service.open_session("cache");
+  const svc::ResultPtr first =
+      service.execute(session, count_request("px > 1e9 && y > 0", 3));
+  CHECK_EQ(first->served, svc::Served::kExecuted);
+  const svc::ResultPtr again =
+      service.execute(session, count_request("px > 1e9 && y > 0", 3));
+  CHECK_EQ(again->served, svc::Served::kCached);
+  CHECK_EQ(again->count, first->count);
+  // The cache key is the *canonical* plan key: a semantically identical
+  // spelling hits the same entry.
+  const svc::ResultPtr swapped =
+      service.execute(session, count_request("y > 0 && px > 1e9", 3));
+  CHECK_EQ(swapped->served, svc::Served::kCached);
+  CHECK_EQ(swapped->count, first->count);
+  const svc::ServiceStats stats = service.stats();
+  CHECK_EQ(stats.executed, 1u);
+  CHECK_EQ(stats.result_cache_hits, 2u);
+}
+
+void test_inflight_coalescing_single_flight() {
+  svc::ServiceConfig config;
+  config.cache_results = false;  // isolate in-flight attachment
+  config.max_concurrency = 1;
+  svc::QueryService service{core::Engine::open(dataset_dir()), config};
+  const auto session = service.open_session("coalesce");
+
+  std::vector<svc::ResultFuture> futures;
+  {
+    PoolGate gate;
+    // Leader + four duplicates queue while the pool is gated: the
+    // duplicates must attach to the leader's flight, not enqueue.
+    for (int i = 0; i < 5; ++i)
+      futures.push_back(service.submit(session, count_request("px > 2e9", 2)));
+    const svc::ServiceStats mid = service.stats();
+    CHECK_EQ(mid.queue_depth, 1u);
+    CHECK_EQ(mid.coalesce_hits, 4u);
+    gate.release();
+  }
+  service.drain();
+  const svc::ResultPtr leader = futures.front().get();
+  for (auto& f : futures) {
+    CHECK(f.get() == leader);  // one shared Result object
+    CHECK_EQ(f.get()->status, svc::Status::kOk);
+  }
+  const svc::ServiceStats stats = service.stats();
+  CHECK_EQ(stats.executed, 1u);
+  CHECK_EQ(stats.completed, 5u);
+  CHECK(stats.coalesce_rate() > 0.4);
+}
+
+void test_priority_and_fairness_order() {
+  svc::ServiceConfig config;
+  config.cache_results = false;
+  config.max_concurrency = 1;
+  svc::QueryService service{core::Engine::open(dataset_dir()), config};
+  const auto flooder = service.open_session("flooder");
+  const auto polite = service.open_session("polite");
+
+  std::vector<svc::ResultFuture> batch;
+  svc::ResultFuture interactive;
+  svc::ResultFuture polite_one;
+  {
+    PoolGate gate;
+    // The flooder queues four batch requests, then "polite" one batch
+    // request, then the flooder one interactive request.
+    for (int i = 0; i < 4; ++i)
+      batch.push_back(service.submit(
+          flooder, count_request("px > " + std::to_string(3 + i) + "e9", 1,
+                                 svc::Priority::kBatch)));
+    polite_one = service.submit(
+        polite, count_request("y > 0", 1, svc::Priority::kBatch));
+    interactive = service.submit(
+        flooder, count_request("x > 0", 1, svc::Priority::kInteractive));
+    gate.release();
+  }
+  service.drain();
+  // Interactive beats every queued batch request regardless of order.
+  CHECK_EQ(interactive.get()->sequence, 1u);
+  // Within the batch class, the deficit scheduler alternates sessions: the
+  // flooder executes one, then polite (weight 0 vs 2) runs before the
+  // flooder's remaining three.
+  CHECK(polite_one.get()->sequence <= 3u);
+  for (auto& f : batch) CHECK(f.get()->status == svc::Status::kOk);
+}
+
+void test_session_byte_budget() {
+  svc::ServiceConfig config;
+  config.cache_results = false;
+  config.max_concurrency = 1;
+  svc::QueryService service{core::Engine::open(dataset_dir()), config};
+  // 100-byte in-flight budget: one count fits (64), ids of a whole
+  // timestep never does, and a second concurrent count is over budget.
+  const auto tight = service.open_session("tight", 100);
+
+  svc::Request ids = count_request("px > 0", 0);
+  ids.kind = svc::RequestKind::kIds;
+  CHECK_EQ(service.execute(tight, ids)->status, svc::Status::kRejectedBudget);
+
+  {
+    PoolGate gate;
+    const svc::ResultFuture a = service.submit(tight, count_request("px > 1e9", 0));
+    const svc::ResultFuture b = service.submit(tight, count_request("px > 2e9", 0));
+    CHECK_EQ(b.get()->status, svc::Status::kRejectedBudget);
+    gate.release();
+    service.drain();
+    CHECK_EQ(a.get()->status, svc::Status::kOk);
+  }
+  // Budget released once the flight drained: the same request is admitted.
+  CHECK_EQ(service.execute(tight, count_request("px > 3e9", 0))->status,
+           svc::Status::kOk);
+  const svc::ServiceStats stats = service.stats();
+  CHECK_EQ(stats.rejected_budget, 2u);
+
+  // Queue cap: with a gated pool and max_queue 2, the third distinct
+  // request bounces.
+  svc::ServiceConfig tiny;
+  tiny.cache_results = false;
+  tiny.max_queue = 2;
+  svc::QueryService small{core::Engine::open(dataset_dir()), tiny};
+  const auto session = small.open_session("q");
+  {
+    PoolGate gate;
+    (void)small.submit(session, count_request("px > 1e9", 0));
+    (void)small.submit(session, count_request("px > 2e9", 0));
+    const svc::ResultFuture rejected =
+        small.submit(session, count_request("px > 3e9", 0));
+    CHECK_EQ(rejected.get()->status, svc::Status::kRejectedQueue);
+    gate.release();
+  }
+  small.drain();
+}
+
+void test_protocol_round_trip() {
+  const char* lines[] = {
+      "count t=3 q=px > 1e9 && y > 0",
+      "ids t=0 limit=5 q=px > 2e9",
+      "hist1 t=2 x=px bins=32 q=y > 0",
+      "hist2 t=1 x=px y=x bins=32 ybins=16 adaptive=1 pri=0 q=px > 1e9",
+      "sum t=4 x=px",
+      "count t=0",
+      "stats",
+      "ping",
+      "quit",
+  };
+  for (const char* line : lines) {
+    svc::WireRequest wire;
+    std::string error;
+    CHECK(svc::parse_request_line(line, wire, error));
+    // format -> parse -> format is a fixed point.
+    const std::string formatted = svc::format_request_line(wire);
+    svc::WireRequest reparsed;
+    CHECK(svc::parse_request_line(formatted, reparsed, error));
+    CHECK_EQ(svc::format_request_line(reparsed), formatted);
+  }
+  svc::WireRequest wire;
+  std::string error;
+  CHECK(!svc::parse_request_line("count t=x", wire, error));
+  CHECK(!svc::parse_request_line("frobnicate t=1", wire, error));
+  CHECK(!svc::parse_request_line("", wire, error));
+  CHECK(!svc::parse_request_line("count bogus", wire, error));
+}
+
+void test_socket_server_end_to_end() {
+  const core::Engine engine = core::Engine::open(dataset_dir());
+  svc::QueryService service{core::Engine::open(dataset_dir())};
+  svc::SocketServer server(
+      service, qdv::test::scratch_dir("service_sock") / "qdv.sock");
+  server.start();
+
+  svc::SocketClient client(server.socket_path());
+  CHECK_EQ(client.request("ping"), "ok pong");
+
+  const core::Selection sel = engine.select("px > 1e9");
+  std::string body;
+  CHECK(svc::parse_response_line(
+      client.request("count t=2 q=px > 1e9"), body));
+  CHECK_EQ(body.find("count=" + std::to_string(sel.count(2))), 0u);
+
+  CHECK(svc::parse_response_line(client.request("sum t=2 x=px q=px > 1e9"), body));
+  CHECK(body.find("mean=") != std::string::npos);
+
+  CHECK(!svc::parse_response_line(client.request("count t=2 q=px >"), body));
+  CHECK(!svc::parse_response_line(client.request("bogus"), body));
+
+  // A second concurrent connection gets its own session.
+  std::thread other([&] {
+    svc::SocketClient c2(server.socket_path());
+    std::string b;
+    CHECK(svc::parse_response_line(c2.request("ids t=2 limit=3 q=px > 1e9"), b));
+    CHECK(b.find("ids=") != std::string::npos);
+    CHECK(svc::parse_response_line(c2.request("stats"), b));
+    CHECK(b.find("submitted=") != std::string::npos);
+  });
+  other.join();
+  CHECK_EQ(client.request("quit"), "ok bye");
+  server.stop();
+  CHECK(server.connections() >= 2);
+  CHECK(!std::filesystem::exists(server.socket_path()));
+}
+
+}  // namespace
+
+int main() {
+  test_request_kinds_match_selection();
+  test_result_cache_and_semantic_coalescing();
+  test_inflight_coalescing_single_flight();
+  test_priority_and_fairness_order();
+  test_session_byte_budget();
+  test_protocol_round_trip();
+  test_socket_server_end_to_end();
+  return qdv::test::finish("test_service");
+}

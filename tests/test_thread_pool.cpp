@@ -4,6 +4,8 @@
 // external submitters, and the max_workers concurrency cap.
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -151,6 +153,50 @@ void test_global_pool() {
 
 }  // namespace
 
+void test_high_priority_lane() {
+  // A single-worker pool with its worker gated: queue three normal tasks,
+  // then one high-priority task — the high task must run first even though
+  // it was submitted last.
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  bool gated = false;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    gated = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return open; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return gated; });
+  }
+  std::vector<int> order;
+  std::mutex order_mutex;
+  auto record = [&](int id) {
+    return [&, id] {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(id);
+    };
+  };
+  for (int i = 0; i < 3; ++i) pool.submit(record(i));
+  pool.submit(record(100), qdv::par::TaskPriority::kHigh);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    open = true;
+  }
+  cv.notify_all();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      if (order.size() == 4) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  CHECK_EQ(order.front(), 100);  // the high lane drains before any normal task
+}
+
 int main() {
   test_basic_parallel_for();
   test_reuse_across_batches();
@@ -161,5 +207,6 @@ int main() {
   test_submit_from_worker();
   test_cross_pool_submission();
   test_global_pool();
+  test_high_priority_lane();
   return qdv::test::finish("test_thread_pool");
 }
