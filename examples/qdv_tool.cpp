@@ -174,6 +174,12 @@ int cmd_query(const std::string& dir, const Args& args) {
               << s.segment_bytes << " B\n";
     std::cout << "io: loaded " << s.loaded_bytes << " B total, "
               << s.io_evictions << " evictions\n";
+    std::cout << "simd: " << s.simd_isa << " (positions "
+              << s.positions_vector_calls << " vector / "
+              << s.positions_scalar_calls << " scalar, hist1d "
+              << s.hist1d_vector_calls << " vector / " << s.hist1d_scalar_calls
+              << " scalar, hist2d " << s.hist2d_vector_calls << " vector / "
+              << s.hist2d_scalar_calls << " scalar)\n";
   }
   return 0;
 }

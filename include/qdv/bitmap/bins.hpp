@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "bitmap/simd.hpp"
+
 namespace qdv {
 
 class Bins {
@@ -32,7 +34,9 @@ class Bins {
           inv_width_(bins.inv_width_),
           lo_(bins.edges_.empty() ? 0.0 : bins.edges_.front()),
           hi_(bins.edges_.empty() ? 0.0 : bins.edges_.back()),
+          width_(bins.width_),
           uniform_(bins.uniform_),
+          affine_(bins.affine_),
           empty_(bins.edges_.size() < 2) {}
 
     std::ptrdiff_t operator()(double value) const {
@@ -63,6 +67,24 @@ class Bins {
       return std::min(static_cast<std::ptrdiff_t>(lo), last_);
     }
 
+    /// Flattened POD view for the SIMD dispatch table (simd.hpp): same
+    /// cached fields, no class dependency. Borrows the edge storage, so the
+    /// same lifetime rule applies (the Bins must outlive the view).
+    simd::LocatorView view() const {
+      simd::LocatorView v;
+      v.edges = edges_;
+      v.nedges = nedges_;
+      v.last = static_cast<std::int64_t>(last_);
+      v.inv_width = inv_width_;
+      v.lo = lo_;
+      v.hi = hi_;
+      v.width = width_;
+      v.uniform = uniform_;
+      v.affine = affine_;
+      v.empty = empty_;
+      return v;
+    }
+
    private:
     const double* edges_;
     std::size_t nedges_;
@@ -70,7 +92,9 @@ class Bins {
     double inv_width_;
     double lo_;
     double hi_;
+    double width_;
     bool uniform_;
+    bool affine_;
     bool empty_;
   };
 
@@ -96,7 +120,9 @@ class Bins {
  private:
   std::vector<double> edges_;
   bool uniform_ = false;
+  bool affine_ = false;  // edges bit-exactly lo + k*width (see bins.cpp)
   double inv_width_ = 0.0;  // 1 / uniform bin width
+  double width_ = 0.0;      // uniform bin width
 };
 
 /// @p nbins equal-width bins over [lo, hi].

@@ -20,6 +20,7 @@
 
 #include "bitmap/bins.hpp"
 #include "bitmap/bitvector.hpp"
+#include "bitmap/simd.hpp"
 
 namespace qdv::kern {
 
@@ -185,17 +186,19 @@ inline void for_each_set_blocked(const BitVector& v, Fn&& fn) {
 template <typename Fn>
 inline void for_each_set_batched(const BitVector& v, std::uint64_t begin,
                                  std::uint64_t end, Fn&& fn) {
+  const simd::Ops& ops = simd::ops();
   DenseBlockCursor cursor(v, begin, end);
   DenseBlockCursor::Block b;
-  std::array<std::uint32_t, 1024> rows;
+  constexpr std::size_t kBatch = 1024;
+  std::array<std::uint32_t, kBatch + simd::kPositionSlack> rows;
   while (cursor.next(b)) {
     if (b.is_run) {
       if (!b.value) continue;
       std::uint64_t base = b.base;
       std::uint64_t left = b.nbits;
       while (left > 0) {
-        const auto n = static_cast<std::size_t>(
-            std::min<std::uint64_t>(left, rows.size()));
+        const auto n =
+            static_cast<std::size_t>(std::min<std::uint64_t>(left, kBatch));
         for (std::size_t i = 0; i < n; ++i)
           rows[i] = static_cast<std::uint32_t>(base + i);
         fn(std::span<const std::uint32_t>(rows.data(), n));
@@ -204,20 +207,22 @@ inline void for_each_set_batched(const BitVector& v, std::uint64_t begin,
       }
       continue;
     }
+    // Dense words go through the dispatched position-extraction kernel in
+    // spans sized so each span's worst case (all bits set) fits the batch.
     const std::size_t nw = (static_cast<std::size_t>(b.nbits) + 63) / 64;
     std::size_t n = 0;
-    for (std::size_t w = 0; w < nw; ++w) {
-      std::uint64_t bits = b.words[w];
-      const std::uint64_t base = b.base + static_cast<std::uint64_t>(w) * 64;
-      while (bits) {
-        rows[n++] = static_cast<std::uint32_t>(
-            base + static_cast<std::uint64_t>(std::countr_zero(bits)));
-        bits &= bits - 1;
-      }
-      if (n + 64 > rows.size()) {
+    std::size_t w = 0;
+    while (w < nw) {
+      const std::size_t take = std::min(nw - w, (kBatch - n) / 64);
+      if (take == 0) {
         fn(std::span<const std::uint32_t>(rows.data(), n));
         n = 0;
+        continue;
       }
+      n += ops.positions_from_words(
+          b.words + w, take, b.base + static_cast<std::uint64_t>(w) * 64,
+          rows.data() + n);
+      w += take;
     }
     if (n > 0) fn(std::span<const std::uint32_t>(rows.data(), n));
   }
@@ -229,82 +234,52 @@ inline constexpr std::size_t kGatherPrefetch = 16;
 
 /// True when @p v is so sparse (under ~1 set bit per 64) that the scalar
 /// WAH decode — which skips zero fills arithmetically and never
-/// materializes words — beats the dense-block cursor. The position and
-/// gather kernels fall back to BitVector::for_each_set in this regime;
-/// dense and run-heavy vectors take the block path. The scan bails out the
-/// moment the density threshold is crossed, so on dense vectors it touches
-/// only a prefix of the words (a one-fill exits immediately).
+/// materializes words — beats the dense-block cursor. Dense and run-heavy
+/// vectors take the block path. The scan bails out the moment the density
+/// threshold is crossed, so on dense vectors it touches only a prefix of
+/// the words (a one-fill exits immediately); on sparse vectors a bounded
+/// prefix decides from its own density — the old full scan cost as much as
+/// the decode it was trying to avoid (the to_positions 0.48x regression at
+/// sel=1e-3).
 inline bool prefer_scalar_decode(const BitVector& v) {
+  constexpr std::size_t kMaxScanWords = 1024;
   const std::uint64_t threshold = v.size() / 64;
   std::uint64_t count = 0;
+  std::uint64_t groups = 0;
+  std::size_t scanned = 0;
   for (const std::uint32_t w : BitVectorOps::words(v)) {
     if (w & BitVectorOps::kFillFlag) {
+      const std::uint64_t g = w & BitVectorOps::kCountMask;
+      groups += g;
       if (w & BitVectorOps::kFillValueBit)
-        count += static_cast<std::uint64_t>(w & BitVectorOps::kCountMask) *
-                 BitVectorOps::kGroupBits;
+        count += g * BitVectorOps::kGroupBits;
     } else {
+      groups += 1;
       count += static_cast<std::uint32_t>(std::popcount(w));
     }
     if (count >= threshold) return false;
+    if (++scanned >= kMaxScanWords)
+      return count * 64 < groups * BitVectorOps::kGroupBits;
   }
   count += static_cast<std::uint32_t>(std::popcount(BitVectorOps::active(v)));
   return count < threshold;
 }
 
 /// Conditional 1D histogram gather over the set rows of @p v in
-/// [begin, end): counts[loc(values[row])]++ with value loads prefetched
-/// kGatherPrefetch rows ahead.
-inline void gather_hist1d(const BitVector& v, std::uint64_t begin,
-                          std::uint64_t end, const double* values,
-                          const Bins::Locator& loc, std::uint64_t* counts) {
-  // Whole-vector gathers over very sparse selections: scalar decode + the
-  // inlined locator (windowed calls come from the sharded path, which only
-  // triggers on dense work).
-  if (begin == 0 && end >= v.size() && prefer_scalar_decode(v)) {
-    v.for_each_set([&](std::uint64_t row) {
-      const std::ptrdiff_t b = loc(values[row]);
-      if (b >= 0) ++counts[static_cast<std::size_t>(b)];
-    });
-    return;
-  }
-  for_each_set_batched(v, begin, end, [&](std::span<const std::uint32_t> rows) {
-    const std::size_t n = rows.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (i + kGatherPrefetch < n) QDV_PREFETCH(values + rows[i + kGatherPrefetch]);
-      const std::ptrdiff_t b = loc(values[rows[i]]);
-      if (b >= 0) ++counts[static_cast<std::size_t>(b)];
-    }
-  });
-}
+/// [begin, end): counts[loc(values[row])]++. Walks the compressed words in
+/// a single pass (zero fills skipped arithmetically, one-fills handed to
+/// the dense accumulate kernel, literal runs position-extracted in
+/// batches) and routes every inner loop through the SIMD dispatch table.
+void gather_hist1d(const BitVector& v, std::uint64_t begin, std::uint64_t end,
+                   const double* values, const Bins::Locator& loc,
+                   std::uint64_t* counts);
 
-/// Conditional 2D histogram gather (row-major counts[bx * ny + by]).
-inline void gather_hist2d(const BitVector& v, std::uint64_t begin,
-                          std::uint64_t end, const double* xs, const double* ys,
-                          const Bins::Locator& xloc, const Bins::Locator& yloc,
-                          std::size_t ny, std::uint64_t* counts) {
-  if (begin == 0 && end >= v.size() && prefer_scalar_decode(v)) {
-    v.for_each_set([&](std::uint64_t row) {
-      const std::ptrdiff_t bx = xloc(xs[row]);
-      const std::ptrdiff_t by = yloc(ys[row]);
-      if (bx >= 0 && by >= 0)
-        ++counts[static_cast<std::size_t>(bx) * ny + static_cast<std::size_t>(by)];
-    });
-    return;
-  }
-  for_each_set_batched(v, begin, end, [&](std::span<const std::uint32_t> rows) {
-    const std::size_t n = rows.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (i + kGatherPrefetch < n) {
-        QDV_PREFETCH(xs + rows[i + kGatherPrefetch]);
-        QDV_PREFETCH(ys + rows[i + kGatherPrefetch]);
-      }
-      const std::ptrdiff_t bx = xloc(xs[rows[i]]);
-      const std::ptrdiff_t by = yloc(ys[rows[i]]);
-      if (bx >= 0 && by >= 0)
-        ++counts[static_cast<std::size_t>(bx) * ny + static_cast<std::size_t>(by)];
-    }
-  });
-}
+/// Conditional 2D histogram gather (row-major counts[bx * ny + by]); same
+/// single-pass structure as gather_hist1d.
+void gather_hist2d(const BitVector& v, std::uint64_t begin, std::uint64_t end,
+                   const double* xs, const double* ys,
+                   const Bins::Locator& xloc, const Bins::Locator& yloc,
+                   std::size_t ny, std::uint64_t* counts);
 
 /// Set-bit positions of @p v via the dense-block cursor (one-runs are bulk
 /// appended). Backs BitVector::to_positions.

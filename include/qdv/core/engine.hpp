@@ -49,6 +49,16 @@ struct EngineStats {
   std::uint64_t loaded_bytes = 0;    // cumulative bytes charged (I/O volume)
   std::uint64_t io_evictions = 0;    // column + segment evictions
 
+  // SIMD dispatch (process-wide, see qdv::simd): the active ISA level and
+  // per-kernel-family counts of vector vs scalar-fallback invocations.
+  std::string simd_isa;
+  std::uint64_t positions_vector_calls = 0;
+  std::uint64_t positions_scalar_calls = 0;
+  std::uint64_t hist1d_vector_calls = 0;
+  std::uint64_t hist1d_scalar_calls = 0;
+  std::uint64_t hist2d_vector_calls = 0;
+  std::uint64_t hist2d_scalar_calls = 0;
+
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);

@@ -10,14 +10,33 @@ Bins::Bins(std::vector<double> edges) : edges_(std::move(edges)) {
   if (edges_.size() < 2) throw std::invalid_argument("Bins: need at least 2 edges");
   if (!std::is_sorted(edges_.begin(), edges_.end()))
     throw std::invalid_argument("Bins: edges must be sorted");
-  // Detect uniform spacing for the O(1) locate path.
+  // Detect uniform spacing for the O(1) locate path. An infinite span (bin
+  // sets whose outer edges are +-inf, e.g. quantile bins over data with
+  // infinities) must take the search path: w = inf would make the tolerance
+  // below infinite (accepting everything) and (value - lo) * inv_width NaN
+  // for infinite values that still pass the [lo, hi] containment test.
   const double w = (edges_.back() - edges_.front()) / static_cast<double>(num_bins());
-  uniform_ = w > 0.0;
+  uniform_ = std::isfinite(w) && w > 0.0;
   for (std::size_t i = 0; uniform_ && i + 1 < edges_.size(); ++i) {
     const double actual = edges_[i + 1] - edges_[i];
     if (std::abs(actual - w) > 1e-9 * std::max(1.0, std::abs(w))) uniform_ = false;
   }
-  if (uniform_) inv_width_ = 1.0 / w;
+  if (uniform_) {
+    inv_width_ = 1.0 / w;
+    width_ = w;
+    // Affine detection for the vector locate: when every edge the uniform
+    // verify step can read (k <= num_bins(); the final edge is never read —
+    // e0's index is at most `last`, and e1 at `last + 1` only matters when
+    // bin < last) equals lo + k*w under separate mul-then-add rounding, the
+    // SIMD kernels compute their verify edges in-register instead of
+    // gathering them. The volatile intermediate pins that rounding (no FMA
+    // contraction), matching the vector mul/add instruction sequence.
+    affine_ = true;
+    for (std::size_t k = 0; affine_ && k + 1 < edges_.size(); ++k) {
+      volatile const double m = w * static_cast<double>(k);
+      if (m + edges_.front() != edges_[k]) affine_ = false;
+    }
+  }
 }
 
 std::ptrdiff_t Bins::locate(double value) const {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "bitmap/kernels.hpp"
+#include "bitmap/simd.hpp"
 #include "io/timestep_table.hpp"
 
 namespace qdv {
@@ -86,16 +87,17 @@ Bins make_adaptive_bins(double lo, double hi, std::span<const double> values,
   Histogram1D fine;
   fine.bins = make_uniform_bins(lo, safe_hi, oversample);
   fine.counts.assign(oversample, 0);
-  // The oversampling bins are uniform: the branchless locator turns the
-  // per-value search into one multiply + clamp.
+  // The oversampling bins are uniform: the vectorized locate turns the
+  // per-value search into one multiply + clamp across lanes.
   const Bins::Locator locate = fine.bins.locator();
+  const simd::LocatorView view = locate.view();
+  const simd::Ops& ops = simd::ops();
+  simd::count_hist1d_call(ops.isa != simd::Isa::kScalar);
   kern::sharded_tally(
       values.size(), fine.counts.size(), fine.counts.data(),
       [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
-        for (std::uint64_t row = begin; row < end; ++row) {
-          const std::ptrdiff_t b = locate(values[row]);
-          if (b >= 0) ++counts[static_cast<std::size_t>(b)];
-        }
+        ops.hist1d_dense(values.data() + begin,
+                         static_cast<std::size_t>(end - begin), view, counts);
       });
   return make_equal_weight_bins(fine, nbins);
 }
@@ -121,13 +123,14 @@ Histogram1D HistogramEngine::histogram1d(const std::string& variable,
   h.counts.assign(h.bins.num_bins(), 0);
   const std::span<const double> values = table_->column(variable);
   const Bins::Locator locate = h.bins.locator();
+  const simd::LocatorView view = locate.view();
+  const simd::Ops& ops = simd::ops();
+  simd::count_hist1d_call(ops.isa != simd::Isa::kScalar);
   kern::sharded_tally(
       values.size(), h.counts.size(), h.counts.data(),
       [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
-        for (std::uint64_t row = begin; row < end; ++row) {
-          const std::ptrdiff_t b = locate(values[row]);
-          if (b >= 0) ++counts[static_cast<std::size_t>(b)];
-        }
+        ops.hist1d_dense(values.data() + begin,
+                         static_cast<std::size_t>(end - begin), view, counts);
       });
   return h;
 }
@@ -166,16 +169,16 @@ Histogram2D HistogramEngine::histogram2d(const std::string& x, const std::string
   const std::size_t ny = h.ybins.num_bins();
   const Bins::Locator xloc = h.xbins.locator();
   const Bins::Locator yloc = h.ybins.locator();
+  const simd::LocatorView xview = xloc.view();
+  const simd::LocatorView yview = yloc.view();
+  const simd::Ops& ops = simd::ops();
+  simd::count_hist2d_call(ops.isa != simd::Isa::kScalar);
   kern::sharded_tally(
       xs.size(), h.counts.size(), h.counts.data(),
       [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
-        for (std::uint64_t row = begin; row < end; ++row) {
-          const std::ptrdiff_t bx = xloc(xs[row]);
-          const std::ptrdiff_t by = yloc(ys[row]);
-          if (bx >= 0 && by >= 0)
-            ++counts[static_cast<std::size_t>(bx) * ny +
-                     static_cast<std::size_t>(by)];
-        }
+        ops.hist2d_dense(xs.data() + begin, ys.data() + begin,
+                         static_cast<std::size_t>(end - begin), xview, yview,
+                         ny, counts);
       });
   return h;
 }

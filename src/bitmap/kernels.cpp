@@ -197,40 +197,438 @@ void DenseBlockCursor::push_ones(std::uint64_t n) {
 }
 
 // ------------------------------------------------------------------------
-// Position / count kernels
+// Position / count / gather kernels
 // ------------------------------------------------------------------------
 
-void to_positions_blocked(const BitVector& v, std::vector<std::uint32_t>& out) {
-  out.clear();
-  if (prefer_scalar_decode(v)) {
-    v.for_each_set([&out](std::uint64_t pos) {
-      out.push_back(static_cast<std::uint32_t>(pos));
-    });
-    return;
-  }
-  DenseBlockCursor cursor(v);
-  DenseBlockCursor::Block b;
-  while (cursor.next(b)) {
-    if (b.is_run) {
-      if (!b.value) continue;
-      // A run of ones appends consecutive rows in bulk.
-      const std::size_t old = out.size();
-      out.resize(old + static_cast<std::size_t>(b.nbits));
-      auto row = static_cast<std::uint32_t>(b.base);
-      for (std::size_t i = old; i < out.size(); ++i) out[i] = row++;
+namespace {
+
+/// Single-pass content walk of a WAH vector clipped to rows [begin, end):
+/// zero fills are skipped arithmetically (never materialized), one-fill row
+/// ranges are reported via on_ones(lo, hi), and maximal runs of literal
+/// words are reported via on_groups(words, ngroups, base_row) *directly
+/// over the compressed word array* — no intermediate dense-word buffer.
+/// Window-straddling boundary groups are masked into a stack copy so
+/// consumers never see out-of-window bits. This is the decode under
+/// to_positions_blocked and the gather kernels: one pass, so sparse
+/// selections cost exactly the scalar WAH decode (plus bulk group
+/// extraction) with no density pre-scan.
+template <bool kFullWindow, typename OnOnes, typename OnGroups>
+void walk_content(const BitVector& v, std::uint64_t begin, std::uint64_t end,
+                  OnOnes&& on_ones, OnGroups&& on_groups) {
+  begin = std::min(begin, v.size());
+  end = std::min(end, v.size());
+  if (begin >= end) return;
+  constexpr std::uint32_t G = BitVectorOps::kGroupBits;
+
+  const auto emit_groups = [&](const std::uint32_t* groups, std::size_t ng,
+                               std::uint64_t start) {
+    if constexpr (kFullWindow) {
+      // Full-window walk: WAH invariants put no content past size() and the
+      // tail group is zero-padded, so no run needs clipping or masking —
+      // this keeps the per-run cost of sparse bitmaps at the bare decode.
+      on_groups(groups, ng, start);
+      return;
+    }
+    const std::uint64_t stop = start + static_cast<std::uint64_t>(ng) * G;
+    if (stop <= begin || start >= end) return;
+    std::size_t g0 =
+        start < begin ? static_cast<std::size_t>((begin - start) / G) : 0;
+    const std::size_t g1 =
+        stop > end ? static_cast<std::size_t>((end - start + G - 1) / G) : ng;
+    const std::uint64_t first_base = start + static_cast<std::uint64_t>(g0) * G;
+    const std::uint64_t last_base =
+        start + static_cast<std::uint64_t>(g1 - 1) * G;
+    const std::uint32_t drop_lo =
+        begin > first_base ? static_cast<std::uint32_t>(begin - first_base) : 0;
+    const std::uint32_t keep_hi =
+        end < last_base + G ? static_cast<std::uint32_t>(end - last_base) : G;
+    if (g0 + 1 == g1 && (drop_lo > 0 || keep_hi < G)) {
+      std::uint32_t w = groups[g0] & BitVectorOps::kLiteralMask;
+      if (drop_lo > 0) w &= ~0u << drop_lo;
+      if (keep_hi < G) w &= (1u << keep_hi) - 1u;
+      on_groups(&w, std::size_t{1}, first_base);
+      return;
+    }
+    if (drop_lo > 0) {
+      const std::uint32_t w =
+          (groups[g0] & BitVectorOps::kLiteralMask) & (~0u << drop_lo);
+      on_groups(&w, std::size_t{1}, first_base);
+      ++g0;
+    }
+    const std::size_t mid_end = keep_hi < G ? g1 - 1 : g1;
+    if (g0 < mid_end)
+      on_groups(groups + g0, mid_end - g0,
+                start + static_cast<std::uint64_t>(g0) * G);
+    if (keep_hi < G) {
+      const std::uint32_t w =
+          (groups[g1 - 1] & BitVectorOps::kLiteralMask) & ((1u << keep_hi) - 1u);
+      on_groups(&w, std::size_t{1}, last_base);
+    }
+  };
+
+  const std::span<const std::uint32_t> words = BitVectorOps::words(v);
+  const std::size_t nwords = words.size();
+  std::uint64_t pos = 0;
+  std::size_t i = 0;
+  while (i < nwords && pos < end) {
+    const std::uint32_t w = words[i];
+    if (w & BitVectorOps::kFillFlag) {
+      const std::uint64_t run =
+          static_cast<std::uint64_t>(w & BitVectorOps::kCountMask) * G;
+      if (w & BitVectorOps::kFillValueBit) {
+        const std::uint64_t lo = std::max(pos, begin);
+        const std::uint64_t hi = std::min(pos + run, end);
+        if (lo < hi) on_ones(lo, hi);
+      }
+      pos += run;
+      ++i;
       continue;
     }
-    const std::size_t nw = (static_cast<std::size_t>(b.nbits) + 63) / 64;
-    for (std::size_t w = 0; w < nw; ++w) {
-      std::uint64_t bits = b.words[w];
-      const std::uint64_t base = b.base + static_cast<std::uint64_t>(w) * 64;
+    std::size_t j = i + 1;
+    while (j < nwords && !(words[j] & BitVectorOps::kFillFlag)) ++j;
+    emit_groups(words.data() + i, j - i, pos);
+    pos += static_cast<std::uint64_t>(j - i) * G;
+    i = j;
+  }
+  if (pos < end && BitVectorOps::active_bits(v) > 0) {
+    // The tail is one zero-padded literal group; rows past size() are zero
+    // and end <= size(), so the window mask covers all clipping.
+    const std::uint32_t tail = BitVectorOps::active(v);
+    if (tail != 0) emit_groups(&tail, 1, pos);
+  }
+}
+
+/// Row-batch capacity of the gather kernels below (plus position-kernel
+/// overstore slack). Sized so per-batch costs (kernel-entry gate checks,
+/// flush closures, vector-loop warmup) amortize to noise: at 1024 rows they
+/// measured ~15% of gather_hist2d at sel=0.1 (≈1.5 us per batch across 390
+/// batches); 8192-row batches cut that by 8x while the buffer (32 KiB)
+/// still sits comfortably in L1/L2.
+constexpr std::size_t kGatherBatch = 8192;
+
+/// Literal runs at most this long decode inline (scalar ctz) instead of
+/// through the dispatch table: the sparse half of the selectivity gate.
+/// Low-selectivity bitmaps are isolated literal groups between fills, where
+/// an indirect kernel call per one-group run would dominate the handful of
+/// set bits; dense regions arrive as long runs and still take the table
+/// (at 10% selectivity the mean literal run is already ~25 groups, so runs
+/// this short only occur in the regime where scalar decode wins anyway).
+constexpr std::size_t kInlineRunGroups = 4;
+
+/// Density half of the selectivity gate: long literal runs can still be
+/// nearly empty (at 1% selectivity the typical run is ~12 groups carrying
+/// ~0.3 set bits each). The vector position kernels pay fixed work per
+/// nonzero group while scalar ctz pays per set bit, so sample the head of
+/// the run and require ~1.5 bits per group before taking the vector path.
+/// The sampled words are about to be decoded either way, so the popcounts
+/// are reads the decode would do anyway.
+bool run_is_sparse(const std::uint32_t* groups, std::size_t ng) {
+  // Sample up to 16 groups spread evenly across the run. Sampling only the
+  // head mis-classifies long runs whose first words happen to be locally
+  // dense, and a wrong "dense" verdict sends the whole run down the vector
+  // path at densities where the scalar ctz loop wins.
+  const std::size_t sample = std::min<std::size_t>(ng, 16);
+  const std::size_t stride = ng / sample;
+  std::uint32_t bits = 0;
+  for (std::size_t g = 0; g < sample; ++g)
+    bits += static_cast<std::uint32_t>(
+        std::popcount(groups[g * stride] & BitVectorOps::kLiteralMask));
+  if (bits * 2 < sample * 3) return true;
+  // Short runs are counted exactly (stride 1). The vector kernel's fixed
+  // entry cost needs a couple dozen set bits to amortize regardless of
+  // density, so a tiny run that squeaked past the density check on a
+  // handful of absolute bits still decodes scalar.
+  return sample == ng && bits < 24;
+}
+
+std::size_t positions_inline(const std::uint32_t* groups, std::size_t ng,
+                             std::uint64_t base, std::uint32_t* out) {
+  std::size_t n = 0;
+  for (std::size_t g = 0; g < ng; ++g) {
+    std::uint32_t bits = groups[g] & BitVectorOps::kLiteralMask;
+    const auto gbase =
+        static_cast<std::uint32_t>(base + BitVectorOps::kGroupBits * g);
+    while (bits) {
+      out[n++] = gbase + static_cast<std::uint32_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+    }
+  }
+  return n;
+}
+
+/// Whole-call compression gate shared by the gather kernels, mirroring the
+/// one in to_positions_blocked: a strongly compressed full-range bitmap
+/// (more than ~8 groups covered per stored word) is isolated literals
+/// between zero fills, and walk_content's run-detection scan plus the
+/// per-run density gates cost several ns per emitted run — which at one
+/// set bit per run dominates the actual gather work. Decode word-at-a-time
+/// instead; one-fills still route through on_ones so an all-ones bitmap
+/// (also just a few words) keeps its dense kernel. Returns false when the
+/// bitmap is literal-dominated and the caller should take the run walk.
+template <typename OnOnes, typename OnLiteral>
+bool sparse_full_walk(const BitVector& v, OnOnes&& on_ones,
+                      OnLiteral&& on_literal) {
+  const std::span<const std::uint32_t> words = BitVectorOps::words(v);
+  const std::uint64_t total_groups =
+      (v.size() + BitVectorOps::kGroupBits - 1) / BitVectorOps::kGroupBits;
+  if (words.size() * 8 >= total_groups) return false;
+  std::uint64_t pos = 0;
+  for (const std::uint32_t w : words) {
+    if (w & BitVectorOps::kFillFlag) {
+      const std::uint64_t run =
+          static_cast<std::uint64_t>(w & BitVectorOps::kCountMask) *
+          BitVectorOps::kGroupBits;
+      if (w & BitVectorOps::kFillValueBit)
+        on_ones(pos, std::min(pos + run, v.size()));
+      pos += run;
+    } else {
+      on_literal(w, pos);
+      pos += BitVectorOps::kGroupBits;
+    }
+  }
+  if (BitVectorOps::active_bits(v) > 0) {
+    const std::uint32_t tail = BitVectorOps::active(v);
+    if (tail != 0) on_literal(tail, pos);
+  }
+  return true;
+}
+
+}  // namespace
+
+void to_positions_blocked(const BitVector& v, std::vector<std::uint32_t>& out) {
+  const simd::Ops& ops = simd::ops();
+  // Dispatch counting records whether any vector-table kernel actually ran,
+  // not merely which table was active at entry: the density gates below can
+  // route an entire call through the scalar decode, and the --stats counters
+  // (and the bench's same-code detection) want the route taken, not the
+  // route available.
+  bool used_vector = false;
+  std::size_t n = 0;
+  // Geometric growth with the position-kernel slack on top; trimmed at the
+  // end once the exact count is known. vector::resize value-initializes the
+  // grown region, so the incoming size is kept as a high-water mark (not
+  // cleared) and padded by one maximal emit: a reused buffer then never
+  // resizes mid-walk, where re-zeroing through the doubling sequence on
+  // every call would cost more than the decode at low selectivity.
+  const auto ensure = [&](std::uint64_t extra) {
+    const std::size_t need =
+        n + static_cast<std::size_t>(extra) + simd::kPositionSlack;
+    if (out.size() < need) out.resize(std::max(need, out.size() * 2));
+  };
+  out.resize(out.size() +
+             2 * (BitVectorOps::kGroupBits + simd::kPositionSlack));
+  // Selectivity gate: a strongly compressed bitmap (few words relative to the
+  // groups it covers) is isolated literals between zero fills. For that shape
+  // the run-detection scan and per-run emit of walk_content cost more than the
+  // handful of set bits are worth, so decode word-at-a-time with scalar ctz.
+  // Dense bitmaps (literal-dominated) keep the run walk + vector kernels.
+  const std::span<const std::uint32_t> words = BitVectorOps::words(v);
+  const std::uint64_t total_groups =
+      (v.size() + BitVectorOps::kGroupBits - 1) / BitVectorOps::kGroupBits;
+  if (words.size() * 8 < total_groups) {
+    // The decode loop runs a store per set bit and a capacity check per
+    // word, so both work on raw pointers: `dst` is the write cursor and
+    // `lim` the highest address a single literal may start writing at.
+    // Re-derived only on the (rare) grow, which keeps the vector's
+    // begin/size loads out of the hot loop.
+    std::uint32_t* dst = out.data() + n;
+    const std::uint32_t* lim = out.data() + out.size() -
+                               simd::kPositionSlack - BitVectorOps::kGroupBits;
+    const auto grow = [&](std::uint64_t extra) {
+      n = static_cast<std::size_t>(dst - out.data());
+      ensure(extra);
+      dst = out.data() + n;
+      lim = out.data() + out.size() - simd::kPositionSlack -
+            BitVectorOps::kGroupBits;
+    };
+    std::uint64_t pos = 0;
+    for (const std::uint32_t w : words) {
+      if (w & BitVectorOps::kFillFlag) {
+        const std::uint64_t run =
+            static_cast<std::uint64_t>(w & BitVectorOps::kCountMask) *
+            BitVectorOps::kGroupBits;
+        if (w & BitVectorOps::kFillValueBit) {
+          grow(run);
+          auto row = static_cast<std::uint32_t>(pos);
+          for (std::uint64_t k = 0; k < run; ++k) *dst++ = row++;
+        }
+        pos += run;
+      } else {
+        if (dst > lim) grow(BitVectorOps::kGroupBits);
+        std::uint32_t bits = w;
+        while (bits) {
+          *dst++ = static_cast<std::uint32_t>(pos) +
+                   static_cast<std::uint32_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+        }
+        pos += BitVectorOps::kGroupBits;
+      }
+    }
+    if (std::uint32_t bits =
+            BitVectorOps::active_bits(v) > 0 ? BitVectorOps::active(v) : 0;
+        bits != 0) {
+      if (dst > lim) grow(BitVectorOps::kGroupBits);
       while (bits) {
-        out.push_back(static_cast<std::uint32_t>(
-            base + static_cast<std::uint64_t>(std::countr_zero(bits))));
+        *dst++ = static_cast<std::uint32_t>(pos) +
+                 static_cast<std::uint32_t>(std::countr_zero(bits));
         bits &= bits - 1;
       }
     }
+    out.resize(static_cast<std::size_t>(dst - out.data()));
+    simd::count_positions_call(false);
+    return;
   }
+  walk_content<true>(
+      v, 0, v.size(),
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        ensure(hi - lo);
+        auto row = static_cast<std::uint32_t>(lo);
+        for (std::uint64_t k = lo; k < hi; ++k) out[n++] = row++;
+      },
+      [&](const std::uint32_t* groups, std::size_t ng, std::uint64_t base) {
+        ensure(static_cast<std::uint64_t>(ng) * BitVectorOps::kGroupBits);
+        if (ng <= kInlineRunGroups || run_is_sparse(groups, ng)) {
+          n += positions_inline(groups, ng, base, out.data() + n);
+        } else {
+          used_vector = ops.isa != simd::Isa::kScalar;
+          n += ops.positions_from_groups(groups, ng, base, out.data() + n);
+        }
+      });
+  out.resize(n);
+  simd::count_positions_call(used_vector);
+}
+
+void gather_hist1d(const BitVector& v, std::uint64_t begin, std::uint64_t end,
+                   const double* values, const Bins::Locator& loc,
+                   std::uint64_t* counts) {
+  const simd::Ops& ops = simd::ops();
+  // See to_positions_blocked: vector use is recorded per route taken, not
+  // per table active at entry.
+  const bool vt = ops.isa != simd::Isa::kScalar;
+  bool used_vector = false;
+  const simd::LocatorView L = loc.view();
+  std::array<std::uint32_t, kGatherBatch + simd::kPositionSlack> rows;
+  std::size_t n = 0;
+  // Sparse or tiny batches dispatch to the scalar table directly: the
+  // vector kernels would route them to their internal fallback anyway, and
+  // the baseline-compiled scalar body is the tuned one (vector-TU copies
+  // of it compile under wider target flags).
+  const simd::Ops& sco = simd::ops_for(simd::Isa::kScalar);
+  const auto flush = [&] {
+    if (n > 0) {
+      const bool vec =
+          n >= simd::kMinVectorRows && !simd::rows_are_sparse(rows.data(), n);
+      used_vector |= vec && vt;
+      (vec ? ops : sco).hist1d_rows(rows.data(), n, values, L, counts);
+      n = 0;
+    }
+  };
+  const auto on_ones = [&](std::uint64_t lo, std::uint64_t hi) {
+    flush();
+    // One-fill: the rows are contiguous — no index materialization.
+    used_vector |= vt;
+    ops.hist1d_dense(values + lo, static_cast<std::size_t>(hi - lo), L, counts);
+  };
+  const auto on_groups = [&](const std::uint32_t* groups, std::size_t ng,
+                             std::uint64_t base) {
+    std::size_t g = 0;
+    while (g < ng) {
+      const std::size_t take =
+          std::min(ng - g, (kGatherBatch - n) / BitVectorOps::kGroupBits);
+      if (take == 0) {
+        flush();
+        continue;
+      }
+      const std::uint64_t b =
+          base + static_cast<std::uint64_t>(g) * BitVectorOps::kGroupBits;
+      if (take <= kInlineRunGroups || run_is_sparse(groups + g, take)) {
+        n += positions_inline(groups + g, take, b, rows.data() + n);
+      } else {
+        used_vector |= vt;
+        n += ops.positions_from_groups(groups + g, take, b, rows.data() + n);
+      }
+      g += take;
+    }
+  };
+  if (begin == 0 && end >= v.size()) {
+    if (!sparse_full_walk(v, on_ones,
+                          [&](std::uint32_t w, std::uint64_t base) {
+                            if (n + BitVectorOps::kGroupBits > kGatherBatch)
+                              flush();
+                            n += positions_inline(&w, 1, base, rows.data() + n);
+                          }))
+      walk_content<true>(v, 0, v.size(), on_ones, on_groups);
+  } else {
+    walk_content<false>(v, begin, end, on_ones, on_groups);
+  }
+  flush();
+  simd::count_hist1d_call(used_vector);
+}
+
+void gather_hist2d(const BitVector& v, std::uint64_t begin, std::uint64_t end,
+                   const double* xs, const double* ys,
+                   const Bins::Locator& xloc, const Bins::Locator& yloc,
+                   std::size_t ny, std::uint64_t* counts) {
+  const simd::Ops& ops = simd::ops();
+  // See to_positions_blocked: vector use is recorded per route taken, not
+  // per table active at entry.
+  const bool vt = ops.isa != simd::Isa::kScalar;
+  bool used_vector = false;
+  const simd::LocatorView Lx = xloc.view();
+  const simd::LocatorView Ly = yloc.view();
+  std::array<std::uint32_t, kGatherBatch + simd::kPositionSlack> rows;
+  std::size_t n = 0;
+  // See gather_hist1d: sparse batches go straight to the scalar table.
+  const simd::Ops& sco = simd::ops_for(simd::Isa::kScalar);
+  const auto flush = [&] {
+    if (n > 0) {
+      const bool vec =
+          n >= simd::kMinVectorRows && !simd::rows_are_sparse(rows.data(), n);
+      used_vector |= vec && vt;
+      (vec ? ops : sco).hist2d_rows(rows.data(), n, xs, ys, Lx, Ly, ny, counts);
+      n = 0;
+    }
+  };
+  const auto on_ones = [&](std::uint64_t lo, std::uint64_t hi) {
+    flush();
+    used_vector |= vt;
+    ops.hist2d_dense(xs + lo, ys + lo, static_cast<std::size_t>(hi - lo), Lx,
+                     Ly, ny, counts);
+  };
+  const auto on_groups = [&](const std::uint32_t* groups, std::size_t ng,
+                             std::uint64_t base) {
+    std::size_t g = 0;
+    while (g < ng) {
+      const std::size_t take =
+          std::min(ng - g, (kGatherBatch - n) / BitVectorOps::kGroupBits);
+      if (take == 0) {
+        flush();
+        continue;
+      }
+      const std::uint64_t b =
+          base + static_cast<std::uint64_t>(g) * BitVectorOps::kGroupBits;
+      if (take <= kInlineRunGroups || run_is_sparse(groups + g, take)) {
+        n += positions_inline(groups + g, take, b, rows.data() + n);
+      } else {
+        used_vector |= vt;
+        n += ops.positions_from_groups(groups + g, take, b, rows.data() + n);
+      }
+      g += take;
+    }
+  };
+  if (begin == 0 && end >= v.size()) {
+    if (!sparse_full_walk(v, on_ones,
+                          [&](std::uint32_t w, std::uint64_t base) {
+                            if (n + BitVectorOps::kGroupBits > kGatherBatch)
+                              flush();
+                            n += positions_inline(&w, 1, base, rows.data() + n);
+                          }))
+      walk_content<true>(v, 0, v.size(), on_ones, on_groups);
+  } else {
+    walk_content<false>(v, begin, end, on_ones, on_groups);
+  }
+  flush();
+  simd::count_hist2d_call(used_vector);
 }
 
 std::uint64_t count_words(const BitVector& v) {

@@ -1,0 +1,301 @@
+// AVX2 level of the SIMD dispatch layer. Compiled with -mavx2 (per-file
+// flag set in CMakeLists.txt); when the compiler lacks that target the TU
+// degrades to a nullptr accessor and runtime dispatch skips the level.
+//
+// Kernels:
+//  - position extraction: per 31-bit WAH literal group, branchless byte-LUT
+//    expansion (kBytePositions + cvtepu8 widen + vector store) of all four
+//    bytes — the sparse inline gate in kernels.cpp keeps short literal runs
+//    out of this TU, and for the runs that do arrive a popcount gate's
+//    mispredicts cost more than emitting empty bytes. 64-bit dense words
+//    keep a small popcount gate (sparse words are common inside dense
+//    blocks and decode faster bit-by-bit).
+//  - locate: 4-lane uniform locate (cvttpd + clamp + edge settle; affine
+//    bin sets synthesize the verify edges in-register, others gather them)
+//    and 4-lane branchless halving search over the cached edges, exact
+//    lane-wise twins of Bins::Locator (NaN fails the ordered compares and
+//    routes to -1 exactly like the scalar path).
+//  - histogram accumulate: gathered values -> vector locate -> bin indices
+//    spilled to a lane buffer and accumulated scalar per lane, which is
+//    conflict-safe by construction (no scatter) and exact for duplicate
+//    bins within a vector. Batches whose rows are very sparse (average
+//    spacing past a cache line) stay scalar: the gathers are latency-bound
+//    there and vector setup cannot win.
+#include "simd_common.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace qdv::simd {
+
+namespace {
+
+/// Compress a 4x64-bit double compare mask into 4x32-bit integer lanes.
+inline __m128i mask_pd_to_epi32(__m256d m) {
+  const __m256i perm = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  return _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(m), perm));
+}
+
+/// 4-lane twin of the uniform branch of Bins::Locator::operator(). When
+/// kAffine, the verify edges are synthesized as bin * width + lo (separate
+/// mul and add, the exact rounding the affine detection in bins.cpp pinned
+/// down) instead of gathered — the settle comparisons see bit-identical
+/// edge values either way, so the result matches the scalar path exactly.
+template <bool kAffine>
+inline __m128i locate4_uniform(const LocatorView& L, __m256d v) {
+  const __m256d lo = _mm256_set1_pd(L.lo);
+  const __m128i valid = mask_pd_to_epi32(
+      _mm256_and_pd(_mm256_cmp_pd(v, lo, _CMP_GE_OQ),
+                    _mm256_cmp_pd(v, _mm256_set1_pd(L.hi), _CMP_LE_OQ)));
+  const __m256d t =
+      _mm256_mul_pd(_mm256_sub_pd(v, lo), _mm256_set1_pd(L.inv_width));
+  const __m128i last4 = _mm_set1_epi32(static_cast<int>(L.last));
+  __m128i bin = _mm_min_epi32(_mm256_cvttpd_epi32(t), last4);
+  // Valid lanes satisfy 0 <= bin <= last; route invalid lanes (NaN converts
+  // to INT_MIN) to index 0 so the edge gathers stay in bounds.
+  const __m128i bing = _mm_blendv_epi8(_mm_setzero_si128(), bin, valid);
+  const __m128i bing1 = _mm_add_epi32(bing, _mm_set1_epi32(1));
+  __m256d e0, e1;
+  if constexpr (kAffine) {
+    const __m256d w = _mm256_set1_pd(L.width);
+    e0 = _mm256_add_pd(_mm256_mul_pd(_mm256_cvtepi32_pd(bing), w), lo);
+    // e1 at bing == last is never used (the inc mask requires bing < last),
+    // so synthesizing past the checked affine range is harmless.
+    e1 = _mm256_add_pd(_mm256_mul_pd(_mm256_cvtepi32_pd(bing1), w), lo);
+  } else {
+    e0 = _mm256_i32gather_pd(L.edges, bing, 8);
+    // bing + 1 <= last + 1 = nedges - 1: always a readable edge.
+    e1 = _mm256_i32gather_pd(L.edges, bing1, 8);
+  }
+  const __m128i dec = mask_pd_to_epi32(_mm256_cmp_pd(v, e0, _CMP_LT_OQ));
+  __m128i inc = mask_pd_to_epi32(_mm256_cmp_pd(v, e1, _CMP_GE_OQ));
+  inc = _mm_andnot_si128(dec, _mm_and_si128(inc, _mm_cmplt_epi32(bing, last4)));
+  // Mask lanes hold -1: adding dec decrements, subtracting inc increments.
+  bin = _mm_sub_epi32(_mm_add_epi32(bing, dec), inc);
+  return _mm_blendv_epi8(_mm_set1_epi32(-1), bin, valid);
+}
+
+/// 4-lane twin of the halving-search branch: every lane takes the same
+/// fixed halving sequence, so the result matches the scalar search exactly.
+inline __m128i locate4_search(const LocatorView& L, __m256d v) {
+  const __m128i valid = mask_pd_to_epi32(
+      _mm256_and_pd(_mm256_cmp_pd(v, _mm256_set1_pd(L.lo), _CMP_GE_OQ),
+                    _mm256_cmp_pd(v, _mm256_set1_pd(L.hi), _CMP_LE_OQ)));
+  __m128i idx = _mm_setzero_si128();
+  std::size_t n = L.nedges;
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    const __m128i halves = _mm_set1_epi32(static_cast<int>(half));
+    // idx + half < nedges holds for every lane (same invariant as scalar).
+    const __m256d e = _mm256_i32gather_pd(L.edges, _mm_add_epi32(idx, halves), 8);
+    const __m128i le = mask_pd_to_epi32(_mm256_cmp_pd(e, v, _CMP_LE_OQ));
+    idx = _mm_add_epi32(idx, _mm_and_si128(halves, le));
+    n -= half;
+  }
+  idx = _mm_min_epi32(idx, _mm_set1_epi32(static_cast<int>(L.last)));
+  return _mm_blendv_epi8(_mm_set1_epi32(-1), idx, valid);
+}
+
+inline __m128i locate4(const LocatorView& L, __m256d v) {
+  if (!L.uniform) return locate4_search(L, v);
+  return L.affine ? locate4_uniform<true>(L, v) : locate4_uniform<false>(L, v);
+}
+
+/// Below this popcount a 64-bit dense word decodes faster bit-by-bit than
+/// through the byte LUT (8 shuffle+store steps regardless of content).
+constexpr int kDenseWordBits = 4;
+
+/// Nearly-contiguous row batches (mean spacing under ~3 doubles) stay
+/// scalar in this TU: four-lane AVX2 gathers move one element per cycle
+/// while the dense regime streams cache-resident lines, so the scalar
+/// locate loop wins. AVX-512 (8 lanes + compressed index replay) still
+/// profits there, so the gate is AVX2-local. Sparse batches are gated by
+/// simd::rows_are_sparse (header; re-checked here for direct Ops users).
+inline bool rows_are_dense_avx2(const std::uint32_t* rows, std::size_t n) {
+  return static_cast<std::size_t>(rows[n - 1] - rows[0]) < n * 3;
+}
+
+inline std::size_t emit_byte(std::uint32_t m, std::uint32_t base,
+                             std::uint32_t* out) {
+  const __m256i pos = _mm256_cvtepu8_epi32(
+      _mm_cvtsi64_si128(static_cast<long long>(kBytePositions[m])));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_add_epi32(pos, _mm256_set1_epi32(
+                                                static_cast<int>(base))));
+  return static_cast<std::size_t>(std::popcount(m));
+}
+
+std::size_t positions_from_words_avx2(const std::uint64_t* words,
+                                      std::size_t nwords, std::uint64_t base,
+                                      std::uint32_t* out) {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < nwords; ++w) {
+    std::uint64_t bits = words[w];
+    if (bits == 0) continue;
+    const auto wbase = static_cast<std::uint32_t>(base + 64 * w);
+    if (std::popcount(bits) <= kDenseWordBits) {
+      while (bits) {
+        out[n++] = wbase + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+      }
+      continue;
+    }
+    for (unsigned k = 0; k < 8; ++k)
+      n += emit_byte(static_cast<std::uint32_t>((bits >> (8 * k)) & 0xFFu),
+                     wbase + 8 * k, out + n);
+  }
+  return n;
+}
+
+std::size_t positions_from_groups_avx2(const std::uint32_t* groups,
+                                       std::size_t ngroups, std::uint64_t base,
+                                       std::uint32_t* out) {
+  std::size_t n = 0;
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const std::uint32_t bits = groups[g] & 0x7FFFFFFFu;
+    if (bits == 0) continue;
+    const auto gbase = static_cast<std::uint32_t>(base + 31 * g);
+    // No per-group density gate here: short literal runs (the sparse
+    // regime where ctz would win) are decoded inline by the dispatcher
+    // (kInlineRunGroups) and never reach this kernel, so a gate would only
+    // add mispredicted branches to the dense regime.
+    // All four bytes emitted unconditionally: an empty byte stores eight
+    // dead lanes past the live prefix (covered by kPositionSlack) and
+    // advances by zero, which is cheaper than a mispredicted skip.
+    n += emit_byte(bits & 0xFFu, gbase, out + n);
+    n += emit_byte((bits >> 8) & 0xFFu, gbase + 8, out + n);
+    n += emit_byte((bits >> 16) & 0xFFu, gbase + 16, out + n);
+    n += emit_byte(bits >> 24, gbase + 24, out + n);
+  }
+  return n;
+}
+
+void hist1d_rows_avx2(const std::uint32_t* rows, std::size_t n,
+                      const double* values, const LocatorView& L,
+                      std::uint64_t* counts) {
+  if (L.empty || n < kMinVectorRows || rows_are_sparse(rows, n) ||
+      rows_are_dense_avx2(rows, n)) {
+    hist1d_rows_scalar(rows, n, values, L, counts);
+    return;
+  }
+  alignas(16) std::int32_t bins[4];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Prefetch every row of the vector four iterations ahead: at low
+    // selectivity each gathered row is its own cache line, so skipping
+    // lanes would leave the gather waiting on unprefetched DRAM misses.
+    if (i + 20 <= n)
+      for (int l = 0; l < 4; ++l)
+        _mm_prefetch(reinterpret_cast<const char*>(values + rows[i + 16 + l]),
+                     _MM_HINT_T0);
+    const __m128i r =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+    const __m256d v = _mm256_i32gather_pd(values, r, 8);
+    _mm_store_si128(reinterpret_cast<__m128i*>(bins), locate4(L, v));
+    for (int l = 0; l < 4; ++l)
+      if (bins[l] >= 0) ++counts[static_cast<std::size_t>(bins[l])];
+  }
+  hist1d_rows_scalar(rows + i, n - i, values, L, counts);
+}
+
+void hist2d_rows_avx2(const std::uint32_t* rows, std::size_t n,
+                      const double* xs, const double* ys,
+                      const LocatorView& xloc, const LocatorView& yloc,
+                      std::size_t ny, std::uint64_t* counts) {
+  if (xloc.empty || yloc.empty || n < kMinVectorRows ||
+      rows_are_sparse(rows, n)) {
+    hist2d_rows_scalar(rows, n, xs, ys, xloc, yloc, ny, counts);
+    return;
+  }
+  alignas(16) std::int32_t bx[4];
+  alignas(16) std::int32_t by[4];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + 20 <= n)
+      for (int l = 0; l < 4; ++l) {
+        _mm_prefetch(reinterpret_cast<const char*>(xs + rows[i + 16 + l]),
+                     _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(ys + rows[i + 16 + l]),
+                     _MM_HINT_T0);
+      }
+    const __m128i r =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+    _mm_store_si128(reinterpret_cast<__m128i*>(bx),
+                    locate4(xloc, _mm256_i32gather_pd(xs, r, 8)));
+    _mm_store_si128(reinterpret_cast<__m128i*>(by),
+                    locate4(yloc, _mm256_i32gather_pd(ys, r, 8)));
+    for (int l = 0; l < 4; ++l)
+      if (bx[l] >= 0 && by[l] >= 0)
+        ++counts[static_cast<std::size_t>(bx[l]) * ny +
+                 static_cast<std::size_t>(by[l])];
+  }
+  hist2d_rows_scalar(rows + i, n - i, xs, ys, xloc, yloc, ny, counts);
+}
+
+void hist1d_dense_avx2(const double* values, std::size_t n,
+                       const LocatorView& L, std::uint64_t* counts) {
+  if (L.empty || n < kMinVectorRows) {
+    hist1d_dense_scalar(values, n, L, counts);
+    return;
+  }
+  alignas(16) std::int32_t bins[4];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(bins),
+                    locate4(L, _mm256_loadu_pd(values + i)));
+    for (int l = 0; l < 4; ++l)
+      if (bins[l] >= 0) ++counts[static_cast<std::size_t>(bins[l])];
+  }
+  hist1d_dense_scalar(values + i, n - i, L, counts);
+}
+
+void hist2d_dense_avx2(const double* xs, const double* ys, std::size_t n,
+                       const LocatorView& xloc, const LocatorView& yloc,
+                       std::size_t ny, std::uint64_t* counts) {
+  if (xloc.empty || yloc.empty || n < kMinVectorRows) {
+    hist2d_dense_scalar(xs, ys, n, xloc, yloc, ny, counts);
+    return;
+  }
+  alignas(16) std::int32_t bx[4];
+  alignas(16) std::int32_t by[4];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(bx),
+                    locate4(xloc, _mm256_loadu_pd(xs + i)));
+    _mm_store_si128(reinterpret_cast<__m128i*>(by),
+                    locate4(yloc, _mm256_loadu_pd(ys + i)));
+    for (int l = 0; l < 4; ++l)
+      if (bx[l] >= 0 && by[l] >= 0)
+        ++counts[static_cast<std::size_t>(bx[l]) * ny +
+                 static_cast<std::size_t>(by[l])];
+  }
+  hist2d_dense_scalar(xs + i, ys + i, n - i, xloc, yloc, ny, counts);
+}
+
+constexpr Ops kAvx2Ops = {
+    Isa::kAvx2,
+    &positions_from_words_avx2,
+    &positions_from_groups_avx2,
+    &hist1d_rows_avx2,
+    &hist2d_rows_avx2,
+    &hist1d_dense_avx2,
+    &hist2d_dense_avx2,
+};
+
+}  // namespace
+
+namespace detail {
+const Ops* avx2_ops() { return &kAvx2Ops; }
+}  // namespace detail
+
+}  // namespace qdv::simd
+
+#else  // !defined(__AVX2__)
+
+namespace qdv::simd::detail {
+const Ops* avx2_ops() { return nullptr; }
+}  // namespace qdv::simd::detail
+
+#endif

@@ -1,0 +1,26 @@
+// Scalar level of the SIMD dispatch layer: always built, always selectable,
+// and the bit-identity reference the vector levels are tested against. The
+// bodies live in simd_common.hpp (internal linkage) so the AVX TUs can
+// reuse them for their tail/sparse paths without ODR-merging code compiled
+// under different target flags.
+#include "simd_common.hpp"
+
+namespace qdv::simd::detail {
+
+namespace {
+
+constexpr Ops kScalarOps = {
+    Isa::kScalar,
+    &positions_from_words_scalar,
+    &positions_from_groups_scalar,
+    &hist1d_rows_scalar,
+    &hist2d_rows_scalar,
+    &hist1d_dense_scalar,
+    &hist2d_dense_scalar,
+};
+
+}  // namespace
+
+const Ops* scalar_ops() { return &kScalarOps; }
+
+}  // namespace qdv::simd::detail

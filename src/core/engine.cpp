@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bitmap/simd.hpp"
 #include "core/selection.hpp"
 #include "engine_state.hpp"
 
@@ -143,6 +144,14 @@ EngineStats Engine::stats() const {
                    b.of(io::ResidentClass::kIndexSegment).loaded_bytes;
   s.io_evictions = b.of(io::ResidentClass::kColumn).evictions +
                    b.of(io::ResidentClass::kIndexSegment).evictions;
+  s.simd_isa = simd::isa_name(simd::active());
+  const simd::DispatchCounts d = simd::dispatch_counts();
+  s.positions_vector_calls = d.positions.vector;
+  s.positions_scalar_calls = d.positions.scalar;
+  s.hist1d_vector_calls = d.hist1d.vector;
+  s.hist1d_scalar_calls = d.hist1d.scalar;
+  s.hist2d_vector_calls = d.hist2d.vector;
+  s.hist2d_scalar_calls = d.hist2d.scalar;
   return s;
 }
 

@@ -5,11 +5,13 @@
 // to 1.0 — and results must be bit-identical.
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <vector>
 
 #include "bitmap/bins.hpp"
 #include "bitmap/kernels.hpp"
+#include "bitmap/simd.hpp"
 #include "test_common.hpp"
 
 namespace {
@@ -389,9 +391,271 @@ void test_sharded_tally_matches_direct() {
   CHECK(autos == direct);
 }
 
+// ------------------------------------------------------------------------
+// SIMD dispatch layer: every compiled-and-supported ISA level must be
+// bit-identical to the scalar level on adversarial fixtures.
+// ------------------------------------------------------------------------
+
+namespace simd = qdv::simd;
+
+std::vector<simd::Isa> supported_levels() {
+  std::vector<simd::Isa> levels = {simd::Isa::kScalar};
+  if (simd::supported(simd::Isa::kAvx2)) levels.push_back(simd::Isa::kAvx2);
+  if (simd::supported(simd::Isa::kAvx512)) levels.push_back(simd::Isa::kAvx512);
+  return levels;
+}
+
+void test_simd_force_env_override() {
+  // Must run before anything calls simd::force(): the ctest variants run
+  // this binary under QDV_FORCE_ISA=<level>, and the first active() call
+  // has to resolve to that level clamped to what the host supports.
+  simd::Isa expect =
+      simd::parse_isa(std::getenv("QDV_FORCE_ISA"), simd::best_supported());
+  while (expect != simd::Isa::kScalar && !simd::supported(expect))
+    expect = static_cast<simd::Isa>(static_cast<int>(expect) - 1);
+  CHECK_EQ(static_cast<int>(simd::active()), static_cast<int>(expect));
+  CHECK_EQ(static_cast<int>(simd::ops().isa), static_cast<int>(expect));
+  CHECK(simd::supported(simd::active()));
+}
+
+void test_simd_position_kernels_differential() {
+  const simd::Ops& scalar = simd::ops_for(simd::Isa::kScalar);
+  std::uint64_t state = 777;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  // Word fixtures: all-zero, all-one, single bits at both ends, alternating,
+  // plus random sparse/dense/mixed runs (ragged lengths).
+  std::vector<std::vector<std::uint64_t>> word_sets;
+  word_sets.push_back({});
+  word_sets.push_back({0});
+  word_sets.push_back({~std::uint64_t{0}});
+  word_sets.push_back({1, std::uint64_t{1} << 63, 0x5555555555555555ull,
+                       0xAAAAAAAAAAAAAAAAull, 0, ~std::uint64_t{0}});
+  {
+    std::vector<std::uint64_t> dense, sparse, mixed;
+    for (int i = 0; i < 137; ++i) {
+      dense.push_back(next());
+      sparse.push_back(i % 9 == 0 ? std::uint64_t{1} << (next() % 64) : 0);
+      mixed.push_back(i % 2 ? next() : (i % 4 ? 0 : ~std::uint64_t{0}));
+    }
+    word_sets.push_back(std::move(dense));
+    word_sets.push_back(std::move(sparse));
+    word_sets.push_back(std::move(mixed));
+  }
+  // Group fixtures: bit 31 set on some words must be ignored (fill flag
+  // position is not payload).
+  std::vector<std::vector<std::uint32_t>> group_sets;
+  group_sets.push_back({});
+  group_sets.push_back({0});
+  group_sets.push_back({0x7FFFFFFFu});
+  group_sets.push_back({0xFFFFFFFFu, 0x80000001u, 0x40000000u});
+  {
+    std::vector<std::uint32_t> random;
+    for (int i = 0; i < 301; ++i)
+      random.push_back(static_cast<std::uint32_t>(next()));
+    group_sets.push_back(std::move(random));
+  }
+  const std::uint64_t bases[] = {0, 31, 64, 1000003};  // unaligned starts
+  for (const simd::Isa level : supported_levels()) {
+    const simd::Ops& ops = simd::ops_for(level);
+    for (const auto& words : word_sets) {
+      for (const std::uint64_t base : bases) {
+        std::vector<std::uint32_t> a(words.size() * 64 + simd::kPositionSlack);
+        std::vector<std::uint32_t> b(a.size());
+        const std::size_t na =
+            scalar.positions_from_words(words.data(), words.size(), base, a.data());
+        const std::size_t nb =
+            ops.positions_from_words(words.data(), words.size(), base, b.data());
+        CHECK_EQ(na, nb);
+        for (std::size_t i = 0; i < na; ++i) CHECK_EQ(a[i], b[i]);
+      }
+    }
+    for (const auto& groups : group_sets) {
+      for (const std::uint64_t base : bases) {
+        std::vector<std::uint32_t> a(groups.size() * 31 + simd::kPositionSlack);
+        std::vector<std::uint32_t> b(a.size());
+        const std::size_t na = scalar.positions_from_groups(
+            groups.data(), groups.size(), base, a.data());
+        const std::size_t nb =
+            ops.positions_from_groups(groups.data(), groups.size(), base, b.data());
+        CHECK_EQ(na, nb);
+        for (std::size_t i = 0; i < na; ++i) CHECK_EQ(a[i], b[i]);
+      }
+    }
+  }
+}
+
+void test_simd_hist_kernels_differential() {
+  constexpr std::size_t kN = 4099;  // ragged vs every vector width
+  std::uint64_t state = 31337;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const Bins ubins = qdv::make_uniform_bins(-10.0, 10.0, 37);
+  std::vector<double> sample;
+  for (int i = 0; i < 3000; ++i)
+    sample.push_back(std::pow(static_cast<double>(next() % 997) / 100.0, 1.5));
+  const Bins qbins = qdv::make_quantile_bins(sample, 21);  // non-uniform
+  for (const Bins* bins : {&ubins, &qbins}) {
+    const Bins::Locator loc = bins->locator();
+    const simd::LocatorView view = loc.view();
+    // Values: randoms spanning past the bin range, exact edges and one-ulp
+    // neighbours, NaN and ±inf sprinkled in.
+    std::vector<double> xs(kN), ys(kN);
+    const double lo = bins->lo(), hi = bins->hi();
+    for (std::size_t i = 0; i < kN; ++i) {
+      xs[i] = lo + (hi - lo) * 1.2 *
+                  (static_cast<double>(next() % 1000003) / 1000003.0) -
+              0.1 * (hi - lo);
+      ys[i] = lo + (hi - lo) * (static_cast<double>(next() % 997) / 997.0);
+      const std::uint64_t r = next() % 29;
+      if (r < bins->edges().size())
+        xs[i] = bins->edges()[r];
+      else if (r == 24)
+        xs[i] = std::numeric_limits<double>::quiet_NaN();
+      else if (r == 25)
+        xs[i] = std::numeric_limits<double>::infinity();
+      else if (r == 26)
+        xs[i] = -std::numeric_limits<double>::infinity();
+      else if (r == 27)
+        xs[i] = std::nextafter(bins->edges()[next() % bins->edges().size()],
+                               -1e300);
+      else if (r == 28)
+        xs[i] = std::nextafter(bins->edges()[next() % bins->edges().size()],
+                               1e300);
+      if (next() % 31 == 0) ys[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+    // Row sets: ragged lengths (vs 4/8/16-lane widths), unaligned starts,
+    // and strided/duplicate-free shuffles.
+    std::vector<std::uint32_t> all_rows(kN);
+    for (std::size_t i = 0; i < kN; ++i)
+      all_rows[i] = static_cast<std::uint32_t>(i);
+    const std::size_t lengths[] = {0, 1, 3, 7, 8, 15, 16, 17, 33, 1023, kN};
+    const std::size_t offsets[] = {0, 1, 5};
+    const std::size_t ny = bins->num_bins();
+    const simd::Ops& scalar = simd::ops_for(simd::Isa::kScalar);
+    for (const simd::Isa level : supported_levels()) {
+      const simd::Ops& ops = simd::ops_for(level);
+      for (const std::size_t len : lengths) {
+        for (const std::size_t off : offsets) {
+          if (off + len > kN) continue;
+          const std::uint32_t* rows = all_rows.data() + off;
+          std::vector<std::uint64_t> a(ny, 0), b(ny, 0);
+          scalar.hist1d_rows(rows, len, xs.data(), view, a.data());
+          ops.hist1d_rows(rows, len, xs.data(), view, b.data());
+          CHECK(a == b);
+          std::vector<std::uint64_t> a2(ny * ny, 0), b2(ny * ny, 0);
+          scalar.hist2d_rows(rows, len, xs.data(), ys.data(), view, view, ny,
+                             a2.data());
+          ops.hist2d_rows(rows, len, xs.data(), ys.data(), view, view, ny,
+                          b2.data());
+          CHECK(a2 == b2);
+          std::vector<std::uint64_t> a3(ny, 0), b3(ny, 0);
+          scalar.hist1d_dense(xs.data() + off, len, view, a3.data());
+          ops.hist1d_dense(xs.data() + off, len, view, b3.data());
+          CHECK(a3 == b3);
+          std::vector<std::uint64_t> a4(ny * ny, 0), b4(ny * ny, 0);
+          scalar.hist2d_dense(xs.data() + off, ys.data() + off, len, view,
+                              view, ny, a4.data());
+          ops.hist2d_dense(xs.data() + off, ys.data() + off, len, view, view,
+                           ny, b4.data());
+          CHECK(a4 == b4);
+        }
+      }
+    }
+  }
+}
+
+void test_simd_forced_levels_end_to_end() {
+  // Force each supported level in turn and re-run the public kernels over
+  // the shape zoo: to_positions, gather_hist1d/2d (whole-vector and
+  // windowed) must be bit-identical across levels.
+  const simd::Isa initial = simd::active();
+  constexpr std::uint64_t kRows = 40000;
+  std::uint64_t state = 4242;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<double> xs(kRows), ys(kRows);
+  for (std::uint64_t i = 0; i < kRows; ++i) {
+    xs[i] = static_cast<double>(next() % 4000) / 10.0 - 100.0;
+    ys[i] = static_cast<double>(next() % 1009) / 50.0;
+    if (next() % 41 == 0) xs[i] = std::numeric_limits<double>::quiet_NaN();
+    if (next() % 43 == 0) ys[i] = std::numeric_limits<double>::infinity();
+  }
+  const Bins xbins = qdv::make_uniform_bins(-100.0, 300.0, 64);
+  std::vector<double> sample(ys.begin(), ys.begin() + 4000);
+  const Bins ybins = qdv::make_quantile_bins(sample, 24);
+  const Bins::Locator xloc = xbins.locator();
+  const Bins::Locator yloc = ybins.locator();
+  const std::uint64_t windows[][2] = {
+      {0, kRows}, {0, kRows / 2}, {kRows / 3, 2 * kRows / 3}, {31, 12345}};
+  for (const BitVector& v : shape_zoo()) {
+    // Per-shape scalar baselines, then each vector level against them.
+    simd::force(simd::Isa::kScalar);
+    const std::vector<std::uint32_t> base_pos = v.to_positions();
+    std::vector<std::vector<std::uint64_t>> base1, base2;
+    const std::uint64_t n = std::min<std::uint64_t>(v.size(), kRows);
+    for (const auto& w : windows) {
+      std::vector<std::uint64_t> h1(xbins.num_bins(), 0);
+      std::vector<std::uint64_t> h2(xbins.num_bins() * ybins.num_bins(), 0);
+      qdv::kern::gather_hist1d(v, std::min(w[0], n), std::min(w[1], n),
+                               xs.data(), xloc, h1.data());
+      qdv::kern::gather_hist2d(v, std::min(w[0], n), std::min(w[1], n),
+                               xs.data(), ys.data(), xloc, yloc,
+                               ybins.num_bins(), h2.data());
+      base1.push_back(std::move(h1));
+      base2.push_back(std::move(h2));
+    }
+    for (const simd::Isa level : supported_levels()) {
+      CHECK_EQ(static_cast<int>(simd::force(level)), static_cast<int>(level));
+      CHECK(v.to_positions() == base_pos);
+      for (std::size_t wi = 0; wi < std::size(windows); ++wi) {
+        std::vector<std::uint64_t> h1(xbins.num_bins(), 0);
+        std::vector<std::uint64_t> h2(xbins.num_bins() * ybins.num_bins(), 0);
+        qdv::kern::gather_hist1d(v, std::min(windows[wi][0], n),
+                                 std::min(windows[wi][1], n), xs.data(), xloc,
+                                 h1.data());
+        qdv::kern::gather_hist2d(v, std::min(windows[wi][0], n),
+                                 std::min(windows[wi][1], n), xs.data(),
+                                 ys.data(), xloc, yloc, ybins.num_bins(),
+                                 h2.data());
+        CHECK(h1 == base1[wi]);
+        CHECK(h2 == base2[wi]);
+      }
+    }
+  }
+  // Dispatch counters: forced-scalar runs count as scalar, vector levels as
+  // vector.
+  simd::reset_dispatch_counts();
+  simd::force(simd::Isa::kScalar);
+  BitVector probe = make_sparse(5000, 0.2, 7);
+  (void)probe.to_positions();
+  CHECK(simd::dispatch_counts().positions.scalar > 0);
+  CHECK_EQ(simd::dispatch_counts().positions.vector, 0u);
+  const simd::Isa best = simd::best_supported();
+  if (best != simd::Isa::kScalar) {
+    simd::force(best);
+    (void)probe.to_positions();
+    CHECK(simd::dispatch_counts().positions.vector > 0);
+  }
+  simd::force(initial);
+}
+
 }  // namespace
 
 int main() {
+  test_simd_force_env_override();
   test_cursor_matches_for_each_set();
   test_cursor_blocks_tile_and_stay_ordered();
   test_cursor_windows();
@@ -400,5 +664,8 @@ int main() {
   test_locator_matches_locate();
   test_gather_hist_nan_rows();
   test_sharded_tally_matches_direct();
+  test_simd_position_kernels_differential();
+  test_simd_hist_kernels_differential();
+  test_simd_forced_levels_end_to_end();
   return qdv::test::finish("test_kernels");
 }
