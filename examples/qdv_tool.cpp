@@ -14,10 +14,11 @@
 //            [--vars a,b,c] [--limit N]
 //   render   <dir> -t <timestep> --axes a,b,c [-q "<query>"] [--bins N]
 //            [--gamma G] -o <out.ppm>
-//   serve    <dir> --socket <path> [--concurrency N] [--no-cache]
-//            [--budget <MiB>]
-//   bombard  <dir> [--socket <path>] [--clients N] [--requests M] [--seed S]
-//            [--dup F] [--json <file>]
+//   serve    <dir> --socket <path> [--workers N] [--concurrency N]
+//            [--no-cache] [--budget <MiB>]
+//   worker   <dir> --socket <path>
+//   bombard  <dir> [--socket <path>] [--workers N] [--clients N]
+//            [--requests M] [--seed S] [--dup F] [--json <file>]
 #include <unistd.h>
 
 #include <algorithm>
@@ -26,6 +27,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -35,6 +37,8 @@
 
 #include "core/session.hpp"
 #include "core/statistics.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "io/export.hpp"
 #include "parallel/prefetch.hpp"
 #include "sim/wakefield.hpp"
@@ -318,6 +322,34 @@ core::Engine open_service_engine(const std::string& dir, const Args& args) {
   return core::Engine(io::Dataset::open(dir, options));
 }
 
+/// Blocking entry point of `qdv_tool worker`: one engine, one framed-wire
+/// socket, serve until the coordinator sends kShutdown.
+int cmd_worker(const std::string& dir, const Args& args) {
+  const auto socket = args.option("--socket");
+  if (!socket) {
+    std::cerr << "worker: missing --socket <path>\n";
+    return 2;
+  }
+  return dist::run_worker(dir, *socket);
+}
+
+/// Spawn @p n local worker processes (this binary, `worker` subcommand) on
+/// `<base_socket>.wK` sockets and attach them all to a fresh coordinator.
+/// The coordinator's destructor shuts the workers down and reaps them.
+std::shared_ptr<dist::Coordinator> spawn_local_workers(
+    const std::string& dir, const std::string& base_socket, std::size_t n) {
+  auto coordinator =
+      std::make_shared<dist::Coordinator>(io::Dataset::open(dir));
+  const std::string exe = dist::self_exe_path("qdv_tool");
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::string wsock = base_socket + ".w" + std::to_string(w);
+    const pid_t pid =
+        dist::spawn_worker_process(exe, {"worker", dir, "--socket", wsock});
+    coordinator->attach_worker(wsock, pid);
+  }
+  return coordinator;
+}
+
 int cmd_serve(const std::string& dir, const Args& args) {
   const auto socket = args.option("--socket");
   if (!socket) {
@@ -326,10 +358,21 @@ int cmd_serve(const std::string& dir, const Args& args) {
   }
   svc::QueryService service(open_service_engine(dir, args),
                             service_config_from(args));
+  const std::size_t workers = args.size_option("--workers", 0);
+  std::shared_ptr<dist::Coordinator> coordinator;
+  if (workers > 0) {
+    coordinator = spawn_local_workers(dir, *socket, workers);
+    coordinator->save_manifest(*socket + ".shards");
+    service.set_distributor(coordinator);
+  }
   svc::SocketServer server(service, *socket);
   server.start();
-  std::cout << "serving " << dir << " on " << *socket
-            << " (line protocol; Ctrl-C to stop)\n";
+  std::cout << "serving " << dir << " on " << *socket;
+  if (coordinator)
+    std::cout << " with " << coordinator->live_workers()
+              << " worker processes (shard manifest: " << *socket
+              << ".shards)";
+  std::cout << " (line protocol; Ctrl-C to stop)\n";
   for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
 }
 
@@ -424,16 +467,26 @@ int cmd_bombard(const std::string& dir, const Args& args) {
 
   // Self-host unless pointed at an external server: spin up the service and
   // a socket in-process so one command measures the full wire path.
+  const std::size_t dist_workers = args.size_option("--workers", 0);
   std::optional<svc::QueryService> service;
   std::optional<svc::SocketServer> server;
+  std::shared_ptr<dist::Coordinator> coordinator;
   std::string socket = args.option_or("--socket", "");
   if (socket.empty()) {
     socket = (std::filesystem::temp_directory_path() /
               ("qdv_bombard_" + std::to_string(::getpid()) + ".sock"))
                  .string();
     service.emplace(open_service_engine(dir, args), service_config_from(args));
+    if (dist_workers > 0) {
+      coordinator = spawn_local_workers(dir, socket, dist_workers);
+      service->set_distributor(coordinator);
+    }
     server.emplace(*service, socket);
     server->start();
+  } else if (dist_workers > 0) {
+    std::cerr << "bombard: --workers needs the self-hosted mode "
+                 "(drop --socket)\n";
+    return 2;
   }
 
   const BombardWorkload workload(io::Dataset::open(dir), seed, dup, hot_pool);
@@ -485,6 +538,42 @@ int cmd_bombard(const std::string& dir, const Args& args) {
   }
   if (server) server->stop();
 
+  // Distributed correctness guard: scatter one count per timestep and check
+  // each merged answer against a direct single-process engine.
+  std::size_t verify_failures = 0;
+  std::ostringstream dist_json;
+  if (coordinator) {
+    const core::Engine direct = core::Engine::open(dir);
+    const io::Dataset& ds = direct.dataset();
+    const std::string& var = ds.variables().front();
+    const auto domain = ds.global_domain(var);
+    for (std::size_t t = 0; t < ds.num_timesteps(); ++t) {
+      const std::string query =
+          var + " > " +
+          qdv::format_double(domain.first +
+                             0.5 * (domain.second - domain.first));
+      const dist::GatherResult g =
+          coordinator->execute(dist::ShardKind::kCount, t, query);
+      const std::uint64_t expect = direct.select(query).bits(t)->count();
+      if (!g.ok || g.count != expect) ++verify_failures;
+    }
+    const dist::DistStats dstats = coordinator->stats();
+    dist_json << "  \"distributed\": {\"workers\": " << dstats.workers
+              << ", \"alive\": " << dstats.alive
+              << ", \"queries\": " << dstats.queries
+              << ", \"scatters\": " << dstats.scatters
+              << ", \"gathers\": " << dstats.gathers
+              << ", \"retries\": " << dstats.retries
+              << ", \"reshards\": " << dstats.reshards
+              << ", \"deaths\": " << dstats.deaths
+              << ", \"remote_errors\": " << dstats.remote_errors
+              << ", \"verify_failures\": " << verify_failures << "},\n";
+    std::cout << "distributed: " << dstats.alive << "/" << dstats.workers
+              << " workers alive, " << dstats.scatters << " scatters, "
+              << dstats.gathers << " gathers, " << verify_failures
+              << " verify failures\n";
+  }
+
   std::sort(latencies_us.begin(), latencies_us.end());
   const auto at = [&](double q) { return svc::sorted_percentile(latencies_us, q); };
   double mean = 0.0;
@@ -502,6 +591,7 @@ int cmd_bombard(const std::string& dir, const Args& args) {
        << ", \"max\": " << (latencies_us.empty() ? 0.0 : latencies_us.back())
        << ", \"mean\": " << mean << "},\n"
        << "  \"errors\": " << errors << ",\n"
+       << dist_json.str()
        << "  \"server_stats\": \"" << server_stats << "\"\n"
        << "}\n";
   std::cout << "bombard: " << clients << " clients x " << requests
@@ -515,7 +605,7 @@ int cmd_bombard(const std::string& dir, const Args& args) {
   } else {
     std::cout << json.str();
   }
-  return errors == 0 ? 0 : 1;
+  return errors == 0 && verify_failures == 0 ? 0 : 1;
 }
 
 void usage() {
@@ -534,6 +624,7 @@ commands:
   track      select particles, trace them across timesteps
   render     histogram-based parallel coordinates to a PPM image
   serve      host the dataset as a concurrent query service (unix socket)
+  worker     run one sharded worker process (spawned by serve --workers)
   bombard    replay a seeded concurrent workload against a service
 
 run a command without options to see its required arguments.
@@ -567,6 +658,7 @@ int main(int argc, char** argv) {
     if (command == "track") return cmd_track(dir, args);
     if (command == "render") return cmd_render(dir, args);
     if (command == "serve") return cmd_serve(dir, args);
+    if (command == "worker") return cmd_worker(dir, args);
     if (command == "bombard") return cmd_bombard(dir, args);
     std::cerr << "unknown command '" << command << "'\n";
     usage();

@@ -1,0 +1,70 @@
+// Shard manifest: which worker owns which timestep/row window (DESIGN.md
+// Section 13). The coordinator builds one contiguous, near-equal row
+// partition per timestep at startup, scatters shard-scoped plans along it,
+// and — when a worker dies — reassigns the dead worker's windows onto the
+// survivors. Correctness never depends on *how* rows are partitioned, only
+// that every timestep's windows tile [0, num_rows) exactly: partial counts
+// and histograms then sum to the single-process result bit for bit.
+//
+// The manifest has a line-based text form (save()/from_text()) so `serve
+// --workers` can drop the current ownership next to the socket for
+// inspection and tests can round-trip it.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qdv::dist {
+
+/// One row window [begin, end) at some timestep, owned by worker @p worker
+/// (an index into the coordinator's worker table).
+struct ShardRange {
+  std::size_t worker = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  bool operator==(const ShardRange&) const = default;
+};
+
+/// Contiguous near-equal partition of [0, nrows) across @p workers (worker
+/// ids, in assignment order). Earlier workers receive the remainder rows;
+/// empty windows are omitted, so fewer ranges than workers come back when
+/// nrows < workers.size().
+std::vector<ShardRange> partition_rows(std::uint64_t nrows,
+                                       std::span<const std::size_t> workers);
+
+class ShardManifest {
+ public:
+  ShardManifest() = default;
+
+  /// Even row split of every timestep across workers 0..num_workers-1.
+  static ShardManifest build(const std::vector<std::uint64_t>& rows_per_timestep,
+                             std::size_t num_workers);
+
+  std::size_t num_timesteps() const { return ranges_.size(); }
+  std::size_t num_workers() const { return num_workers_; }
+
+  /// The windows tiling timestep @p t, ascending by begin.
+  const std::vector<ShardRange>& ranges(std::size_t t) const;
+
+  /// Move every window owned by @p dead onto the live workers (alive[w] ==
+  /// true, alive[dead] already false), splitting each window across them.
+  /// Returns the number of reassigned (new) windows. Throws when no live
+  /// worker remains.
+  std::size_t reassign(std::size_t dead, const std::vector<bool>& alive);
+
+  std::string to_text() const;
+  static ShardManifest from_text(const std::string& text);
+  void save(const std::filesystem::path& path) const;
+
+  bool operator==(const ShardManifest&) const = default;
+
+ private:
+  std::vector<std::vector<ShardRange>> ranges_;  // [timestep]
+  std::size_t num_workers_ = 0;
+};
+
+}  // namespace qdv::dist

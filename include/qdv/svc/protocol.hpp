@@ -5,10 +5,17 @@
 //
 // Requests:   <op> [t=N] [x=VAR] [y=VAR] [bins=N] [ybins=N] [adaptive=1]
 //             [pri=0|1|2] [limit=N] [q=QUERY TEXT TO END OF LINE]
-//   ops: count | ids | hist1 | hist2 | sum | stats | ping | quit
+//   ops: hello | count | ids | hist1 | hist2 | sum | stats | ping | quit
 //   `q=` must come last — everything after it (spaces included) is the
 //   query; omitting it selects all records.
 // Responses:  `ok <key>=<value> ...` or `err <message>`.
+//
+// Versioning: a connection opens with a `hello v=N` greeting; the server
+// answers `ok qdv v=N` when N matches kProtocolVersion and closes with a
+// clear `err protocol version mismatch ...` otherwise — a stale qdv_tool
+// talking to a newer server (or vice versa) fails loudly on its first
+// line, not obscurely mid-session. SocketClient performs the greeting
+// automatically; hand-driven sessions (`nc -U`) must send it first.
 //
 // Stateless free functions; safe to call concurrently.
 #pragma once
@@ -20,12 +27,17 @@
 
 namespace qdv::svc {
 
+/// Line-protocol version. Bumped whenever the request/response shapes
+/// change incompatibly; the hello greeting pins it per connection.
+inline constexpr unsigned kProtocolVersion = 2;
+
 /// One parsed request line.
 struct WireRequest {
-  enum class Op { kQuery, kStats, kPing, kQuit };
+  enum class Op { kQuery, kStats, kPing, kQuit, kHello };
   Op op = Op::kQuery;
   Request request;            // valid when op == kQuery
   std::size_t ids_limit = 16; // ids listed in the response (limit=N)
+  unsigned hello_version = 0; // v= of a hello line (op == kHello)
 };
 
 /// Parse @p line into @p out. False (with @p error set) on a malformed

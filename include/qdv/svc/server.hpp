@@ -9,6 +9,7 @@
 // POSIX-only (AF_UNIX), like the mmap-backed io layer.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -42,12 +43,20 @@ class SocketServer {
   std::unique_ptr<Impl> impl_;
 };
 
-/// Blocking line-protocol client used by bombard and the tests.
+/// Blocking line-protocol client used by bombard and the tests. All socket
+/// I/O runs full-line loops (EINTR restarts, partial reads/writes resume),
+/// and an optional SO_RCVTIMEO bounds every response wait.
 class SocketClient {
  public:
-  /// Connect to a listening SocketServer; throws std::runtime_error on
-  /// failure (retries briefly while the server is still coming up).
-  explicit SocketClient(const std::filesystem::path& socket_path);
+  /// Connect to a listening SocketServer and perform the `hello v=N`
+  /// version handshake; throws std::runtime_error on failure — including
+  /// a protocol version mismatch, reported with the server's own message
+  /// (retries connecting briefly while the server is still coming up).
+  /// @p receive_timeout > 0 bounds every response wait; a stalled server
+  /// then throws instead of wedging the caller forever.
+  explicit SocketClient(const std::filesystem::path& socket_path,
+                        std::chrono::milliseconds receive_timeout =
+                            std::chrono::milliseconds{0});
   ~SocketClient();
   SocketClient(SocketClient&& other) noexcept;
   SocketClient& operator=(SocketClient&&) = delete;

@@ -1,0 +1,125 @@
+#include "dist/shard.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdv::dist {
+
+std::vector<ShardRange> partition_rows(std::uint64_t nrows,
+                                       std::span<const std::size_t> workers) {
+  std::vector<ShardRange> out;
+  if (workers.empty())
+    throw std::runtime_error("partition_rows: no workers to assign");
+  const std::uint64_t k = workers.size();
+  const std::uint64_t base = nrows / k;
+  const std::uint64_t extra = nrows % k;
+  std::uint64_t begin = 0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t len = base + (i < extra ? 1 : 0);
+    if (len == 0) continue;
+    out.push_back({workers[static_cast<std::size_t>(i)], begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+ShardManifest ShardManifest::build(
+    const std::vector<std::uint64_t>& rows_per_timestep,
+    std::size_t num_workers) {
+  if (num_workers == 0)
+    throw std::runtime_error("shard manifest needs at least one worker");
+  ShardManifest m;
+  m.num_workers_ = num_workers;
+  std::vector<std::size_t> all(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) all[w] = w;
+  m.ranges_.reserve(rows_per_timestep.size());
+  for (const std::uint64_t nrows : rows_per_timestep)
+    m.ranges_.push_back(partition_rows(nrows, all));
+  return m;
+}
+
+const std::vector<ShardRange>& ShardManifest::ranges(std::size_t t) const {
+  if (t >= ranges_.size())
+    throw std::out_of_range("shard manifest: timestep out of range");
+  return ranges_[t];
+}
+
+std::size_t ShardManifest::reassign(std::size_t dead,
+                                    const std::vector<bool>& alive) {
+  std::vector<std::size_t> live;
+  for (std::size_t w = 0; w < alive.size(); ++w)
+    if (alive[w] && w != dead) live.push_back(w);
+  if (live.empty())
+    throw std::runtime_error("shard manifest: no live workers to reassign to");
+  std::size_t moved = 0;
+  for (auto& step : ranges_) {
+    std::vector<ShardRange> next;
+    next.reserve(step.size());
+    for (const ShardRange& r : step) {
+      if (r.worker != dead) {
+        next.push_back(r);
+        continue;
+      }
+      // Split the dead worker's window across the survivors so no single
+      // survivor inherits the whole load.
+      for (ShardRange piece : partition_rows(r.end - r.begin, live)) {
+        piece.begin += r.begin;
+        piece.end += r.begin;
+        next.push_back(piece);
+        ++moved;
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const ShardRange& a, const ShardRange& b) {
+                return a.begin < b.begin;
+              });
+    step = std::move(next);
+  }
+  return moved;
+}
+
+std::string ShardManifest::to_text() const {
+  std::ostringstream out;
+  out << "qdv-shard-manifest v1\n";
+  out << "workers " << num_workers_ << "\n";
+  out << "timesteps " << ranges_.size() << "\n";
+  for (std::size_t t = 0; t < ranges_.size(); ++t)
+    for (const ShardRange& r : ranges_[t])
+      out << "t " << t << " " << r.worker << " " << r.begin << " " << r.end
+          << "\n";
+  return out.str();
+}
+
+ShardManifest ShardManifest::from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "qdv-shard-manifest v1")
+    throw std::runtime_error("not a qdv shard manifest");
+  ShardManifest m;
+  std::string tag;
+  std::size_t timesteps = 0;
+  if (!(in >> tag >> m.num_workers_) || tag != "workers")
+    throw std::runtime_error("shard manifest: bad workers line");
+  if (!(in >> tag >> timesteps) || tag != "timesteps")
+    throw std::runtime_error("shard manifest: bad timesteps line");
+  m.ranges_.resize(timesteps);
+  std::size_t t = 0;
+  ShardRange r;
+  while (in >> tag >> t >> r.worker >> r.begin >> r.end) {
+    if (tag != "t" || t >= timesteps || r.worker >= m.num_workers_ ||
+        r.begin >= r.end)
+      throw std::runtime_error("shard manifest: bad range line");
+    m.ranges_[t].push_back(r);
+  }
+  return m;
+}
+
+void ShardManifest::save(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << to_text();
+}
+
+}  // namespace qdv::dist

@@ -1,0 +1,282 @@
+#include "dist/wire.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace qdv::dist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string text = path.string();
+  if (text.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + text);
+  std::memcpy(addr.sun_path, text.c_str(), text.size() + 1);
+  return addr;
+}
+
+void put_le(std::string& buf, std::uint64_t v, std::size_t nbytes) {
+  for (std::size_t i = 0; i < nbytes; ++i)
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+// 16-byte frame header: magic u32, version u16, type u16, seq u32,
+// payload_bytes u32.
+constexpr std::size_t kHeaderBytes = 16;
+
+void encode_header(std::string& out, MsgType type, std::uint32_t seq,
+                   std::uint32_t payload_bytes) {
+  put_le(out, kWireMagic, 4);
+  put_le(out, kWireVersion, 2);
+  put_le(out, static_cast<std::uint16_t>(type), 2);
+  put_le(out, seq, 4);
+  put_le(out, payload_bytes, 4);
+}
+
+std::uint64_t get_le(const unsigned char* p, std::size_t nbytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < nbytes; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+WireVersionError::WireVersionError(std::uint16_t peer, std::uint16_t ours)
+    : std::runtime_error("wire version mismatch: peer speaks v" +
+                         std::to_string(peer) + ", this build speaks v" +
+                         std::to_string(ours) +
+                         " (rebuild or upgrade the stale side)"),
+      peer_version(peer) {}
+
+void WireWriter::u8(std::uint8_t v) { put_le(buf_, v, 1); }
+void WireWriter::u16(std::uint16_t v) { put_le(buf_, v, 2); }
+void WireWriter::u32(std::uint32_t v) { put_le(buf_, v, 4); }
+void WireWriter::u64(std::uint64_t v) { put_le(buf_, v, 8); }
+
+void WireWriter::f64(double v) {
+  std::uint64_t image = 0;
+  static_assert(sizeof image == sizeof v);
+  std::memcpy(&image, &v, sizeof image);
+  u64(image);
+}
+
+void WireWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.append(v.data(), v.size());
+}
+
+std::uint8_t WireReader::u8() {
+  if (pos_ + 1 > data_.size()) throw std::runtime_error("truncated frame");
+  return static_cast<std::uint8_t>(
+      get_le(reinterpret_cast<const unsigned char*>(data_.data()) + pos_++, 1));
+}
+
+std::uint16_t WireReader::u16() {
+  if (pos_ + 2 > data_.size()) throw std::runtime_error("truncated frame");
+  const auto v = static_cast<std::uint16_t>(
+      get_le(reinterpret_cast<const unsigned char*>(data_.data()) + pos_, 2));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  if (pos_ + 4 > data_.size()) throw std::runtime_error("truncated frame");
+  const auto v = static_cast<std::uint32_t>(
+      get_le(reinterpret_cast<const unsigned char*>(data_.data()) + pos_, 4));
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (pos_ + 8 > data_.size()) throw std::runtime_error("truncated frame");
+  const std::uint64_t v =
+      get_le(reinterpret_cast<const unsigned char*>(data_.data()) + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t image = u64();
+  double v = 0;
+  std::memcpy(&v, &image, sizeof v);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  if (pos_ + n > data_.size()) throw std::runtime_error("truncated frame");
+  std::string v(data_.substr(pos_, n));
+  pos_ += n;
+  return v;
+}
+
+std::string ShardQuery::encode() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(timestep);
+  w.u64(row_begin);
+  w.u64(row_end);
+  w.u64(nxbins);
+  w.u64(nybins);
+  w.str(var_x);
+  w.str(var_y);
+  w.str(query);
+  return w.take();
+}
+
+ShardQuery ShardQuery::decode(std::string_view payload) {
+  WireReader r(payload);
+  ShardQuery q;
+  q.kind = static_cast<ShardKind>(r.u8());
+  q.timestep = r.u64();
+  q.row_begin = r.u64();
+  q.row_end = r.u64();
+  q.nxbins = r.u64();
+  q.nybins = r.u64();
+  q.var_x = r.str();
+  q.var_y = r.str();
+  q.query = r.str();
+  return q;
+}
+
+Channel::Channel(int fd, std::chrono::milliseconds recv_timeout) : fd_(fd) {
+  if (fd_ >= 0 && recv_timeout.count() > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(recv_timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((recv_timeout.count() % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+}
+
+Channel Channel::connect(const std::filesystem::path& socket,
+                         std::chrono::milliseconds connect_timeout,
+                         std::chrono::milliseconds recv_timeout) {
+  const sockaddr_un addr = make_address(socket);
+  const auto deadline =
+      std::chrono::steady_clock::now() + connect_timeout;
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0)
+      return Channel(fd, recv_timeout);
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error("cannot connect to worker at " +
+                               socket.string() + ": " + std::strerror(errno));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+Channel::~Channel() { close(); }
+
+Channel::Channel(Channel&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::send(const Frame& frame) {
+  if (fd_ < 0) throw std::runtime_error("channel not connected");
+  if (frame.payload.size() > kMaxFramePayload)
+    throw std::runtime_error("frame payload too large");
+  std::string out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  encode_header(out, frame.type, frame.seq,
+                static_cast<std::uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      const int err = errno;
+      close();
+      throw std::runtime_error(std::string("channel send failed: ") +
+                               (n < 0 ? std::strerror(err) : "peer closed"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame Channel::recv() {
+  if (fd_ < 0) throw std::runtime_error("channel not connected");
+  // Full-frame loop: EINTR restarts, partial reads accumulate, EAGAIN means
+  // the SO_RCVTIMEO expired.
+  const auto read_exact = [this](char* dst, std::size_t nbytes) {
+    std::size_t got = 0;
+    while (got < nbytes) {
+      const ssize_t n = ::recv(fd_, dst + got, nbytes - got, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        close();
+        throw std::runtime_error("channel receive timed out");
+      }
+      if (n <= 0) {
+        close();
+        throw std::runtime_error(n < 0 ? std::string("channel recv failed: ") +
+                                             std::strerror(errno)
+                                       : "peer closed the channel");
+      }
+      got += static_cast<std::size_t>(n);
+    }
+  };
+
+  unsigned char header[kHeaderBytes];
+  read_exact(reinterpret_cast<char*>(header), kHeaderBytes);
+  const auto magic = static_cast<std::uint32_t>(get_le(header, 4));
+  const auto version = static_cast<std::uint16_t>(get_le(header + 4, 2));
+  const auto type = static_cast<std::uint16_t>(get_le(header + 6, 2));
+  const auto seq = static_cast<std::uint32_t>(get_le(header + 8, 4));
+  const auto payload_bytes = static_cast<std::uint32_t>(get_le(header + 12, 4));
+  if (magic != kWireMagic) {
+    close();
+    throw std::runtime_error("bad frame magic (not a qdv dist peer)");
+  }
+  if (payload_bytes > kMaxFramePayload) {
+    close();
+    throw std::runtime_error("frame payload length corrupt");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.seq = seq;
+  frame.payload.resize(payload_bytes);
+  if (payload_bytes > 0) read_exact(frame.payload.data(), payload_bytes);
+  // The header layout is fixed across versions, so a mismatched frame can
+  // be drained in full: the stream stays synced and the caller may still
+  // send a clear kError reply before giving up.
+  if (version != kWireVersion) throw WireVersionError(version, kWireVersion);
+  return frame;
+}
+
+}  // namespace qdv::dist

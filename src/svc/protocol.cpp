@@ -36,6 +36,24 @@ bool parse_request_line(const std::string& line, WireRequest& out,
     error = "empty request";
     return false;
   }
+  if (op == "hello") {
+    out.op = WireRequest::Op::kHello;
+    std::string token;
+    while (in >> token) {
+      std::size_t n = 0;
+      if (token.rfind("v=", 0) == 0 && parse_size(token.substr(2), n)) {
+        out.hello_version = static_cast<unsigned>(n);
+      } else {
+        error = "bad hello option '" + token + "'";
+        return false;
+      }
+    }
+    if (out.hello_version == 0) {
+      error = "hello needs v=<version>";
+      return false;
+    }
+    return true;
+  }
   if (op == "stats") {
     out.op = WireRequest::Op::kStats;
     return true;
@@ -113,6 +131,10 @@ std::string format_request_line(const WireRequest& wire) {
     case WireRequest::Op::kStats: return "stats";
     case WireRequest::Op::kPing: return "ping";
     case WireRequest::Op::kQuit: return "quit";
+    case WireRequest::Op::kHello:
+      return "hello v=" + std::to_string(wire.hello_version != 0
+                                             ? wire.hello_version
+                                             : kProtocolVersion);
     case WireRequest::Op::kQuery: break;
   }
   const Request& r = wire.request;
@@ -186,6 +208,15 @@ std::string format_stats_line(const ServiceStats& s) {
       << " p50_us=" << static_cast<std::uint64_t>(s.p50_seconds * 1e6)
       << " p95_us=" << static_cast<std::uint64_t>(s.p95_seconds * 1e6)
       << " p99_us=" << static_cast<std::uint64_t>(s.p99_seconds * 1e6);
+  if (s.dist_workers > 0)
+    out << " dist_workers=" << s.dist_workers << " dist_alive=" << s.dist_alive
+        << " dist_queries=" << s.dist_queries
+        << " dist_scatters=" << s.dist_scatters
+        << " dist_gathers=" << s.dist_gathers
+        << " dist_retries=" << s.dist_retries
+        << " dist_reshards=" << s.dist_reshards
+        << " dist_deaths=" << s.dist_deaths
+        << " dist_fallbacks=" << s.dist_local_fallbacks;
   return out.str();
 }
 

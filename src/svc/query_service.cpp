@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/selection.hpp"
+#include "dist/coordinator.hpp"
 #include "io/memory_budget.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -42,6 +43,34 @@ std::uint64_t histogram1d_bytes(const Histogram1D& h) {
 
 std::uint64_t histogram2d_bytes(const Histogram2D& h) {
   return (h.counts.size() + h.xbins.edges().size() + h.ybins.edges().size()) * 8;
+}
+
+/// True when @p r decomposes into shard partials that merge bit-identically
+/// to local execution: counts and ids always do; histograms only under
+/// uniform binning (adaptive bins depend on the selected value
+/// distribution, which no shard sees in full). Summaries stay local (their
+/// floating-point moments are not order-independent).
+bool distributable(const Request& r) {
+  switch (r.kind) {
+    case RequestKind::kCount:
+    case RequestKind::kIds:
+      return true;
+    case RequestKind::kHistogram1D:
+    case RequestKind::kHistogram2D:
+      return r.binning == BinningMode::kUniform;
+    case RequestKind::kSummary:
+      return false;
+  }
+  return false;
+}
+
+dist::ShardKind shard_kind(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kIds: return dist::ShardKind::kBits;
+    case RequestKind::kHistogram1D: return dist::ShardKind::kHist1;
+    case RequestKind::kHistogram2D: return dist::ShardKind::kHist2;
+    default: return dist::ShardKind::kCount;
+  }
 }
 
 ResultPtr make_rejection(Status status, std::string message) {
@@ -121,6 +150,11 @@ struct QueryService::Impl {
   std::size_t active_workers = 0;
   std::uint64_t exec_ordinal = 0;  // dispatch order, exposed as Result::sequence
 
+  // Distributed execution (optional). The handle is read per flight under
+  // the mutex; the coordinator itself is internally synchronized.
+  std::shared_ptr<dist::Coordinator> distributor_handle;
+  std::uint64_t dist_local_fallbacks = 0;
+
   // Cumulative counters (the queue_depth/inflight/latency fields of the
   // public struct are derived in stats()).
   ServiceStats counters;
@@ -184,10 +218,75 @@ struct QueryService::Impl {
     return nullptr;
   }
 
+  /// Distributed twin of the local evaluation switch. True when the
+  /// coordinator produced @p r (a merged result or a remote query error);
+  /// false to fall back to the local engine — the caller is still owed an
+  /// answer when every worker is gone.
+  bool run_distributed(const Flight& flight, dist::Coordinator& coordinator,
+                       Result& r) {
+    const Request& req = flight.request;
+    try {
+      const std::string query_text =
+          flight.selection->selects_all()
+              ? std::string()
+              : flight.selection->query()->to_string();
+      dist::GatherResult g =
+          coordinator.execute(shard_kind(req.kind), req.timestep, query_text,
+                              req.var_x, req.var_y, req.nxbins, req.nybins);
+      if (!g.ok) {
+        r.status = Status::kError;
+        r.error = g.error;
+        return true;
+      }
+      switch (req.kind) {
+        case RequestKind::kCount:
+          r.count = g.count;
+          r.payload_bytes = 8;
+          break;
+        case RequestKind::kIds:
+          r.ids = std::move(g.ids);
+          r.count = r.ids.size();
+          r.payload_bytes = r.ids.size() * 8;
+          break;
+        case RequestKind::kHistogram1D:
+          r.hist1d = std::move(g.hist1d);
+          r.count = g.count;
+          r.payload_bytes = histogram1d_bytes(r.hist1d);
+          break;
+        case RequestKind::kHistogram2D:
+          r.hist2d = std::move(g.hist2d);
+          r.count = g.count;
+          r.payload_bytes = histogram2d_bytes(r.hist2d);
+          break;
+        case RequestKind::kSummary:
+          return false;  // never distributed (see distributable())
+      }
+      return true;
+    } catch (const std::exception&) {
+      // NoLiveWorkers, or any coordinator-side infrastructure failure:
+      // answer from the local engine instead.
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    ++dist_local_fallbacks;
+    return false;
+  }
+
   std::shared_ptr<Result> run_flight(const Flight& flight) {
     auto r = std::make_shared<Result>();
     r->kind = flight.request.kind;
     const Clock::time_point start = Clock::now();
+
+    std::shared_ptr<dist::Coordinator> coordinator;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      coordinator = distributor_handle;
+    }
+    if (coordinator && distributable(flight.request) &&
+        run_distributed(flight, *coordinator, *r)) {
+      r->exec_seconds = seconds_since(start, Clock::now());
+      return r;
+    }
+
     try {
       const core::Selection& sel = *flight.selection;
       const Request& req = flight.request;
@@ -460,6 +559,17 @@ void QueryService::drain() {
   });
 }
 
+void QueryService::set_distributor(
+    std::shared_ptr<dist::Coordinator> coordinator) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->distributor_handle = std::move(coordinator);
+}
+
+std::shared_ptr<dist::Coordinator> QueryService::distributor() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->distributor_handle;
+}
+
 ServiceStats QueryService::stats() const {
   std::unique_lock<std::mutex> lock(impl_->mutex);
   ServiceStats s = impl_->counters;
@@ -467,8 +577,27 @@ ServiceStats QueryService::stats() const {
   s.inflight = impl_->executing;
   s.open_sessions = impl_->sessions.size();
   s.max_seconds = impl_->latency_max;
+  s.dist_local_fallbacks = impl_->dist_local_fallbacks;
+  const std::shared_ptr<dist::Coordinator> coordinator =
+      impl_->distributor_handle;
   std::vector<double> sorted = impl_->latencies;
   lock.unlock();
+  if (coordinator) {
+    const dist::DistStats d = coordinator->stats();
+    s.dist_workers = d.workers;
+    s.dist_alive = d.alive;
+    s.dist_queries = d.queries;
+    s.dist_scatters = d.scatters;
+    s.dist_gathers = d.gathers;
+    s.dist_retries = d.retries;
+    s.dist_reshards = d.reshards;
+    s.dist_deaths = d.deaths;
+    s.dist_remote_errors = d.remote_errors;
+    s.dist_per_worker.reserve(d.per_worker.size());
+    for (const dist::WorkerCounters& w : d.per_worker)
+      s.dist_per_worker.push_back(
+          {w.name, w.alive, w.requests, w.failures, w.retries});
+  }
   std::sort(sorted.begin(), sorted.end());
   s.p50_seconds = sorted_percentile(sorted, 0.50);
   s.p95_seconds = sorted_percentile(sorted, 0.95);

@@ -105,13 +105,43 @@ struct SocketServer::Impl {
     const QueryService::SessionId session = service.open_session("socket");
     std::string buffer;
     std::string line;
+    bool greeted = false;
     while (read_line(fd, buffer, line)) {
       if (line.empty()) continue;
       WireRequest wire;
       std::string error;
       std::string response;
-      if (!parse_request_line(line, wire, error)) {
+      const bool parsed = parse_request_line(line, wire, error);
+      // Version gate: the first line must be a matching `hello` greeting,
+      // so a stale client fails loudly and immediately instead of
+      // misparsing responses mid-session.
+      if (!greeted) {
+        if (parsed && wire.op == WireRequest::Op::kHello &&
+            wire.hello_version == kProtocolVersion) {
+          greeted = true;
+          write_line(fd, "ok qdv v=" + std::to_string(kProtocolVersion));
+          continue;
+        }
+        if (parsed && wire.op == WireRequest::Op::kHello) {
+          write_line(fd, "err protocol version mismatch: server speaks v" +
+                             std::to_string(kProtocolVersion) +
+                             ", client greeted with v" +
+                             std::to_string(wire.hello_version) +
+                             " (upgrade the older side)");
+        } else {
+          write_line(fd,
+                     "err protocol version mismatch: expected 'hello v=" +
+                         std::to_string(kProtocolVersion) +
+                         "' greeting before '" + line +
+                         "' (stale client, or hand-driven session missing "
+                         "the greeting)");
+        }
+        break;
+      }
+      if (!parsed) {
         response = "err " + error;
+      } else if (wire.op == WireRequest::Op::kHello) {
+        response = "ok qdv v=" + std::to_string(kProtocolVersion);
       } else if (wire.op == WireRequest::Op::kPing) {
         response = "ok pong";
       } else if (wire.op == WireRequest::Op::kQuit) {
@@ -222,19 +252,36 @@ std::uint64_t SocketServer::connections() const {
   return impl_->accepted;
 }
 
-SocketClient::SocketClient(const std::filesystem::path& socket_path) {
+SocketClient::SocketClient(const std::filesystem::path& socket_path,
+                           std::chrono::milliseconds receive_timeout) {
   const sockaddr_un addr = make_address(socket_path);
   // The server may still be between bind() and listen(); retry briefly.
-  for (int attempt = 0; attempt < 50; ++attempt) {
+  for (int attempt = 0; fd_ < 0 && attempt < 50; ++attempt) {
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) throw_errno("socket");
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0)
-      return;
-    ::close(fd_);
-    fd_ = -1;
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
   }
-  throw std::runtime_error("cannot connect to " + socket_path.string());
+  if (fd_ < 0) throw std::runtime_error("cannot connect to " + socket_path.string());
+  if (receive_timeout.count() > 0) {
+    // SO_RCVTIMEO: a stalled or wedged server surfaces as a clear timeout
+    // error on this client instead of blocking it forever.
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(receive_timeout.count() / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((receive_timeout.count() % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  // Version handshake: fail construction with the server's own message on
+  // a mismatch.
+  const std::string reply =
+      request("hello v=" + std::to_string(kProtocolVersion));
+  std::string body;
+  if (!parse_response_line(reply, body))
+    throw std::runtime_error("server rejected handshake: " + body);
 }
 
 SocketClient::~SocketClient() {
@@ -250,8 +297,11 @@ std::string SocketClient::request(const std::string& line) {
   if (fd_ < 0) throw std::runtime_error("client not connected");
   if (!write_line(fd_, line)) throw std::runtime_error("connection lost (send)");
   std::string response;
-  if (!read_line(fd_, buffer_, response))
+  if (!read_line(fd_, buffer_, response)) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw std::runtime_error("receive timed out (server stalled?)");
     throw std::runtime_error("connection lost (recv)");
+  }
   return response;
 }
 

@@ -1,4 +1,5 @@
-// Property-based differential fuzzer for the query pipeline. Fixed-seed
+// Property-based differential fuzzer for the query pipeline (random AST /
+// dataset machinery shared with test_dist via fuzz_common.hpp). Fixed-seed
 // random ASTs over a random table must (1) round-trip exactly through
 // parse(to_string(q)) — raw and canonicalized — and (2) produce
 // bit-identical selections through the planner/index path and a naive
@@ -9,169 +10,27 @@
 //
 // ctest runs a reduced iteration count; set QDV_FUZZ_ITERS for a deep run.
 #include <cstdint>
-#include <cstdlib>
-#include <fstream>
 #include <string>
-#include <vector>
 
-#include "bitmap/bitmap_index.hpp"
 #include "core/selection.hpp"
-#include "io/dataset.hpp"
+#include "fuzz_common.hpp"
 #include "test_common.hpp"
 
 namespace {
 
 using namespace qdv;
-
-std::uint64_t next(std::uint64_t& state) {
-  state ^= state << 13;
-  state ^= state >> 7;
-  state ^= state << 17;
-  return state;
-}
-
-double uniform(std::uint64_t& state, double lo, double hi) {
-  return lo + (hi - lo) * (static_cast<double>(next(state) % 1000003) / 1000003.0);
-}
-
-std::size_t iterations() {
-  if (const char* env = std::getenv("QDV_FUZZ_ITERS")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return 60;  // reduced count for tier-1; deep runs override
-}
-
-const std::vector<std::string>& fuzz_variables() {
-  static const std::vector<std::string> vars = {"a", "b", "c"};
-  return vars;
-}
-
-template <typename T>
-void write_binary(const std::filesystem::path& file, const std::vector<T>& data) {
-  std::ofstream out(file, std::ios::binary);
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(T)));
-  CHECK(out.good());
-}
-
-/// Random single-variable column: each variable gets a different shape so
-/// the fuzz queries cross uniform, clustered (duplicate-heavy, so `==`
-/// matches rows), and skewed positive data.
-std::vector<double> random_column(const std::string& var, std::size_t rows,
-                                  std::uint64_t& state) {
-  std::vector<double> values(rows);
-  for (double& v : values) {
-    if (var == "a") {
-      v = uniform(state, -100.0, 100.0);
-    } else if (var == "b") {
-      v = 0.5 * static_cast<double>(next(state) % 41) - 10.0;  // 0.5 grid
-    } else {
-      const double u = uniform(state, 0.0, 10.0);
-      v = u * u * u;  // skewed, [0, 1000]
-    }
-  }
-  return values;
-}
-
-/// Write a complete random dataset (columns + bitmap/id indices + meta +
-/// manifest) the io layer can open in either load mode.
-std::filesystem::path write_random_dataset(const std::string& name,
-                                           std::size_t timesteps,
-                                           std::size_t rows, std::uint64_t seed,
-                                           std::size_t index_bins) {
-  const std::filesystem::path dir = qdv::test::scratch_dir(name);
-  std::uint64_t state = seed | 1;
-  const auto& vars = fuzz_variables();
-  std::vector<std::pair<double, double>> global(
-      vars.size(), {1e300, -1e300});
-  for (std::size_t t = 0; t < timesteps; ++t) {
-    const std::filesystem::path step = dir / io::step_dir_name(t);
-    std::filesystem::create_directories(step);
-    std::ofstream meta(step / "meta.txt");
-    meta.precision(17);
-    meta << "rows " << rows << "\n";
-    for (std::size_t v = 0; v < vars.size(); ++v) {
-      const std::vector<double> column = random_column(vars[v], rows, state);
-      double lo = column.front(), hi = column.front();
-      for (const double x : column) {
-        lo = std::min(lo, x);
-        hi = std::max(hi, x);
-      }
-      meta << "domain " << vars[v] << ' ' << lo << ' ' << hi << "\n";
-      global[v].first = std::min(global[v].first, lo);
-      global[v].second = std::max(global[v].second, hi);
-      write_binary(step / (vars[v] + ".f64"), column);
-      const BitmapIndex index = BitmapIndex::build(
-          column, make_uniform_bins(lo, hi > lo ? hi : lo + 1.0, index_bins));
-      std::ofstream out(step / (vars[v] + ".bmi"), std::ios::binary);
-      index.save(out);
-    }
-    // Shuffled unique ids so id lookups exercise real permutations.
-    std::vector<std::uint64_t> ids(rows);
-    for (std::size_t i = 0; i < rows; ++i) ids[i] = 1000 + i;
-    for (std::size_t i = rows; i > 1; --i)
-      std::swap(ids[i - 1], ids[next(state) % i]);
-    write_binary(step / "id.u64", ids);
-    const IdIndex id_index = IdIndex::build(ids);
-    std::ofstream out(step / "id.idi", std::ios::binary);
-    id_index.save(out);
-  }
-  std::ofstream manifest(dir / io::kManifestName);
-  manifest.precision(17);
-  manifest << "qdv_dataset 1\n";
-  manifest << "timesteps " << timesteps << "\n";
-  manifest << "variables";
-  for (const auto& v : vars) manifest << ' ' << v;
-  manifest << "\n";
-  for (std::size_t v = 0; v < vars.size(); ++v)
-    manifest << "domain " << vars[v] << ' ' << global[v].first << ' '
-             << global[v].second << "\n";
-  return dir;
-}
-
-/// Random comparison leaf. Values mostly land inside the variable's domain
-/// (interesting selectivities), sometimes outside (empty / full answers),
-/// and for the clustered variable often exactly on a stored value so `==`
-/// and boundary comparisons hit real rows.
-QueryPtr random_leaf(std::uint64_t& state) {
-  const auto& vars = fuzz_variables();
-  const std::string& var = vars[next(state) % vars.size()];
-  static constexpr CompareOp kOps[] = {CompareOp::kLt, CompareOp::kLe,
-                                       CompareOp::kGt, CompareOp::kGe,
-                                       CompareOp::kEq};
-  const CompareOp op = kOps[next(state) % 5];
-  double value = 0.0;
-  if (var == "a") {
-    value = uniform(state, -120.0, 120.0);
-  } else if (var == "b") {
-    value = 0.5 * static_cast<double>(next(state) % 45) - 11.0;  // on-grid
-  } else {
-    value = uniform(state, -10.0, 1100.0);
-  }
-  return Query::compare(var, op, value);
-}
-
-QueryPtr random_query(std::uint64_t& state, std::size_t depth) {
-  const std::uint64_t r = next(state) % 100;
-  if (depth == 0 || r < 50) return random_leaf(state);
-  if (r < 72) return Query::land(random_query(state, depth - 1),
-                                 random_query(state, depth - 1));
-  if (r < 92) return Query::lor(random_query(state, depth - 1),
-                                random_query(state, depth - 1));
-  return Query::lnot(random_query(state, depth - 1));
-}
+namespace fuzz = qdv::test::fuzz;
 
 void test_round_trip_and_plan_vs_scan() {
   const std::filesystem::path dir =
-      write_random_dataset("fuzz_query", /*timesteps=*/1, /*rows=*/500,
-                           /*seed=*/0x5eed, /*index_bins=*/32);
+      fuzz::write_random_dataset("fuzz_query", /*timesteps=*/1, /*rows=*/500,
+                                 /*seed=*/0x5eed, /*index_bins=*/32);
   const core::Engine engine = core::Engine::open(dir);
   const io::TimestepTable& table = engine.dataset().table(0);
   std::uint64_t state = 0xf22dull;
-  const std::size_t iters = iterations();
+  const std::size_t iters = fuzz::iterations();
   for (std::size_t i = 0; i < iters; ++i) {
-    const QueryPtr q = random_query(state, 1 + next(state) % 3);
+    const QueryPtr q = fuzz::random_query(state, 1 + fuzz::next(state) % 3);
 
     // Exact text round-trip, raw and canonicalized.
     const std::string text = q->to_string();
@@ -192,21 +51,21 @@ void test_round_trip_and_plan_vs_scan() {
 }
 
 void test_out_of_core_differential() {
-  const std::filesystem::path dir =
-      write_random_dataset("fuzz_outofcore", /*timesteps=*/3, /*rows=*/400,
-                           /*seed=*/0xacedu, /*index_bins=*/24);
+  const std::filesystem::path dir = fuzz::write_random_dataset(
+      "fuzz_outofcore", /*timesteps=*/3, /*rows=*/400,
+      /*seed=*/0xacedu, /*index_bins=*/24);
   io::OpenOptions eager_options;
   eager_options.mode = io::LoadMode::kEager;
   const core::Engine eager{io::Dataset::open(dir, eager_options)};
 
   std::uint64_t state = 0xb1e55ull;
   io::OpenOptions lazy_options;  // kLazy: mmap + SegmentedBitmapIndex
-  lazy_options.budget_bytes = 2048 + next(state) % 8192;
+  lazy_options.budget_bytes = 2048 + fuzz::next(state) % 8192;
   core::Engine lazy{io::Dataset::open(dir, lazy_options)};
 
-  const std::size_t iters = iterations();
+  const std::size_t iters = fuzz::iterations();
   for (std::size_t i = 0; i < iters; ++i) {
-    const QueryPtr q = random_query(state, 1 + next(state) % 3);
+    const QueryPtr q = fuzz::random_query(state, 1 + fuzz::next(state) % 3);
     for (std::size_t t = 0; t < 3; ++t) {
       const auto expect = eager.select(q).bits(t)->to_positions();
       const auto got = lazy.select(q).bits(t)->to_positions();
@@ -215,7 +74,7 @@ void test_out_of_core_differential() {
     // Keep moving the budget mid-stream so evictions interleave
     // with decodes rather than only happening between queries.
     if (i % 5 == 4)
-      lazy.set_memory_budget(1024 + next(state) % 16384);
+      lazy.set_memory_budget(1024 + fuzz::next(state) % 16384);
   }
   // The whole point: answers stayed identical while the lazy engine was
   // actually evicting columns/segments under budget pressure.

@@ -3,8 +3,13 @@
 // reuse, priority and per-client fairness dispatch order (observed through
 // Result::sequence while the pool is gated), session byte budgets, the
 // line protocol round-trip, and the unix-socket server end-to-end.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -258,6 +263,7 @@ void test_session_byte_budget() {
 
 void test_protocol_round_trip() {
   const char* lines[] = {
+      "hello v=2",
       "count t=3 q=px > 1e9 && y > 0",
       "ids t=0 limit=5 q=px > 2e9",
       "hist1 t=2 x=px bins=32 q=y > 0",
@@ -284,6 +290,78 @@ void test_protocol_round_trip() {
   CHECK(!svc::parse_request_line("frobnicate t=1", wire, error));
   CHECK(!svc::parse_request_line("", wire, error));
   CHECK(!svc::parse_request_line("count bogus", wire, error));
+
+  // hello parses its version and rejects malformed greetings.
+  CHECK(svc::parse_request_line("hello v=7", wire, error));
+  CHECK(wire.op == svc::WireRequest::Op::kHello);
+  CHECK_EQ(wire.hello_version, 7u);
+  CHECK(!svc::parse_request_line("hello", wire, error));
+  CHECK(!svc::parse_request_line("hello v=x", wire, error));
+  CHECK(!svc::parse_request_line("hello bogus=1", wire, error));
+}
+
+/// A hand-driven socket session (no SocketClient, so no automatic
+/// handshake): the server must reject a wrong-version hello and a missing
+/// greeting with explicit `err protocol version mismatch` lines, while a
+/// well-greeted session proceeds normally.
+void test_protocol_version_handshake() {
+  svc::QueryService service{core::Engine::open(dataset_dir())};
+  svc::SocketServer server(
+      service, qdv::test::scratch_dir("service_hello") / "qdv.sock");
+  server.start();
+
+  const auto raw_session = [&](const std::string& first_line) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = server.socket_path().string();
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = -1;
+    for (int attempt = 0; fd < 0 && attempt < 100; ++attempt) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      CHECK(fd >= 0);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) != 0) {
+        ::close(fd);
+        fd = -1;
+        ::usleep(10000);
+      }
+    }
+    CHECK(fd >= 0);
+    const std::string out = first_line + "\n";
+    CHECK(::send(fd, out.data(), out.size(), 0) ==
+          static_cast<ssize_t>(out.size()));
+    std::string reply;
+    char ch = 0;
+    while (reply.find('\n') == std::string::npos &&
+           ::recv(fd, &ch, 1, 0) == 1)
+      reply.push_back(ch);
+    ::close(fd);
+    return reply;
+  };
+
+  // Stale client: wrong version in the greeting.
+  const std::string stale = raw_session("hello v=1");
+  CHECK(stale.find("err protocol version mismatch") == 0u);
+  CHECK(stale.find("v1") != std::string::npos);
+  CHECK(stale.find("v" + std::to_string(svc::kProtocolVersion)) !=
+        std::string::npos);
+
+  // Pre-versioning client: first line is not a greeting at all.
+  const std::string ungreeted = raw_session("ping");
+  CHECK(ungreeted.find("err protocol version mismatch") == 0u);
+  CHECK(ungreeted.find("hello v=" + std::to_string(svc::kProtocolVersion)) !=
+        std::string::npos);
+
+  // Matching greeting: answered ok, and the session is fully usable —
+  // including a redundant mid-session hello.
+  const std::string greeted = raw_session("hello v=" +
+                                          std::to_string(svc::kProtocolVersion));
+  CHECK_EQ(greeted, "ok qdv v=" + std::to_string(svc::kProtocolVersion) + "\n");
+  svc::SocketClient client(server.socket_path());  // auto-handshake
+  CHECK_EQ(client.request("ping"), "ok pong");
+  CHECK_EQ(client.request("hello v=" + std::to_string(svc::kProtocolVersion)),
+           "ok qdv v=" + std::to_string(svc::kProtocolVersion));
+  server.stop();
 }
 
 void test_socket_server_end_to_end() {
@@ -333,6 +411,7 @@ int main() {
   test_priority_and_fairness_order();
   test_session_byte_budget();
   test_protocol_round_trip();
+  test_protocol_version_handshake();
   test_socket_server_end_to_end();
   return qdv::test::finish("test_service");
 }
