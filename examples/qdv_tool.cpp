@@ -2,7 +2,7 @@
 //
 // Subcommands:
 //   generate <dir> [--preset 2d|3d|bench] [--particles N] [--timesteps N]
-//            [--seed S] [--index-bins N]
+//            [--seed S] [--index-bins N] [--no-pyramids] [--pair-bins N]
 //   info     <dir>
 //   query    <dir> -t <timestep> -q "<query>" [--scan] [--eager]
 //            [--budget <MiB>] [--count-only] [--stats]
@@ -19,6 +19,7 @@
 //   worker   <dir> --socket <path>
 //   bombard  <dir> [--socket <path>] [--workers N] [--clients N]
 //            [--requests M] [--seed S] [--dup F] [--json <file>]
+//            [--scenario mixed|zoom] [--bins N]
 #include <unistd.h>
 
 #include <algorithm>
@@ -33,8 +34,10 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "agg/pyramid.hpp"
 #include "core/session.hpp"
 #include "core/statistics.hpp"
 #include "dist/coordinator.hpp"
@@ -115,6 +118,9 @@ int cmd_generate(const std::string& dir, const Args& args) {
     cfg.num_timesteps = std::stoull(*t);
   io::IndexConfig index_config;
   index_config.nbins = args.size_option("--index-bins", 1024);
+  if (args.flag("--no-pyramids")) index_config.build_pyramids = false;
+  index_config.pyramid_pair_bins =
+      args.size_option("--pair-bins", index_config.pyramid_pair_bins);
   const std::uint64_t bytes = sim::generate_dataset(cfg, dir, index_config);
   std::cout << "wrote " << cfg.num_timesteps << " timesteps, " << (bytes >> 20)
             << " MiB (data + indices) to " << dir << "\n";
@@ -458,12 +464,203 @@ class BombardWorkload {
   std::vector<svc::WireRequest> hot_;
 };
 
+/// Seeded zoom/pan workload (--scenario zoom): viewport histograms over
+/// variables that carry 1D pyramids, plus a slice conditioned on the pair
+/// partner with grid-aligned marginal intervals (served from the pair
+/// pyramid), 2D zooms, and ~10% deep zooms whose viewport is too narrow for
+/// the requested bins even at the leaf level — the exact-fallback traffic.
+/// Viewports are drawn per timestep from that timestep's pyramid domain, so
+/// a request is servable by construction unless deliberately deep.
+class ZoomWorkload {
+ public:
+  ZoomWorkload(const io::Dataset& dataset, std::uint64_t seed, std::size_t bins,
+               double dup_fraction, std::size_t hot_pool)
+      : bins_(bins), dup_fraction_(dup_fraction) {
+    for (std::size_t t = 0; t < dataset.num_timesteps(); ++t) {
+      Step step;
+      step.t = t;
+      for (const char* var : {"px", "x", "y"}) {
+        const auto pyr = dataset.table(t).pyramid1d(var);
+        if (!pyr) continue;
+        step.vars.push_back({var, pyr->leaf_edges(0).front(),
+                             pyr->leaf_edges(0).back()});
+      }
+      if (const auto pair = dataset.table(t).pyramid2d("x", "px")) {
+        step.pair = true;
+        step.x_lo = pair->leaf_edges(0).front();
+        step.x_hi = pair->leaf_edges(0).back();
+        step.cond_edges = pair->leaf_edges(1);  // px axis of the pair grid
+      }
+      if (!step.vars.empty()) steps_.push_back(std::move(step));
+    }
+    if (steps_.empty())
+      throw std::runtime_error(
+          "zoom scenario needs .pyr pyramids (regenerate without "
+          "--no-pyramids)");
+    // Hot viewports shared by every client: pan/zoom sessions revisit the
+    // same snapped windows, which is what the level-tagged result cache is
+    // for. Hot entries are always servable (no deep zooms).
+    std::uint64_t state = seed * 2654435761u + 5;
+    for (std::size_t i = 0; i < hot_pool; ++i)
+      hot_.push_back(make_request(state, /*allow_deep=*/false));
+  }
+
+  svc::WireRequest request(std::uint64_t client_seed, std::size_t i) const {
+    std::uint64_t state = client_seed * 1099511628211ull + i * 2654435761u + 29;
+    if (!hot_.empty() &&
+        static_cast<double>(next(state) % 1000) < dup_fraction_ * 1000.0)
+      return hot_[next(state) % hot_.size()];
+    return make_request(state, /*allow_deep=*/true);
+  }
+
+ private:
+  struct Var {
+    std::string name;
+    double lo = 0.0, hi = 0.0;
+  };
+  struct Step {
+    std::size_t t = 0;
+    std::vector<Var> vars;
+    bool pair = false;
+    double x_lo = 0.0, x_hi = 0.0;
+    std::vector<double> cond_edges;
+  };
+
+  static std::uint64_t next(std::uint64_t& state) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+
+  svc::WireRequest make_request(std::uint64_t& state, bool allow_deep) const {
+    const Step& step = steps_[next(state) % steps_.size()];
+    svc::WireRequest wire;
+    svc::Request& r = wire.request;
+    r.timestep = step.t;
+    r.nxbins = r.nybins = bins_;
+    const auto frac = [&] {
+      return static_cast<double>(next(state) % 4096) / 4096.0;
+    };
+    // Quantize viewports to a modest lattice: repeated snapped windows are
+    // what exercises the level-tagged result cache.
+    const auto window = [&](double lo, double hi, double span_frac,
+                            double& out_lo, double& out_hi) {
+      const double span = (hi - lo) * span_frac;
+      out_lo = lo + frac() * ((hi - lo) - span);
+      out_hi = out_lo + span;
+    };
+    const std::uint64_t roll = next(state) % 20;
+    if (roll < 13 || (roll >= 19 && !allow_deep) ||
+        (!step.pair && roll < 19)) {
+      // Plain servable 1D zoom, span 15%..90% of the domain.
+      const Var& v = step.vars[next(state) % step.vars.size()];
+      r.kind = svc::RequestKind::kZoom1D;
+      r.var_x = v.name;
+      window(v.lo, v.hi, 0.15 + 0.75 * frac(), r.view_lo_x, r.view_hi_x);
+    } else if (roll < 16) {
+      // Zoom on x conditioned on px, interval aligned to the pair pyramid's
+      // px leaf edges (never the top edge: the closed last leaf bin makes a
+      // `< domain_hi` condition unservable).
+      r.kind = svc::RequestKind::kZoom1D;
+      r.var_x = "x";
+      window(step.x_lo, step.x_hi, 0.2 + 0.7 * frac(), r.view_lo_x,
+             r.view_hi_x);
+      const std::size_t n = step.cond_edges.size();
+      const std::size_t i0 = next(state) % (n / 2);
+      const std::size_t i1 = i0 + 1 + next(state) % (n - 2 - i0);
+      r.query = "px >= " + qdv::format_double(step.cond_edges[i0]) +
+                " && px < " + qdv::format_double(step.cond_edges[i1]);
+    } else if (roll < 19) {
+      // Unconditioned 2D zoom over the pair plane.
+      r.kind = svc::RequestKind::kZoom2D;
+      r.var_x = "x";
+      r.var_y = "px";
+      window(step.x_lo, step.x_hi, 0.2 + 0.7 * frac(), r.view_lo_x,
+             r.view_hi_x);
+      window(step.cond_edges.front(), step.cond_edges.back(),
+             0.2 + 0.7 * frac(), r.view_lo_y, r.view_hi_y);
+    } else {
+      // Deep zoom: ~1% span cannot carry bins_ leaf bins -> exact fallback.
+      const Var& v = step.vars[next(state) % step.vars.size()];
+      r.kind = svc::RequestKind::kZoom1D;
+      r.var_x = v.name;
+      window(v.lo, v.hi, 0.01, r.view_lo_x, r.view_hi_x);
+    }
+    r.priority = svc::Priority::kInteractive;
+    return wire;
+  }
+
+  std::size_t bins_;
+  double dup_fraction_;
+  std::vector<Step> steps_;
+  std::vector<svc::WireRequest> hot_;
+};
+
+/// Untimed differential gate of the zoom scenario: every distinct request
+/// is answered twice on a direct local engine — pyramid-auto and forced
+/// exact — and must match bit for bit (counts and bin edges) before any
+/// latency is measured. Returns the number of mismatches.
+std::size_t verify_zoom_requests(
+    const std::string& dir,
+    const std::vector<svc::WireRequest>& distinct, std::size_t& served,
+    std::size_t& fallback) {
+  const core::Engine direct = core::Engine::open(dir);
+  std::size_t failures = 0;
+  for (const svc::WireRequest& wire : distinct) {
+    const svc::Request& r = wire.request;
+    const core::Selection sel =
+        r.query.empty() ? direct.all() : direct.select(r.query);
+    bool ok = true;
+    bool pyramid = false;
+    if (r.kind == svc::RequestKind::kZoom1D) {
+      const core::Zoom1DResult a = sel.zoom_histogram1d(
+          r.timestep, r.var_x, r.view_lo_x, r.view_hi_x, r.nxbins,
+          core::ZoomMode::kAuto);
+      const core::Zoom1DResult e = sel.zoom_histogram1d(
+          r.timestep, r.var_x, r.view_lo_x, r.view_hi_x, r.nxbins,
+          core::ZoomMode::kExact);
+      ok = a.hist.counts == e.hist.counts &&
+           a.hist.bins.edges() == e.hist.bins.edges();
+      pyramid = a.pyramid;
+    } else {
+      const core::Zoom2DResult a = sel.zoom_histogram2d(
+          r.timestep, r.var_x, r.var_y, r.view_lo_x, r.view_hi_x, r.view_lo_y,
+          r.view_hi_y, r.nxbins, r.nybins, core::ZoomMode::kAuto);
+      const core::Zoom2DResult e = sel.zoom_histogram2d(
+          r.timestep, r.var_x, r.var_y, r.view_lo_x, r.view_hi_x, r.view_lo_y,
+          r.view_hi_y, r.nxbins, r.nybins, core::ZoomMode::kExact);
+      ok = a.hist.counts == e.hist.counts &&
+           a.hist.xbins.edges() == e.hist.xbins.edges() &&
+           a.hist.ybins.edges() == e.hist.ybins.edges();
+      pyramid = a.pyramid;
+    }
+    if (!ok) {
+      ++failures;
+      std::cerr << "zoom verify mismatch: "
+                << svc::format_request_line(wire) << "\n";
+    }
+    if (pyramid)
+      ++served;
+    else
+      ++fallback;
+  }
+  return failures;
+}
+
 int cmd_bombard(const std::string& dir, const Args& args) {
   const std::size_t clients = args.size_option("--clients", 8);
   const std::size_t requests = args.size_option("--requests", 200);
   const std::uint64_t seed = args.size_option("--seed", 42);
   const double dup = args.double_option("--dup", 0.5);
   const std::size_t hot_pool = args.size_option("--hot", 8);
+  const std::string scenario = args.option_or("--scenario", "mixed");
+  const std::size_t zoom_bins = args.size_option("--bins", 64);
+  if (scenario != "mixed" && scenario != "zoom") {
+    std::cerr << "bombard: unknown --scenario '" << scenario
+              << "' (use mixed | zoom)\n";
+    return 2;
+  }
 
   // Self-host unless pointed at an external server: spin up the service and
   // a socket in-process so one command measures the full wire path.
@@ -489,31 +686,81 @@ int cmd_bombard(const std::string& dir, const Args& args) {
     return 2;
   }
 
-  const BombardWorkload workload(io::Dataset::open(dir), seed, dup, hot_pool);
+  // Materialize the whole request matrix up front: the zoom scenario's
+  // verify and exact-baseline phases must see exactly the lines the timed
+  // phase will send.
+  std::vector<std::vector<std::string>> lines(clients);
+  std::vector<svc::WireRequest> distinct;  // zoom scenario only
+  {
+    const io::Dataset ds = io::Dataset::open(dir);
+    std::unordered_set<std::string> seen;
+    if (scenario == "zoom") {
+      const ZoomWorkload workload(ds, seed, zoom_bins, dup, hot_pool);
+      for (std::size_t c = 0; c < clients; ++c)
+        for (std::size_t i = 0; i < requests; ++i) {
+          const svc::WireRequest wire = workload.request(seed + c + 1, i);
+          lines[c].push_back(svc::format_request_line(wire));
+          if (seen.insert(lines[c].back()).second) distinct.push_back(wire);
+        }
+    } else {
+      const BombardWorkload workload(ds, seed, dup, hot_pool);
+      for (std::size_t c = 0; c < clients; ++c)
+        for (std::size_t i = 0; i < requests; ++i)
+          lines[c].push_back(
+              svc::format_request_line(workload.request(seed + c + 1, i)));
+    }
+  }
+
+  // Phase A (zoom): differential verification BEFORE any timing — a
+  // mismatch makes the whole run exit nonzero, so no benchmark number can
+  // come from an unverified pyramid path.
+  std::size_t zoom_verify_failures = 0;
+  std::size_t zoom_served = 0, zoom_fallback = 0;
+  if (scenario == "zoom") {
+    zoom_verify_failures =
+        verify_zoom_requests(dir, distinct, zoom_served, zoom_fallback);
+    std::cout << "zoom verify: " << distinct.size() << " distinct requests, "
+              << zoom_served << " pyramid-servable, " << zoom_fallback
+              << " exact-fallback, " << zoom_verify_failures
+              << " mismatches\n";
+  }
+
+  // Phase B: the timed wire run. Zoom responses are tagged pyr=0|1, so the
+  // client can split latencies by serving tier without trusting server
+  // counters.
   std::mutex merge_mutex;
   std::vector<double> latencies_us;
+  std::vector<double> pyramid_latencies_us;
+  std::uint64_t pyr_responses = 0, zoom_responses = 0;
   std::uint64_t errors = 0;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      std::vector<double> local;
+      std::vector<double> local, local_pyr;
       local.reserve(requests);
-      std::uint64_t local_errors = 0;
+      std::uint64_t local_errors = 0, local_pyr_hits = 0, local_zoom = 0;
       // A dead socket or a dropped connection is a counted failure, not a
       // std::terminate: the run still produces its report and exits 1.
       try {
         svc::SocketClient client{std::filesystem::path(socket)};
         for (std::size_t i = 0; i < requests; ++i) {
-          const std::string line =
-              svc::format_request_line(workload.request(seed + c + 1, i));
+          const std::string& line = lines[c][i];
           const auto start = std::chrono::steady_clock::now();
           const std::string response = client.request(line);
-          local.push_back(std::chrono::duration<double, std::micro>(
-                              std::chrono::steady_clock::now() - start)
-                              .count());
+          const double us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+          local.push_back(us);
           std::string body;
           if (!svc::parse_response_line(response, body)) ++local_errors;
+          if (body.find(" pyr=") != std::string::npos) {
+            ++local_zoom;
+            if (body.find(" pyr=1") != std::string::npos) {
+              ++local_pyr_hits;
+              local_pyr.push_back(us);
+            }
+          }
         }
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(merge_mutex);
@@ -522,10 +769,39 @@ int cmd_bombard(const std::string& dir, const Args& args) {
       }
       std::lock_guard<std::mutex> lock(merge_mutex);
       latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      pyramid_latencies_us.insert(pyramid_latencies_us.end(),
+                                  local_pyr.begin(), local_pyr.end());
+      pyr_responses += local_pyr_hits;
+      zoom_responses += local_zoom;
       errors += local_errors;
     });
   }
   for (std::thread& t : threads) t.join();
+
+  // Phase C (zoom): sequential exact=1 re-run of the distinct requests —
+  // the honest no-pyramid baseline (exact-mode zooms are never answered
+  // from or stored in the result cache).
+  std::vector<double> exact_latencies_us;
+  if (scenario == "zoom") {
+    try {
+      svc::SocketClient client{std::filesystem::path(socket)};
+      for (svc::WireRequest wire : distinct) {
+        wire.request.zoom_mode = core::ZoomMode::kExact;
+        const std::string line = svc::format_request_line(wire);
+        const auto start = std::chrono::steady_clock::now();
+        const std::string response = client.request(line);
+        exact_latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        std::string body;
+        if (!svc::parse_response_line(response, body)) ++errors;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "exact baseline: " << e.what() << "\n";
+      ++errors;
+    }
+  }
 
   std::string server_stats = "unavailable";
   try {
@@ -580,17 +856,50 @@ int cmd_bombard(const std::string& dir, const Args& args) {
   for (const double v : latencies_us) mean += v;
   if (!latencies_us.empty()) mean /= static_cast<double>(latencies_us.size());
 
+  std::ostringstream pyramid_json;
+  if (scenario == "zoom") {
+    std::sort(pyramid_latencies_us.begin(), pyramid_latencies_us.end());
+    std::sort(exact_latencies_us.begin(), exact_latencies_us.end());
+    const auto pyr_at = [&](double q) {
+      return svc::sorted_percentile(pyramid_latencies_us, q);
+    };
+    const auto exact_at = [&](double q) {
+      return svc::sorted_percentile(exact_latencies_us, q);
+    };
+    const double hit_rate =
+        zoom_responses == 0 ? 0.0
+                            : static_cast<double>(pyr_responses) /
+                                  static_cast<double>(zoom_responses);
+    pyramid_json << "  \"pyramid\": {\"verified\": " << distinct.size()
+                 << ", \"verify_failures\": " << zoom_verify_failures
+                 << ", \"served\": " << zoom_served
+                 << ", \"fallback\": " << zoom_fallback
+                 << ", \"hit_rate\": " << hit_rate
+                 << ", \"bins\": " << zoom_bins
+                 << ",\n    \"latency_us\": {\"p50\": " << pyr_at(0.50)
+                 << ", \"p95\": " << pyr_at(0.95)
+                 << ", \"p99\": " << pyr_at(0.99)
+                 << "},\n    \"exact_latency_us\": {\"p50\": " << exact_at(0.50)
+                 << ", \"p95\": " << exact_at(0.95)
+                 << ", \"p99\": " << exact_at(0.99) << "}},\n";
+    std::cout << "pyramid: hit rate " << hit_rate << " (" << pyr_responses
+              << "/" << zoom_responses << " wire responses), served p99 "
+              << pyr_at(0.99) << " us vs exact p50 " << exact_at(0.50)
+              << " us\n";
+  }
+
   std::ostringstream json;
   json << "{\n"
        << "  \"workload\": {\"clients\": " << clients
        << ", \"requests_per_client\": " << requests << ", \"seed\": " << seed
        << ", \"dup_fraction\": " << dup << ", \"hot_pool\": " << hot_pool
-       << "},\n"
+       << ", \"scenario\": \"" << scenario << "\"},\n"
        << "  \"latency_us\": {\"p50\": " << at(0.50) << ", \"p95\": " << at(0.95)
        << ", \"p99\": " << at(0.99)
        << ", \"max\": " << (latencies_us.empty() ? 0.0 : latencies_us.back())
        << ", \"mean\": " << mean << "},\n"
        << "  \"errors\": " << errors << ",\n"
+       << pyramid_json.str()
        << dist_json.str()
        << "  \"server_stats\": \"" << server_stats << "\"\n"
        << "}\n";
@@ -605,7 +914,8 @@ int cmd_bombard(const std::string& dir, const Args& args) {
   } else {
     std::cout << json.str();
   }
-  return errors == 0 && verify_failures == 0 ? 0 : 1;
+  return errors == 0 && verify_failures == 0 && zoom_verify_failures == 0 ? 0
+                                                                          : 1;
 }
 
 void usage() {

@@ -86,6 +86,17 @@ class HistogramEngine {
                           const BitVector& rows,
                           BinningMode binning = BinningMode::kUniform) const;
 
+  /// Variants over caller-supplied bin edges — the exact twin of a
+  /// pyramid-served zoom window (core::Selection::zoom_histogram*), where
+  /// the edges come from the pyramid's snapped level slice rather than the
+  /// table domain.
+  Histogram1D histogram1d(const std::string& variable, const Bins& bins,
+                          const BitVector& rows) const;
+
+  Histogram2D histogram2d(const std::string& x, const std::string& y,
+                          const Bins& xbins, const Bins& ybins,
+                          const BitVector& rows) const;
+
   EvalMode mode() const { return mode_; }
 
  private:

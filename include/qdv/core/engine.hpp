@@ -47,7 +47,14 @@ struct EngineStats {
   std::uint64_t column_bytes = 0;    // resident mapped column bytes
   std::uint64_t segment_bytes = 0;   // resident decoded index-segment bytes
   std::uint64_t loaded_bytes = 0;    // cumulative bytes charged (I/O volume)
-  std::uint64_t io_evictions = 0;    // column + segment evictions
+  std::uint64_t io_evictions = 0;    // column + segment + pyramid evictions
+
+  // Zoom tier (DESIGN.md §14): resident pyramid-level bytes, levels dropped
+  // by the LRU, and how zoom_histogram* requests were answered.
+  std::uint64_t pyramid_bytes = 0;
+  std::uint64_t pyramid_evictions = 0;
+  std::uint64_t pyramid_served = 0;    // answered from pyramid levels
+  std::uint64_t pyramid_fallback = 0;  // routed to the exact kernel path
 
   // SIMD dispatch (process-wide, see qdv::simd): the active ISA level and
   // per-kernel-family counts of vector vs scalar-fallback invocations.

@@ -12,9 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bitmap/interval.hpp"
 #include "core/query.hpp"
 
 namespace qdv::io {
@@ -44,6 +47,7 @@ enum class AccessPath {
   kIdIndex,      // sorted id-index lookup
   kScan,         // sequential scan of the raw column
   kConstant,     // contradiction folded at plan time (empty interval)
+  kPyramid,      // histogram-pyramid node classification (zoom routing only)
 };
 
 struct PredicateStep {
@@ -70,8 +74,24 @@ class ExecutionPlan {
   /// an executor must load and a prefetcher should read ahead.
   std::vector<std::string> variables() const;
 
-  /// Multi-line report: canonical query, cache key, and the chosen access
-  /// path of every leaf predicate.
+  /// When the canonical query is a pure conjunction of single-variable
+  /// range leaves (Compare/Interval under And — the pyramid-servable
+  /// shape), the per-variable intersected condition intervals; nullopt for
+  /// anything with Or/Not/IdIn. The match-everything plan is an empty
+  /// vector. Decided once at plan time: Selection::zoom_histogram* routes
+  /// to the pyramid tier only when this is set.
+  const std::optional<std::vector<std::pair<std::string, Interval>>>&
+  marginal_intervals() const {
+    return marginal_;
+  }
+
+  /// Zoom routing per marginal condition variable: kPyramid when the probe
+  /// found a `.pyr` next to the column (assumed present without a probe),
+  /// kScan otherwise. Empty when marginal_intervals() is nullopt or empty.
+  const std::vector<PredicateStep>& zoom_steps() const { return zoom_steps_; }
+
+  /// Multi-line report: canonical query, cache key, the chosen access path
+  /// of every leaf predicate, and the zoom-tier routing decision.
   std::string explain() const;
 
  private:
@@ -80,6 +100,8 @@ class ExecutionPlan {
   QueryPtr canonical_;   // nullptr = select everything
   std::string key_;
   std::vector<PredicateStep> steps_;
+  std::optional<std::vector<std::pair<std::string, Interval>>> marginal_;
+  std::vector<PredicateStep> zoom_steps_;
 };
 
 /// Canonicalize @p query and decide the access path of each leaf. @p probe,

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,38 @@
 #include "core/statistics.hpp"
 
 namespace qdv::core {
+
+/// How zoom_histogram* answers. kAuto serves from the pyramid tier whenever
+/// the request is geometrically servable and falls back to the exact kernel
+/// path otherwise; kExact always runs the kernels — on the same snapped
+/// grid when the request is servable, so it is the bit-exact differential
+/// twin of the kAuto answer (test_pyramid / the bombard verify phase).
+enum class ZoomMode { kAuto, kExact };
+
+/// The resolved pyramid route of one servable zoom request: the snapped
+/// level/bin windows. Pure geometry (edges only, no counts) — computed
+/// identically by zoom_plan*() and the serve itself, which is what lets the
+/// svc layer build level-tagged cache keys that cannot diverge from the
+/// served result.
+struct ZoomPlan {
+  std::size_t level = 0;
+  std::size_t xlo = 0, xhi = 0;  // snapped bin window on the zoom x axis
+  std::size_t ylo = 0, yhi = 0;  // 2D zooms only
+  bool pair = false;             // served from a pair pyramid
+  bool operator==(const ZoomPlan&) const = default;
+};
+
+struct Zoom1DResult {
+  Histogram1D hist;
+  bool pyramid = false;  // true when served from pyramid levels
+  int level = -1;        // snapped level (also set on the kExact twin)
+};
+
+struct Zoom2DResult {
+  Histogram2D hist;
+  bool pyramid = false;
+  int level = -1;
+};
 
 class Selection {
  public:
@@ -58,6 +91,39 @@ class Selection {
                           const std::string& y, std::size_t nxbins,
                           std::size_t nybins,
                           BinningMode binning = BinningMode::kUniform) const;
+
+  /// Zoom/pan histograms (DESIGN.md §14): @p nbins bins over the viewport
+  /// [view_lo, view_hi) of @p variable, restricted to this selection. Under
+  /// kAuto a servable request — marginal conjunction predicate, viewport
+  /// wide enough for nbins at some pyramid level, condition decidable by
+  /// node descent — snaps the viewport to pyramid-level bin edges and is
+  /// answered in O(visible bins); anything else runs the exact kernels over
+  /// viewport-uniform bins. The served edges are the snapped grid, so
+  /// consecutive pans that snap identically share one svc cache entry.
+  /// Throws std::invalid_argument unless view_hi > view_lo and nbins > 0.
+  Zoom1DResult zoom_histogram1d(std::size_t t, const std::string& variable,
+                                double view_lo, double view_hi,
+                                std::size_t nbins,
+                                ZoomMode mode = ZoomMode::kAuto) const;
+  Zoom2DResult zoom_histogram2d(std::size_t t, const std::string& x,
+                                const std::string& y, double view_lo_x,
+                                double view_hi_x, double view_lo_y,
+                                double view_hi_y, std::size_t nxbins,
+                                std::size_t nybins,
+                                ZoomMode mode = ZoomMode::kAuto) const;
+
+  /// The pyramid route the matching zoom_histogram* call would take, or
+  /// nullopt when it would run the exact fallback. Never throws on bad
+  /// viewports (returns nullopt), so cache-key builders can call it first.
+  std::optional<ZoomPlan> zoom_plan1d(std::size_t t,
+                                      const std::string& variable,
+                                      double view_lo, double view_hi,
+                                      std::size_t nbins) const;
+  std::optional<ZoomPlan> zoom_plan2d(std::size_t t, const std::string& x,
+                                      const std::string& y, double view_lo_x,
+                                      double view_hi_x, double view_lo_y,
+                                      double view_hi_y, std::size_t nxbins,
+                                      std::size_t nybins) const;
 
   /// Summary statistics of @p variable over the matching records.
   SummaryStats summary(std::size_t t, const std::string& variable) const;

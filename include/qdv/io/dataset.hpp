@@ -31,6 +31,13 @@ struct IndexConfig {
   std::size_t nbins = 1024;       // bins per value index
   bool build_value_indices = true;
   bool build_id_index = true;
+  /// Histogram pyramids (agg::Pyramid, DESIGN.md §14): one `<var>.pyr` per
+  /// variable (leaf resolution = nbins rounded up to a power of two) plus
+  /// one `<a>__<b>.pyr` pair pyramid per listed pair, at pyramid_pair_bins
+  /// leaf bins per axis. Zoom/pan requests are served from these.
+  bool build_pyramids = true;
+  std::size_t pyramid_pair_bins = 256;
+  std::vector<std::pair<std::string, std::string>> pyramid_pairs{{"x", "px"}};
 };
 
 /// How Dataset::open materializes on-disk data.

@@ -26,9 +26,10 @@ enum class ResidentClass : unsigned {
   kIndexSegment = 1,  // decoded per-bin WAH bitmaps (and pinned id indices)
   kBitVector = 2,     // evaluated per-timestep query bitvectors
   kResult = 3,        // completed service results (svc::QueryService cache)
+  kPyramid = 4,       // lazily-loaded histogram-pyramid levels (agg::Pyramid)
 };
 
-inline constexpr std::size_t kNumResidentClasses = 4;
+inline constexpr std::size_t kNumResidentClasses = 5;
 
 /// Snapshot of one class's counters.
 struct ResidentClassStats {
@@ -137,8 +138,8 @@ class MemoryBudget {
   std::uint64_t budget_bytes_ = kUnlimited;
   // One cap per class; a missing initializer here would silently become a
   // cap of zero, so keep the list in sync with kNumResidentClasses.
-  std::size_t entry_caps_[kNumResidentClasses] = {kNoEntryCap, kNoEntryCap,
-                                                  kNoEntryCap, kNoEntryCap};
+  std::size_t entry_caps_[kNumResidentClasses] = {
+      kNoEntryCap, kNoEntryCap, kNoEntryCap, kNoEntryCap, kNoEntryCap};
   EntryList lru_;  // front = most recently used
   ClassList class_lru_[kNumResidentClasses];
   std::unordered_map<std::string, EntryList::iterator> by_key_;

@@ -41,6 +41,10 @@
 #include "io/mapped_file.hpp"
 #include "io/memory_budget.hpp"
 
+namespace qdv::agg {
+class Pyramid;
+}
+
 namespace qdv::io {
 
 /// How a table materializes on-disk data.
@@ -94,6 +98,19 @@ class TimestepTable {
   bool has_value_index(const std::string& name) const;
   bool has_id_index(const std::string& name) const;
 
+  /// Histogram pyramid of one column (`<name>.pyr`) or of a column pair
+  /// (`<x>__<y>.pyr`, exactly that axis order — callers try both
+  /// orientations). nullptr when none exists on disk. Levels load lazily
+  /// through the budget under ResidentClass::kPyramid; the handle itself
+  /// (header + leaf edges) stays resident for the table's lifetime.
+  std::shared_ptr<const agg::Pyramid> pyramid1d(const std::string& name) const;
+  std::shared_ptr<const agg::Pyramid> pyramid2d(const std::string& x,
+                                                const std::string& y) const;
+
+  /// On-disk existence checks (no loading) — what the planner probes.
+  bool has_pyramid(const std::string& name) const;
+  bool has_pyramid(const std::string& x, const std::string& y) const;
+
   /// True when at least one serialized index accompanies the data files.
   bool has_indices() const;
 
@@ -138,6 +155,12 @@ class TimestepTable {
       id_columns_;  // kEager
   mutable std::unordered_map<std::string, std::optional<BitmapIndex>> indices_;
   mutable std::unordered_map<std::string, std::optional<IdIndex>> id_indices_;
+  // Keyed by .pyr file stem ("x", "x__px"); nullptr = probed, absent.
+  mutable std::unordered_map<std::string, std::shared_ptr<const agg::Pyramid>>
+      pyramids_;
+
+  std::shared_ptr<const agg::Pyramid> open_pyramid(
+      const std::string& stem) const;
 
   template <typename T>
   std::span<const T> lazy_column(

@@ -4,10 +4,16 @@
 // files, and asserted in tests.
 //
 // Requests:   <op> [t=N] [x=VAR] [y=VAR] [bins=N] [ybins=N] [adaptive=1]
+//             [vlo=F] [vhi=F] [ylo=F] [yhi=F] [exact=1]
 //             [pri=0|1|2] [limit=N] [q=QUERY TEXT TO END OF LINE]
-//   ops: hello | count | ids | hist1 | hist2 | sum | stats | ping | quit
+//   ops: hello | count | ids | hist1 | hist2 | sum | zoom1 | zoom2
+//        | stats | ping | quit
 //   `q=` must come last — everything after it (spaces included) is the
 //   query; omitting it selects all records.
+//   zoom1/zoom2 take the viewport as vlo=/vhi= (x axis) and ylo=/yhi=
+//   (zoom2's y axis); exact=1 forces the kernel path (ZoomMode::kExact).
+//   Their responses carry `pyr=0|1 level=N`: whether the histogram was
+//   served from pyramid levels and at which snapped level.
 // Responses:  `ok <key>=<value> ...` or `err <message>`.
 //
 // Versioning: a connection opens with a `hello v=N` greeting; the server
@@ -29,7 +35,7 @@ namespace qdv::svc {
 
 /// Line-protocol version. Bumped whenever the request/response shapes
 /// change incompatibly; the hello greeting pins it per connection.
-inline constexpr unsigned kProtocolVersion = 2;
+inline constexpr unsigned kProtocolVersion = 3;
 
 /// One parsed request line.
 struct WireRequest {

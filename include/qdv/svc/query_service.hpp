@@ -23,6 +23,7 @@
 
 #include "bitmap/histogram.hpp"
 #include "core/engine.hpp"
+#include "core/selection.hpp"
 #include "core/statistics.hpp"
 
 namespace qdv::dist {
@@ -49,6 +50,8 @@ enum class RequestKind {
   kHistogram1D,  // conditional 1D histogram of var_x
   kHistogram2D,  // conditional 2D histogram of var_x x var_y
   kSummary,      // summary statistics of var_x
+  kZoom1D,       // viewport histogram of var_x (pyramid tier, DESIGN.md §14)
+  kZoom2D,       // viewport histogram of var_x x var_y
 };
 
 struct Request {
@@ -57,11 +60,22 @@ struct Request {
   std::size_t timestep = 0;
   Priority priority = Priority::kNormal;
 
-  std::string var_x;        // histogram / summary variable
-  std::string var_y;        // second histogram2d variable
+  std::string var_x;        // histogram / summary / zoom variable
+  std::string var_y;        // second histogram2d / zoom2d variable
   std::size_t nxbins = 64;
   std::size_t nybins = 64;
   BinningMode binning = BinningMode::kUniform;
+
+  // kZoom1D/kZoom2D viewport (view_hi must exceed view_lo per axis). Under
+  // kAuto, servable requests snap to pyramid-level bin edges and carry
+  // level-tagged cache keys; kExact forces the kernel path (the bombard
+  // verify/baseline mode) and is never served from or stored in the result
+  // cache.
+  double view_lo_x = 0.0;
+  double view_hi_x = 0.0;
+  double view_lo_y = 0.0;
+  double view_hi_y = 0.0;
+  core::ZoomMode zoom_mode = core::ZoomMode::kAuto;
 };
 
 enum class Status {
@@ -89,9 +103,11 @@ struct Result {
 
   std::uint64_t count = 0;            // kCount (and total of ids)
   std::vector<std::uint64_t> ids;     // kIds
-  Histogram1D hist1d;                 // kHistogram1D
-  Histogram2D hist2d;                 // kHistogram2D
+  Histogram1D hist1d;                 // kHistogram1D / kZoom1D
+  Histogram2D hist2d;                 // kHistogram2D / kZoom2D
   core::SummaryStats summary;         // kSummary
+  bool pyramid = false;               // zoom kinds: served from pyramid levels
+  int pyramid_level = -1;             // snapped level when pyramid (else -1)
 
   std::uint64_t payload_bytes = 0;    // response-payload size (accounting)
   Served served = Served::kExecuted;
@@ -152,6 +168,11 @@ struct ServiceStats {
   std::uint64_t executed = 0;           // flights that ran an evaluation
   std::uint64_t coalesce_hits = 0;      // attached to an in-flight execution
   std::uint64_t result_cache_hits = 0;  // served from the cached result
+
+  // Zoom-tier routing of executed zoom flights (cache/coalesce hits of
+  // zoom results count above, not here — they never touch the engine).
+  std::uint64_t pyramid_served = 0;
+  std::uint64_t pyramid_fallback = 0;
 
   std::uint64_t queue_depth = 0;      // flights waiting right now
   std::uint64_t peak_queue_depth = 0;

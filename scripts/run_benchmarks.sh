@@ -7,19 +7,22 @@
 # (p50/p95/p99 request latency + server coalescing counters). The
 # distributed sweep (1/2/4 real worker processes behind the coordinator,
 # results verified bit-identical to the local engine) lands in
-# BENCH_distributed.json.
+# BENCH_distributed.json, and the zoom/pan pyramid workload (every request
+# differentially verified pyramid-vs-exact before timing) in
+# BENCH_pyramid.json.
 #
-#   scripts/run_benchmarks.sh <build-dir> [kernels.json] [service.json] [distributed.json]
+#   scripts/run_benchmarks.sh <build-dir> [kernels.json] [service.json] [distributed.json] [pyramid.json]
 #
 # Sizes scale via the usual QDV_BENCH_* environment variables; CI's smoke
 # job runs with tiny sizes (the benchmarks assert kernel/reference result
 # equality regardless of size, so the smoke run still verifies correctness).
 set -euo pipefail
 
-build_dir=${1:?usage: run_benchmarks.sh <build-dir> [kernels.json] [service.json] [distributed.json]}
+build_dir=${1:?usage: run_benchmarks.sh <build-dir> [kernels.json] [service.json] [distributed.json] [pyramid.json]}
 output=${2:-BENCH_kernels.json}
 service_output=${3:-BENCH_service.json}
 dist_output=${4:-BENCH_distributed.json}
+pyramid_output=${5:-BENCH_pyramid.json}
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -69,6 +72,22 @@ if [ -x "$build_dir/qdv_tool" ]; then
     --requests "${QDV_BENCH_SERVICE_REQUESTS:-200}" \
     --seed 42 --dup 0.5 --json "$service_output" >&2
   echo "[run_benchmarks] wrote $service_output" >&2
+
+  # Zoom/pan pyramid workload: bombard's zoom scenario verifies every
+  # distinct request pyramid-vs-exact (bit-identical or the run exits
+  # nonzero) BEFORE timing, then reports the wire hit rate and the
+  # pyramid-served vs forced-exact latency split. One client by default:
+  # the point is the per-request pyramid-vs-exact latency gap, and on a
+  # small host concurrent exact fallbacks time-slice against pyramid
+  # serves, polluting the tail with scheduler noise that BENCH_service.json
+  # already characterizes.
+  echo "[run_benchmarks] bombard --scenario zoom ..." >&2
+  "$build_dir/qdv_tool" bombard "$svc_data" \
+    --scenario zoom \
+    --clients "${QDV_BENCH_ZOOM_CLIENTS:-1}" \
+    --requests "${QDV_BENCH_ZOOM_REQUESTS:-${QDV_BENCH_SERVICE_REQUESTS:-200}}" \
+    --seed 42 --json "$pyramid_output" >&2
+  echo "[run_benchmarks] wrote $pyramid_output" >&2
 else
   echo "[run_benchmarks] no qdv_tool in $build_dir: skipping service bench" >&2
 fi

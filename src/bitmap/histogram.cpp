@@ -153,6 +153,23 @@ Histogram1D HistogramEngine::histogram1d(const std::string& variable,
   return h;
 }
 
+Histogram1D HistogramEngine::histogram1d(const std::string& variable,
+                                         const Bins& bins,
+                                         const BitVector& rows) const {
+  Histogram1D h;
+  h.bins = bins;
+  h.counts.assign(h.bins.num_bins(), 0);
+  if (h.counts.empty()) return h;
+  const std::span<const double> values = table_->column(variable);
+  const Bins::Locator locate = h.bins.locator();
+  kern::sharded_tally(
+      values.size(), h.counts.size(), h.counts.data(),
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+        kern::gather_hist1d(rows, begin, end, values.data(), locate, counts);
+      });
+  return h;
+}
+
 Histogram2D HistogramEngine::histogram2d(const std::string& x, const std::string& y,
                                          std::size_t nxbins, std::size_t nybins,
                                          const Query* condition,
@@ -191,6 +208,28 @@ Histogram2D HistogramEngine::histogram2d(const std::string& x, const std::string
   h.xbins = bins_for(x, nxbins, binning);
   h.ybins = bins_for(y, nybins, binning);
   h.counts.assign(h.xbins.num_bins() * h.ybins.num_bins(), 0);
+  const std::span<const double> xs = table_->column(x);
+  const std::span<const double> ys = table_->column(y);
+  const std::size_t ny = h.ybins.num_bins();
+  const Bins::Locator xloc = h.xbins.locator();
+  const Bins::Locator yloc = h.ybins.locator();
+  kern::sharded_tally(
+      xs.size(), h.counts.size(), h.counts.data(),
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t* counts) {
+        kern::gather_hist2d(rows, begin, end, xs.data(), ys.data(), xloc, yloc,
+                            ny, counts);
+      });
+  return h;
+}
+
+Histogram2D HistogramEngine::histogram2d(const std::string& x, const std::string& y,
+                                         const Bins& xbins, const Bins& ybins,
+                                         const BitVector& rows) const {
+  Histogram2D h;
+  h.xbins = xbins;
+  h.ybins = ybins;
+  h.counts.assign(h.xbins.num_bins() * h.ybins.num_bins(), 0);
+  if (h.counts.empty()) return h;
   const std::span<const double> xs = table_->column(x);
   const std::span<const double> ys = table_->column(y);
   const std::size_t ny = h.ybins.num_bins();

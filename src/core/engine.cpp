@@ -141,9 +141,16 @@ EngineStats Engine::stats() const {
   s.segment_bytes = b.of(io::ResidentClass::kIndexSegment).bytes;
   // I/O volume only: bitvectors are computed in memory, not read from disk.
   s.loaded_bytes = b.of(io::ResidentClass::kColumn).loaded_bytes +
-                   b.of(io::ResidentClass::kIndexSegment).loaded_bytes;
+                   b.of(io::ResidentClass::kIndexSegment).loaded_bytes +
+                   b.of(io::ResidentClass::kPyramid).loaded_bytes;
   s.io_evictions = b.of(io::ResidentClass::kColumn).evictions +
-                   b.of(io::ResidentClass::kIndexSegment).evictions;
+                   b.of(io::ResidentClass::kIndexSegment).evictions +
+                   b.of(io::ResidentClass::kPyramid).evictions;
+  s.pyramid_bytes = b.of(io::ResidentClass::kPyramid).bytes;
+  s.pyramid_evictions = b.of(io::ResidentClass::kPyramid).evictions;
+  s.pyramid_served = state_->pyramid_served.load(std::memory_order_relaxed);
+  s.pyramid_fallback =
+      state_->pyramid_fallback.load(std::memory_order_relaxed);
   s.simd_isa = simd::isa_name(simd::active());
   const simd::DispatchCounts d = simd::dispatch_counts();
   s.positions_vector_calls = d.positions.vector;

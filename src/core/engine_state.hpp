@@ -41,6 +41,9 @@ struct EngineState {
   std::shared_ptr<io::MemoryBudget> budget;
   std::atomic<std::uint64_t> hits{0};    // bitvector evaluations from cache
   std::atomic<std::uint64_t> misses{0};  // bitvector evaluations computed
+  // Zoom tier routing (Selection::zoom_histogram* under ZoomMode::kAuto).
+  std::atomic<std::uint64_t> pyramid_served{0};
+  std::atomic<std::uint64_t> pyramid_fallback{0};
 
   /// Cached evaluation of one canonical AST node at timestep @p t. Every
   /// node of the tree is cached under its own key, so a refined selection

@@ -201,8 +201,44 @@ const char* access_text(AccessPath access) {
     case AccessPath::kIdIndex: return "id-index";
     case AccessPath::kScan: return "scan";
     case AccessPath::kConstant: return "constant-empty";
+    case AccessPath::kPyramid: return "pyramid";
   }
   return "?";
+}
+
+/// Marginal-conjunction extraction (the pyramid-servable predicate shape):
+/// true when @p q is built only from And over Compare/Interval leaves, with
+/// the per-variable intersected intervals appended to @p out.
+bool collect_marginals(const Query& q,
+                       std::vector<std::pair<std::string, Interval>>& out) {
+  const auto merge = [&out](const std::string& variable, const Interval& iv) {
+    for (auto& [var, merged] : out) {
+      if (var == variable) {
+        merged = intersect(merged, iv);
+        return;
+      }
+    }
+    out.emplace_back(variable, iv);
+  };
+  switch (q.kind()) {
+    case Query::Kind::kAnd: {
+      const auto& aq = static_cast<const AndQuery&>(q);
+      return collect_marginals(aq.lhs(), out) &&
+             collect_marginals(aq.rhs(), out);
+    }
+    case Query::Kind::kCompare: {
+      const auto& cq = static_cast<const CompareQuery&>(q);
+      merge(cq.variable(), interval_for(cq.op(), cq.value()));
+      return true;
+    }
+    case Query::Kind::kInterval: {
+      const auto& vq = static_cast<const IntervalQuery&>(q);
+      merge(vq.variable(), vq.interval());
+      return true;
+    }
+    default:
+      return false;  // Or/Not/IdIn: not a marginal conjunction
+  }
 }
 
 void collect_steps(const Query& q, const io::TimestepTable* probe,
@@ -281,10 +317,24 @@ ExecutionPlan plan_query(QueryPtr query, const io::TimestepTable* probe) {
   plan.canonical_ = canonicalize(query);
   if (!plan.canonical_) {
     plan.key_ = "<all records>";
+    plan.marginal_.emplace();  // unconditioned: trivially pyramid-servable
     return plan;
   }
   plan.key_ = cache_key(*plan.canonical_);
   collect_steps(*plan.canonical_, probe, plan.steps_);
+  std::vector<std::pair<std::string, Interval>> marginals;
+  if (collect_marginals(*plan.canonical_, marginals)) {
+    for (const auto& [variable, iv] : marginals) {
+      PredicateStep step;
+      step.predicate = predicate_for(variable, iv)->to_string();
+      step.variable = variable;
+      step.access = (!probe || probe->has_pyramid(variable))
+                        ? AccessPath::kPyramid
+                        : AccessPath::kScan;
+      plan.zoom_steps_.push_back(std::move(step));
+    }
+    plan.marginal_ = std::move(marginals);
+  }
   return plan;
 }
 
@@ -309,6 +359,16 @@ std::string ExecutionPlan::explain() const {
         << access_text(step.access) << "(" << step.variable << ")";
     if (step.fused) out << "  [fused interval]";
     out << "\n";
+  }
+  if (marginal_) {
+    out << "zoom:      pyramid-servable (marginal conjunction)\n";
+    for (std::size_t i = 0; i < zoom_steps_.size(); ++i) {
+      const PredicateStep& step = zoom_steps_[i];
+      out << "  [z" << i << "] " << step.predicate << "  ->  "
+          << access_text(step.access) << "(" << step.variable << ")\n";
+    }
+  } else {
+    out << "zoom:      exact-only (non-marginal predicate)\n";
   }
   return out.str();
 }

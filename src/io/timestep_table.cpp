@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "agg/pyramid.hpp"
+
 namespace qdv::io {
 
 namespace {
@@ -177,6 +179,39 @@ bool TimestepTable::has_value_index(const std::string& name) const {
 
 bool TimestepTable::has_id_index(const std::string& name) const {
   return std::filesystem::exists(dir_ / (name + ".idi"));
+}
+
+std::shared_ptr<const agg::Pyramid> TimestepTable::open_pyramid(
+    const std::string& stem) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pyramids_.find(stem);
+  if (it != pyramids_.end()) return it->second;
+  std::shared_ptr<const agg::Pyramid> pyramid;
+  const std::filesystem::path file = dir_ / (stem + ".pyr");
+  if (std::filesystem::exists(file))
+    pyramid =
+        agg::Pyramid::open(file, budget_, budget_prefix_ + "|pyr|" + stem);
+  pyramids_.emplace(stem, pyramid);
+  return pyramid;
+}
+
+std::shared_ptr<const agg::Pyramid> TimestepTable::pyramid1d(
+    const std::string& name) const {
+  return open_pyramid(name);
+}
+
+std::shared_ptr<const agg::Pyramid> TimestepTable::pyramid2d(
+    const std::string& x, const std::string& y) const {
+  return open_pyramid(x + "__" + y);
+}
+
+bool TimestepTable::has_pyramid(const std::string& name) const {
+  return std::filesystem::exists(dir_ / (name + ".pyr"));
+}
+
+bool TimestepTable::has_pyramid(const std::string& x,
+                                const std::string& y) const {
+  return std::filesystem::exists(dir_ / (x + "__" + y + ".pyr"));
 }
 
 bool TimestepTable::has_indices() const {

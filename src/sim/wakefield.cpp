@@ -1,11 +1,14 @@
 #include "sim/wakefield.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
+
+#include "agg/pyramid.hpp"
 
 namespace qdv::sim {
 
@@ -236,6 +239,36 @@ std::uint64_t generate_dataset(const WakefieldConfig& config,
             *column_data[v], make_uniform_bins(lo, safe_hi, index_config.nbins));
         std::ofstream out(step_dir / (variables[v] + ".bmi"), std::ios::binary);
         index.save(out);
+      }
+      if (index_config.build_pyramids && index_config.nbins > 0) {
+        // Same lo/safe_hi convention as the .bmi above, so pyramid leaves
+        // and index bins describe the same domain; the leaf count rounds up
+        // to the power of two the level tree needs.
+        const double safe_hi = hi > lo ? hi : lo + 1.0;
+        const std::size_t leaf = std::bit_ceil(index_config.nbins);
+        agg::Pyramid::build1d(*column_data[v],
+                              make_uniform_bins(lo, safe_hi, leaf))
+            .save(step_dir / agg::pyramid_filename(variables[v]));
+      }
+    }
+    if (index_config.build_pyramids && index_config.pyramid_pair_bins > 0) {
+      const std::size_t leaf = std::bit_ceil(index_config.pyramid_pair_bins);
+      for (const auto& [a, b] : index_config.pyramid_pairs) {
+        const auto find = [&](const std::string& name)
+            -> const std::vector<double>* {
+          for (std::size_t v = 0; v < variables.size(); ++v)
+            if (variables[v] == name) return column_data[v];
+          return nullptr;
+        };
+        const std::vector<double>* da = find(a);
+        const std::vector<double>* db = find(b);
+        if (da == nullptr || db == nullptr) continue;
+        const auto edges = [&](const std::vector<double>& col) {
+          const auto [lo, hi] = minmax_of(col);
+          return make_uniform_bins(lo, hi > lo ? hi : lo + 1.0, leaf);
+        };
+        agg::Pyramid::build2d(*da, *db, edges(*da), edges(*db))
+            .save(step_dir / agg::pyramid_filename(a, b));
       }
     }
     write_binary(step_dir / "id.u64", c.id);

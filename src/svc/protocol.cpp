@@ -1,6 +1,7 @@
 #include "svc/protocol.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <sstream>
 
 namespace qdv::svc {
@@ -12,6 +13,27 @@ bool parse_size(const std::string& text, std::size_t& out) {
   const char* end = begin + text.size();
   const auto [ptr, ec] = std::from_chars(begin, end, out);
   return ec == std::errc{} && ptr == end;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// Shortest round-trip-exact text of @p v: zoom viewports must survive the
+/// wire bit for bit, or the client's verify phase would compare against a
+/// subtly different window than the server actually answered.
+std::string format_double(double v) {
+  char buf[32];
+  for (int prec = 15; prec <= 16; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0.0;
+    if (parse_double(buf, back) && back == v) return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
 }
 
 const char* status_text(Status status) {
@@ -78,6 +100,10 @@ bool parse_request_line(const std::string& line, WireRequest& out,
     r.kind = RequestKind::kHistogram2D;
   } else if (op == "sum") {
     r.kind = RequestKind::kSummary;
+  } else if (op == "zoom1") {
+    r.kind = RequestKind::kZoom1D;
+  } else if (op == "zoom2") {
+    r.kind = RequestKind::kZoom2D;
   } else {
     error = "unknown op '" + op + "'";
     return false;
@@ -100,10 +126,21 @@ bool parse_request_line(const std::string& line, WireRequest& out,
       return true;
     }
     std::size_t n = 0;
+    double f = 0.0;
     if (key == "x") {
       r.var_x = std::move(value);
     } else if (key == "y") {
       r.var_y = std::move(value);
+    } else if (key == "vlo" && parse_double(value, f)) {
+      r.view_lo_x = f;
+    } else if (key == "vhi" && parse_double(value, f)) {
+      r.view_hi_x = f;
+    } else if (key == "ylo" && parse_double(value, f)) {
+      r.view_lo_y = f;
+    } else if (key == "yhi" && parse_double(value, f)) {
+      r.view_hi_y = f;
+    } else if (key == "exact" && parse_size(value, n)) {
+      r.zoom_mode = n != 0 ? core::ZoomMode::kExact : core::ZoomMode::kAuto;
     } else if (key == "t" && parse_size(value, n)) {
       r.timestep = n;
     } else if (key == "bins" && parse_size(value, n)) {
@@ -145,7 +182,11 @@ std::string format_request_line(const WireRequest& wire) {
     case RequestKind::kHistogram1D: out << "hist1"; break;
     case RequestKind::kHistogram2D: out << "hist2"; break;
     case RequestKind::kSummary: out << "sum"; break;
+    case RequestKind::kZoom1D: out << "zoom1"; break;
+    case RequestKind::kZoom2D: out << "zoom2"; break;
   }
+  const bool zoom =
+      r.kind == RequestKind::kZoom1D || r.kind == RequestKind::kZoom2D;
   out << " t=" << r.timestep;
   if (!r.var_x.empty()) out << " x=" << r.var_x;
   if (!r.var_y.empty()) out << " y=" << r.var_y;
@@ -154,6 +195,17 @@ std::string format_request_line(const WireRequest& wire) {
     if (r.kind == RequestKind::kHistogram2D && r.nybins != r.nxbins)
       out << " ybins=" << r.nybins;
     if (r.binning == BinningMode::kAdaptive) out << " adaptive=1";
+  }
+  if (zoom) {
+    out << " bins=" << r.nxbins;
+    if (r.kind == RequestKind::kZoom2D && r.nybins != r.nxbins)
+      out << " ybins=" << r.nybins;
+    out << " vlo=" << format_double(r.view_lo_x)
+        << " vhi=" << format_double(r.view_hi_x);
+    if (r.kind == RequestKind::kZoom2D)
+      out << " ylo=" << format_double(r.view_lo_y)
+          << " yhi=" << format_double(r.view_hi_y);
+    if (r.zoom_mode == core::ZoomMode::kExact) out << " exact=1";
   }
   if (r.priority != Priority::kNormal)
     out << " pri=" << static_cast<unsigned>(r.priority);
@@ -180,14 +232,20 @@ std::string format_response_line(const Result& result, std::size_t ids_limit) {
     }
     if (result.ids.size() > n) out << ",...";
   }
-  if (result.kind == RequestKind::kHistogram1D)
+  if (result.kind == RequestKind::kHistogram1D ||
+      result.kind == RequestKind::kZoom1D)
     out << " bins=" << result.hist1d.counts.size()
         << " nonempty=" << result.hist1d.nonempty_bins()
         << " maxbin=" << result.hist1d.max_count();
-  if (result.kind == RequestKind::kHistogram2D)
+  if (result.kind == RequestKind::kHistogram2D ||
+      result.kind == RequestKind::kZoom2D)
     out << " nx=" << result.hist2d.nx() << " ny=" << result.hist2d.ny()
         << " nonempty=" << result.hist2d.nonempty_bins()
         << " maxbin=" << result.hist2d.max_count();
+  if (result.kind == RequestKind::kZoom1D ||
+      result.kind == RequestKind::kZoom2D)
+    out << " pyr=" << (result.pyramid ? 1 : 0)
+        << " level=" << result.pyramid_level;
   if (result.kind == RequestKind::kSummary)
     out << " min=" << result.summary.min << " max=" << result.summary.max
         << " mean=" << result.summary.mean << " stddev=" << result.summary.stddev;
@@ -208,6 +266,9 @@ std::string format_stats_line(const ServiceStats& s) {
       << " p50_us=" << static_cast<std::uint64_t>(s.p50_seconds * 1e6)
       << " p95_us=" << static_cast<std::uint64_t>(s.p95_seconds * 1e6)
       << " p99_us=" << static_cast<std::uint64_t>(s.p99_seconds * 1e6);
+  if (s.pyramid_served + s.pyramid_fallback > 0)
+    out << " pyr_served=" << s.pyramid_served
+        << " pyr_fallback=" << s.pyramid_fallback;
   if (s.dist_workers > 0)
     out << " dist_workers=" << s.dist_workers << " dist_alive=" << s.dist_alive
         << " dist_queries=" << s.dist_queries

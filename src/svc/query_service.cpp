@@ -4,6 +4,7 @@
 #include <array>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
@@ -33,8 +34,23 @@ const char* kind_tag(RequestKind kind) {
     case RequestKind::kHistogram1D: return "hist1";
     case RequestKind::kHistogram2D: return "hist2";
     case RequestKind::kSummary: return "sum";
+    case RequestKind::kZoom1D: return "zoom1";
+    case RequestKind::kZoom2D: return "zoom2";
   }
   return "?";
+}
+
+bool is_zoom(RequestKind kind) {
+  return kind == RequestKind::kZoom1D || kind == RequestKind::kZoom2D;
+}
+
+/// Shortest round-trip-exact rendering of @p v, for the raw-viewport leg of
+/// zoom cache keys (servable requests use the snapped level/window instead,
+/// which is already integral).
+std::string key_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
 }
 
 std::uint64_t histogram1d_bytes(const Histogram1D& h) {
@@ -59,6 +75,11 @@ bool distributable(const Request& r) {
     case RequestKind::kHistogram2D:
       return r.binning == BinningMode::kUniform;
     case RequestKind::kSummary:
+      return false;
+    case RequestKind::kZoom1D:
+    case RequestKind::kZoom2D:
+      // Zooms stay local: the pyramid serve is O(visible bins) on resident
+      // levels, so scattering it would cost more than answering it.
       return false;
   }
   return false;
@@ -182,8 +203,10 @@ struct QueryService::Impl {
       case RequestKind::kSummary:
         return 64;
       case RequestKind::kHistogram1D:
+      case RequestKind::kZoom1D:
         return (r.nxbins + r.nxbins + 1) * 8 + 64;
       case RequestKind::kHistogram2D:
+      case RequestKind::kZoom2D:
         return (r.nxbins * r.nybins + r.nxbins + r.nybins + 2) * 8 + 64;
       case RequestKind::kIds:
         return engine.dataset().table(r.timestep).num_rows() * 8 + 64;
@@ -259,6 +282,8 @@ struct QueryService::Impl {
           r.payload_bytes = histogram2d_bytes(r.hist2d);
           break;
         case RequestKind::kSummary:
+        case RequestKind::kZoom1D:
+        case RequestKind::kZoom2D:
           return false;  // never distributed (see distributable())
       }
       return true;
@@ -317,6 +342,29 @@ struct QueryService::Impl {
           r->count = r->summary.count;
           r->payload_bytes = 5 * 8;
           break;
+        case RequestKind::kZoom1D: {
+          core::Zoom1DResult z = sel.zoom_histogram1d(
+              req.timestep, req.var_x, req.view_lo_x, req.view_hi_x,
+              req.nxbins, req.zoom_mode);
+          r->hist1d = std::move(z.hist);
+          r->pyramid = z.pyramid;
+          r->pyramid_level = z.level;
+          r->count = r->hist1d.total();
+          r->payload_bytes = histogram1d_bytes(r->hist1d);
+          break;
+        }
+        case RequestKind::kZoom2D: {
+          core::Zoom2DResult z = sel.zoom_histogram2d(
+              req.timestep, req.var_x, req.var_y, req.view_lo_x,
+              req.view_hi_x, req.view_lo_y, req.view_hi_y, req.nxbins,
+              req.nybins, req.zoom_mode);
+          r->hist2d = std::move(z.hist);
+          r->pyramid = z.pyramid;
+          r->pyramid_level = z.level;
+          r->count = r->hist2d.total();
+          r->payload_bytes = histogram2d_bytes(r->hist2d);
+          break;
+        }
       }
     } catch (const std::exception& e) {
       r->status = Status::kError;
@@ -343,7 +391,12 @@ struct QueryService::Impl {
 
       const std::shared_ptr<Result> result = run_flight(*flight);
       result->sequence = ordinal;
-      if (config.cache_results && result->status == Status::kOk &&
+      // Exact-mode zooms are deliberately never cached: they exist to
+      // measure/verify the kernel path (bombard's verify and baseline
+      // phases), so every one must actually execute.
+      const bool exact_zoom = is_zoom(flight->request.kind) &&
+                              flight->request.zoom_mode == core::ZoomMode::kExact;
+      if (config.cache_results && !exact_zoom && result->status == Status::kOk &&
           result->payload_bytes <= config.max_cached_result_bytes) {
         // Cache a copy marked kCached: later identical requests are served
         // from the budget (same LRU as columns/segments/bitvectors), while
@@ -365,6 +418,12 @@ struct QueryService::Impl {
       inflight_by_key.erase(flight->key);
       --executing;
       ++counters.executed;
+      if (is_zoom(flight->request.kind) && result->status == Status::kOk) {
+        if (result->pyramid)
+          ++counters.pyramid_served;
+        else
+          ++counters.pyramid_fallback;
+      }
       const Clock::time_point now = Clock::now();
       for (const Flight::Attach& attach : flight->attaches) {
         ++counters.completed;
@@ -443,11 +502,20 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
     if (request.kind != RequestKind::kCount && request.kind != RequestKind::kIds) {
       if (request.var_x.empty())
         throw std::invalid_argument("request needs a variable");
-      if (request.kind == RequestKind::kHistogram2D && request.var_y.empty())
+      if ((request.kind == RequestKind::kHistogram2D ||
+           request.kind == RequestKind::kZoom2D) &&
+          request.var_y.empty())
         throw std::invalid_argument("histogram2d needs a second variable");
       if (request.kind != RequestKind::kSummary &&
           (request.nxbins == 0 || request.nybins == 0))
         throw std::invalid_argument("zero histogram bins");
+    }
+    if (is_zoom(request.kind)) {
+      if (!(request.view_hi_x > request.view_lo_x))
+        throw std::invalid_argument("zoom viewport needs view_hi > view_lo");
+      if (request.kind == RequestKind::kZoom2D &&
+          !(request.view_hi_y > request.view_lo_y))
+        throw std::invalid_argument("zoom viewport needs view_hi > view_lo");
     }
     selection = impl->engine.select_shared(request.query);
     key = "svc|";
@@ -457,12 +525,53 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
       // '|' between every variable-length field: variable names may
       // themselves contain letters like 'x', so bare joins could collide.
       key += '|' + request.var_x;
-      if (request.kind == RequestKind::kHistogram2D) key += '|' + request.var_y;
-      if (request.kind != RequestKind::kSummary) {
+      if (request.kind == RequestKind::kHistogram2D ||
+          request.kind == RequestKind::kZoom2D)
+        key += '|' + request.var_y;
+      if (request.kind != RequestKind::kSummary && !is_zoom(request.kind)) {
         key += '#' + std::to_string(request.nxbins);
         if (request.kind == RequestKind::kHistogram2D)
           key += '#' + std::to_string(request.nybins);
         key += request.binning == BinningMode::kAdaptive ? 'a' : 'u';
+      }
+    }
+    if (is_zoom(request.kind)) {
+      // Level-tagged zoom keys: a servable request's answer depends only on
+      // the snapped (level, bin window) — not on the raw viewport or nbins —
+      // so two pans that snap identically share one cache entry. zoom_plan*
+      // recomputes exactly the geometry the serve will use, so the key can
+      // never disagree with the result. Unservable (or exact-mode) requests
+      // key on the raw viewport; '#e' keeps the forced-exact universe
+      // disjoint from the auto one.
+      std::optional<core::ZoomPlan> plan;
+      if (request.zoom_mode == core::ZoomMode::kAuto) {
+        plan = request.kind == RequestKind::kZoom1D
+                   ? selection->zoom_plan1d(request.timestep, request.var_x,
+                                            request.view_lo_x, request.view_hi_x,
+                                            request.nxbins)
+                   : selection->zoom_plan2d(request.timestep, request.var_x,
+                                            request.var_y, request.view_lo_x,
+                                            request.view_hi_x, request.view_lo_y,
+                                            request.view_hi_y, request.nxbins,
+                                            request.nybins);
+      }
+      if (plan) {
+        key += "#L" + std::to_string(plan->level) + ':' +
+               std::to_string(plan->xlo) + '-' + std::to_string(plan->xhi);
+        if (request.kind == RequestKind::kZoom2D)
+          key += ':' + std::to_string(plan->ylo) + '-' +
+                 std::to_string(plan->yhi);
+        if (plan->pair) key += 'p';
+      } else {
+        key += '#' + key_double(request.view_lo_x) + ':' +
+               key_double(request.view_hi_x);
+        if (request.kind == RequestKind::kZoom2D)
+          key += '#' + key_double(request.view_lo_y) + ':' +
+                 key_double(request.view_hi_y);
+        key += '#' + std::to_string(request.nxbins);
+        if (request.kind == RequestKind::kZoom2D)
+          key += '#' + std::to_string(request.nybins);
+        if (request.zoom_mode == core::ZoomMode::kExact) key += "#e";
       }
     }
     key += '|' + selection->cache_key();

@@ -1,6 +1,6 @@
 // Shared property-based fuzz machinery: the seeded xorshift generator, the
-// random dataset writer (columns + bitmap/id indices + manifest), and the
-// random query-AST generator. test_fuzz_query drives the single-process
+// random dataset writer (columns + bitmap/id indices + histogram pyramids +
+// manifest), and the random query-AST generator. test_fuzz_query drives the single-process
 // differential legs with it; test_dist reuses the exact same distributions
 // for its scatter/gather-vs-local leg, so a distribution tweak here widens
 // every fuzzer at once.
@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "agg/pyramid.hpp"
 #include "bitmap/bitmap_index.hpp"
 #include "core/query.hpp"
 #include "io/dataset.hpp"
@@ -93,8 +94,10 @@ inline std::filesystem::path write_random_dataset(const std::string& name,
     std::ofstream meta(step / "meta.txt");
     meta.precision(17);
     meta << "rows " << rows << "\n";
+    std::vector<std::vector<double>> columns;
+    std::vector<std::pair<double, double>> domains;
     for (std::size_t v = 0; v < vars.size(); ++v) {
-      const std::vector<double> column = random_column(vars[v], rows, state);
+      std::vector<double> column = random_column(vars[v], rows, state);
       double lo = column.front(), hi = column.front();
       for (const double x : column) {
         lo = std::min(lo, x);
@@ -104,11 +107,26 @@ inline std::filesystem::path write_random_dataset(const std::string& name,
       global[v].first = std::min(global[v].first, lo);
       global[v].second = std::max(global[v].second, hi);
       write_binary(step / (vars[v] + ".f64"), column);
+      const double safe_hi = hi > lo ? hi : lo + 1.0;
       const BitmapIndex index = BitmapIndex::build(
-          column, make_uniform_bins(lo, hi > lo ? hi : lo + 1.0, index_bins));
+          column, make_uniform_bins(lo, safe_hi, index_bins));
       std::ofstream out(step / (vars[v] + ".bmi"), std::ios::binary);
       index.save(out);
+      // Histogram pyramids next to the .bmi segments (DESIGN.md §14): a
+      // 32-leaf 1D pyramid per variable so the zoom fuzz legs route through
+      // the pyramid tier on the same random data.
+      agg::Pyramid::build1d(column, make_uniform_bins(lo, safe_hi, 32))
+          .save(step / agg::pyramid_filename(vars[v]));
+      columns.push_back(std::move(column));
+      domains.emplace_back(lo, safe_hi);
     }
+    // Pair pyramid over (a, b) for conditioned-zoom coverage.
+    agg::Pyramid::build2d(columns[0], columns[1],
+                          make_uniform_bins(domains[0].first,
+                                            domains[0].second, 16),
+                          make_uniform_bins(domains[1].first,
+                                            domains[1].second, 16))
+        .save(step / agg::pyramid_filename(vars[0], vars[1]));
     // Shuffled unique ids so id lookups exercise real permutations.
     std::vector<std::uint64_t> ids(rows);
     for (std::size_t i = 0; i < rows; ++i) ids[i] = 1000 + i;

@@ -6,11 +6,17 @@
 // sequential scan. A second phase replays a random query stream against an
 // eager in-memory dataset and a lazy SegmentedBitmapIndex dataset under a
 // randomly shrunk MemoryBudget: answers must stay bit-identical while
-// evictions are actually happening.
+// evictions are actually happening. A third phase fuzzes the zoom tier
+// (DESIGN.md §14): random viewport/zoom sequences — and four concurrent
+// zoom sessions, for the TSan job — where kAuto (pyramid) and kExact must
+// agree bit for bit whatever route kAuto picks.
 //
 // ctest runs a reduced iteration count; set QDV_FUZZ_ITERS for a deep run.
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/selection.hpp"
 #include "fuzz_common.hpp"
@@ -83,10 +89,93 @@ void test_out_of_core_differential() {
   CHECK(stats.loaded_bytes > stats.resident_bytes);
 }
 
+// One random zoom request: random variable and viewport (mostly inside the
+// domain, sometimes narrow enough to force the exact fallback, sometimes
+// fully outside), random bin count, and — half the time — a random
+// predicate whose shape decides servability on its own. The property is
+// mode-independence: kAuto (pyramid tier when servable) and kExact must
+// agree bit for bit on counts and edges, whatever route kAuto picks.
+void check_random_zoom(const core::Engine& engine, std::uint64_t& state,
+                       std::size_t timesteps) {
+  const auto& vars = fuzz::variables();
+  const std::size_t t = fuzz::next(state) % timesteps;
+  const std::string& var = vars[fuzz::next(state) % vars.size()];
+  const auto [dlo, dhi] = engine.dataset().global_domain(var);
+  const double span = (dhi - dlo) * (fuzz::next(state) % 8 == 0
+                                         ? 0.002
+                                         : 0.1 + 0.9 * fuzz::uniform(state, 0, 1));
+  const double lo = fuzz::uniform(state, dlo - 0.2 * (dhi - dlo), dhi);
+  const std::size_t nbins = 4 + fuzz::next(state) % 61;
+  core::Selection sel = engine.all();
+  if (fuzz::next(state) % 2 == 0)
+    sel = engine.select(fuzz::random_query(state, 1 + fuzz::next(state) % 2));
+
+  if (fuzz::next(state) % 4 != 0) {
+    const core::Zoom1DResult a = sel.zoom_histogram1d(
+        t, var, lo, lo + span, nbins, core::ZoomMode::kAuto);
+    const core::Zoom1DResult e = sel.zoom_histogram1d(
+        t, var, lo, lo + span, nbins, core::ZoomMode::kExact);
+    CHECK(a.hist.counts == e.hist.counts);
+    CHECK(a.hist.bins.edges() == e.hist.bins.edges());
+  } else {
+    // 2D zoom over the (a, b) pair pyramid's plane.
+    const auto [ylo_d, yhi_d] = engine.dataset().global_domain(vars[1]);
+    const double ylo = fuzz::uniform(state, ylo_d, yhi_d);
+    const double yspan = (yhi_d - ylo_d) * (0.1 + 0.8 * fuzz::uniform(state, 0, 1));
+    const core::Zoom2DResult a = sel.zoom_histogram2d(
+        t, vars[0], vars[1], lo, lo + span, ylo, ylo + yspan, nbins, nbins,
+        core::ZoomMode::kAuto);
+    const core::Zoom2DResult e = sel.zoom_histogram2d(
+        t, vars[0], vars[1], lo, lo + span, ylo, ylo + yspan, nbins, nbins,
+        core::ZoomMode::kExact);
+    CHECK(a.hist.counts == e.hist.counts);
+    CHECK(a.hist.xbins.edges() == e.hist.xbins.edges());
+    CHECK(a.hist.ybins.edges() == e.hist.ybins.edges());
+  }
+}
+
+void test_zoom_differential() {
+  const std::filesystem::path dir = fuzz::write_random_dataset(
+      "fuzz_zoom", /*timesteps=*/2, /*rows=*/600,
+      /*seed=*/0x200fu, /*index_bins=*/32);
+  const core::Engine engine = core::Engine::open(dir);
+  std::uint64_t state = 0x51deull;
+  const std::size_t iters = fuzz::iterations();
+  for (std::size_t i = 0; i < iters; ++i)
+    check_random_zoom(engine, state, 2);
+  // The leg must have exercised both routes, not just the fallback.
+  const core::EngineStats stats = engine.stats();
+  CHECK(stats.pyramid_served > 0);
+  CHECK(stats.pyramid_fallback > 0);
+}
+
+// Concurrent zoom sessions against one shared engine: the lazily-loaded
+// pyramid levels, the zoom stats counters, and the bitvector cache are all
+// shared mutable state — this leg exists for the TSan job as much as for
+// the differential property itself.
+void test_zoom_concurrent() {
+  const std::filesystem::path dir = fuzz::write_random_dataset(
+      "fuzz_zoom_mt", /*timesteps=*/2, /*rows=*/500,
+      /*seed=*/0xc0ffu, /*index_bins=*/24);
+  const core::Engine engine = core::Engine::open(dir);
+  const std::size_t iters = std::max<std::size_t>(fuzz::iterations() / 4, 10);
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < 4; ++w)
+    threads.emplace_back([&engine, w, iters] {
+      std::uint64_t state = 0x7007ull + w * 0x9e3779b97f4a7c15ull;
+      for (std::size_t i = 0; i < iters; ++i)
+        check_random_zoom(engine, state, 2);
+    });
+  for (std::thread& th : threads) th.join();
+  CHECK(engine.stats().pyramid_served > 0);
+}
+
 }  // namespace
 
 int main() {
   test_round_trip_and_plan_vs_scan();
   test_out_of_core_differential();
+  test_zoom_differential();
+  test_zoom_concurrent();
   return qdv::test::finish("test_fuzz_query");
 }

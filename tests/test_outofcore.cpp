@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "agg/pyramid.hpp"
 #include "bitmap/index_segments.hpp"
 #include "core/selection.hpp"
 #include "io/mapped_file.hpp"
@@ -221,6 +222,56 @@ void test_tiny_budget_mid_query_eviction() {
   CHECK(s.loaded_bytes > s.budget_bytes);  // far more flowed through than fits
 }
 
+void test_pyramid_partial_residency() {
+  // The pair pyramid's fine levels (256x256 leaf counts alone are 512 KiB)
+  // dwarf a 4 KiB budget: zoom serves must stay bit-exact through partial
+  // residency — level pins survive eviction — while kPyramid levels cycle
+  // through the LRU, and the below-resolution fallback must stay exact too.
+  io::OpenOptions options;
+  options.budget_bytes = 4 << 10;
+  const core::Engine engine(io::Dataset::open(dataset_dir(), options));
+  const std::size_t t = 37;
+  const auto pyr = engine.dataset().table(t).pyramid2d("x", "px");
+  CHECK(pyr != nullptr);
+  CHECK(pyr->total_count_bytes() > options.budget_bytes);
+  const std::vector<double>& xe = pyr->leaf_edges(0);
+  const std::vector<double>& ye = pyr->leaf_edges(1);
+  const double xw = xe.back() - xe.front(), yw = ye.back() - ye.front();
+
+  const core::Selection sel = engine.all();
+  for (const std::size_t nbins : {8u, 16u, 64u}) {
+    for (const double f : {0.0, 0.13, 0.31}) {
+      const core::Zoom2DResult a = sel.zoom_histogram2d(
+          t, "x", "px", xe.front() + f * xw, xe.back() - 0.05 * xw,
+          ye.front() + f * yw, ye.back(), nbins, nbins, core::ZoomMode::kAuto);
+      const core::Zoom2DResult e = sel.zoom_histogram2d(
+          t, "x", "px", xe.front() + f * xw, xe.back() - 0.05 * xw,
+          ye.front() + f * yw, ye.back(), nbins, nbins, core::ZoomMode::kExact);
+      CHECK(a.pyramid);
+      CHECK(a.hist.counts == e.hist.counts);
+      CHECK(a.hist.xbins.edges() == e.hist.xbins.edges());
+      CHECK(a.hist.ybins.edges() == e.hist.ybins.edges());
+    }
+  }
+  // Deep zoom below the leaf resolution: the exact-kernel fallback answers
+  // under the same tiny budget (columns stream through it).
+  const core::Zoom1DResult deep_a = sel.zoom_histogram1d(
+      t, "px", ye.front() + 0.400 * yw, ye.front() + 0.401 * yw, 64,
+      core::ZoomMode::kAuto);
+  const core::Zoom1DResult deep_e = sel.zoom_histogram1d(
+      t, "px", ye.front() + 0.400 * yw, ye.front() + 0.401 * yw, 64,
+      core::ZoomMode::kExact);
+  CHECK(!deep_a.pyramid);
+  CHECK(deep_a.hist.counts == deep_e.hist.counts);
+
+  const core::EngineStats s = engine.stats();
+  CHECK(s.pyramid_served > 0);
+  CHECK(s.pyramid_fallback > 0);
+  CHECK(s.pyramid_evictions > 0);  // levels really cycled through the LRU
+  CHECK(s.io_evictions > 0);
+  CHECK(s.resident_bytes <= s.budget_bytes);
+}
+
 void test_column_larger_than_budget() {
   // 1 KiB budget vs ~3 KiB columns: every column access overflows the whole
   // budget and must stream through (mmap pages fault in and are dropped).
@@ -321,6 +372,7 @@ int main() {
   test_segmented_index_matches_eager();
   test_memory_budget_accounting();
   test_tiny_budget_mid_query_eviction();
+  test_pyramid_partial_residency();
   test_column_larger_than_budget();
   test_concurrent_selections_share_mapped_file();
   test_touched_columns_only();

@@ -263,12 +263,14 @@ void test_session_byte_budget() {
 
 void test_protocol_round_trip() {
   const char* lines[] = {
-      "hello v=2",
+      "hello v=3",
       "count t=3 q=px > 1e9 && y > 0",
       "ids t=0 limit=5 q=px > 2e9",
       "hist1 t=2 x=px bins=32 q=y > 0",
       "hist2 t=1 x=px y=x bins=32 ybins=16 adaptive=1 pri=0 q=px > 1e9",
       "sum t=4 x=px",
+      "zoom1 t=0 x=px bins=32 vlo=-1.5 vhi=2.25 q=y > 0",
+      "zoom2 t=0 x=x y=px bins=32 ybins=16 vlo=0.125 vhi=0.5 ylo=-2 yhi=2 exact=1",
       "count t=0",
       "stats",
       "ping",

@@ -1,13 +1,15 @@
 // Concurrency stress for svc::QueryService (and the TSan target): N client
 // threads hammer one service with a seeded mix of coalescible (hot-pool)
 // and distinct queries. Every response must be bit-identical to a serial
-// re-execution through a fresh Engine, and with 50% duplicates the
-// deduplication rate (in-flight attaches + result-cache hits) must clear
-// 40%.
+// re-execution through a fresh Engine, and — with an unlimited budget, so
+// nothing seen can be evicted — every duplicate of an already-seen key must
+// be served without re-execution: the executed count equals the distinct
+// key count and the dedup rate equals the generated duplicate fraction.
 #include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/selection.hpp"
@@ -126,6 +128,12 @@ void check_result_matches_serial(const core::Engine& reference,
       CHECK_EQ(got.summary.stddev, s.stddev);
       break;
     }
+    case svc::RequestKind::kZoom1D:
+    case svc::RequestKind::kZoom2D:
+      // The stress mix never generates zoom requests; test_pyramid and the
+      // bombard zoom scenario own that coverage.
+      CHECK(false);
+      break;
   }
 }
 
@@ -160,16 +168,38 @@ void test_hammer_mixed_duplicates() {
   CHECK_EQ(stats.failed, 0u);
   CHECK_EQ(stats.rejected_queue + stats.rejected_budget, 0u);
   CHECK_EQ(stats.executed + stats.coalesce_hits + stats.result_cache_hits, total);
-  // 50% duplicates: at least 40% of requests must have been served without
-  // re-executing (attached in flight or answered from the result cache).
+  // The floor is derived, not a magic threshold: with an unlimited budget
+  // (nothing cached is ever evicted, every payload here is far below the
+  // cacheable-size cap) each distinct key executes exactly once and every
+  // duplicate attaches in flight or hits the result cache. Distinct-by-text
+  // over-counts keys that canonicalize together, so the rate bound below
+  // is a true floor either way.
+  std::unordered_set<std::string> keys;
+  for (std::size_t c = 0; c < kClients; ++c)
+    for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+      const svc::Request r = request_for(c, i);
+      std::string key = std::to_string(static_cast<int>(r.kind));
+      for (const std::string& part :
+           {std::to_string(r.timestep), r.var_x, r.var_y,
+            std::to_string(r.nxbins), std::to_string(r.nybins), r.query}) {
+        key += '|';
+        key += part;
+      }
+      keys.insert(std::move(key));
+    }
+  const std::size_t distinct = keys.size();
+  const double dup_floor = 1.0 - static_cast<double>(distinct) / total;
   std::fprintf(stderr,
-               "stress: %llu executed, %llu coalesced, %llu cached "
-               "(dedup rate %.1f%%), p99 %.3f ms\n",
-               static_cast<unsigned long long>(stats.executed),
+               "stress: %llu executed / %zu distinct, %llu coalesced, "
+               "%llu cached (dedup rate %.1f%%, generated dup %.1f%%), "
+               "p99 %.3f ms\n",
+               static_cast<unsigned long long>(stats.executed), distinct,
                static_cast<unsigned long long>(stats.coalesce_hits),
                static_cast<unsigned long long>(stats.result_cache_hits),
-               100.0 * stats.coalesce_rate(), stats.p99_seconds * 1e3);
-  CHECK(stats.coalesce_rate() > 0.4);
+               100.0 * stats.coalesce_rate(), 100.0 * dup_floor,
+               stats.p99_seconds * 1e3);
+  CHECK(stats.executed <= distinct);
+  CHECK(stats.coalesce_rate() >= dup_floor - 1e-9);
   CHECK(stats.p50_seconds <= stats.p99_seconds);
   CHECK(stats.latency_samples == total);
 }
