@@ -19,7 +19,11 @@
 //   worker   <dir> --socket <path>
 //   bombard  <dir> [--socket <path>] [--workers N] [--clients N]
 //            [--requests M] [--seed S] [--dup F] [--json <file>]
-//            [--scenario mixed|zoom] [--bins N]
+//            [--scenario mixed|zoom] [--bins N] [--chaos]
+//            [--chaos-spec <fault-spec>]
+//   fsck     <dir> [--verbose]
+//   corrupt  <dir> --file <rel-path> [--offset N | --tail N] [--xor B]
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -42,6 +46,8 @@
 #include "core/statistics.hpp"
 #include "dist/coordinator.hpp"
 #include "dist/worker.hpp"
+#include "fault/fault.hpp"
+#include "io/checksum.hpp"
 #include "io/export.hpp"
 #include "parallel/prefetch.hpp"
 #include "sim/wakefield.hpp"
@@ -140,6 +146,72 @@ int cmd_info(const std::string& dir) {
             << rows / std::max<std::size_t>(1, ds.num_timesteps()) << " per step)\n";
   std::cout << "disk:       " << (ds.disk_bytes() >> 20) << " MiB\n";
   std::cout << "indices:    " << (ds.table(0).has_indices() ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int cmd_fsck(const std::string& dir, const Args& args) {
+  const io::FsckReport report = io::fsck_dataset(dir);
+  const bool verbose = args.flag("--verbose");
+  for (const io::FsckEntry& e : report.entries) {
+    const char* status = e.status == io::FsckEntry::Status::kOk ? "ok"
+                         : e.status == io::FsckEntry::Status::kFailed
+                             ? "FAILED"
+                             : "unverified";
+    if (!verbose && e.status == io::FsckEntry::Status::kOk) continue;
+    std::cout << "  " << status << "  " << e.rel;
+    if (!e.detail.empty()) std::cout << "  (" << e.detail << ")";
+    std::cout << "\n";
+  }
+  std::cout << "fsck " << dir << ": " << report.ok << " ok, " << report.failed
+            << " failed, " << report.unverified << " unverified ("
+            << report.sections_checked << " sections checked)\n";
+  return report.damaged() ? 1 : 0;
+}
+
+/// Deterministic single-byte damage for integrity drills: flip one byte of
+/// one artifact, leaving the checksum sidecars untouched so fsck and the
+/// degradation paths see a genuine mismatch. Exercised by the chaos-smoke
+/// CI job; never useful in production.
+int cmd_corrupt(const std::string& dir, const Args& args) {
+  const auto rel = args.option("--file");
+  if (!rel) {
+    std::cerr << "corrupt: missing --file <path relative to dataset root>\n";
+    return 2;
+  }
+  const std::filesystem::path path = std::filesystem::path(dir) / *rel;
+  if (!std::filesystem::is_regular_file(path)) {
+    std::cerr << "corrupt: no such file: " << path << "\n";
+    return 2;
+  }
+  const std::uint64_t size = std::filesystem::file_size(path);
+  std::uint64_t offset = args.size_option("--offset", 0);
+  if (const auto tail = args.option("--tail"))
+    offset = size - std::min<std::uint64_t>(size, std::stoull(*tail));
+  if (offset >= size) {
+    std::cerr << "corrupt: offset " << offset << " out of range (file is "
+              << size << " bytes)\n";
+    return 2;
+  }
+  const unsigned mask =
+      static_cast<unsigned>(args.size_option("--xor", 0x40)) & 0xff;
+  if (mask == 0) {
+    std::cerr << "corrupt: --xor 0 would be a no-op\n";
+    return 2;
+  }
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.get(byte);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(static_cast<char>(static_cast<unsigned char>(byte) ^ mask));
+  file.flush();
+  if (!file) {
+    std::cerr << "corrupt: write failed on " << path << "\n";
+    return 1;
+  }
+  std::cout << "flipped byte " << offset << " of " << *rel << " (xor 0x"
+            << std::hex << mask << std::dec << ")\n";
   return 0;
 }
 
@@ -343,7 +415,8 @@ int cmd_worker(const std::string& dir, const Args& args) {
 /// `<base_socket>.wK` sockets and attach them all to a fresh coordinator.
 /// The coordinator's destructor shuts the workers down and reaps them.
 std::shared_ptr<dist::Coordinator> spawn_local_workers(
-    const std::string& dir, const std::string& base_socket, std::size_t n) {
+    const std::string& dir, const std::string& base_socket, std::size_t n,
+    std::vector<pid_t>* pids_out = nullptr) {
   auto coordinator =
       std::make_shared<dist::Coordinator>(io::Dataset::open(dir));
   const std::string exe = dist::self_exe_path("qdv_tool");
@@ -352,6 +425,7 @@ std::shared_ptr<dist::Coordinator> spawn_local_workers(
     const pid_t pid =
         dist::spawn_worker_process(exe, {"worker", dir, "--socket", wsock});
     coordinator->attach_worker(wsock, pid);
+    if (pids_out) pids_out->push_back(pid);
   }
   return coordinator;
 }
@@ -662,12 +736,31 @@ int cmd_bombard(const std::string& dir, const Args& args) {
     return 2;
   }
 
+  // --chaos: seeded fault injection on the coordinator<->worker wire plus
+  // one SIGKILLed worker mid-run. Only detectable faults (connection reset,
+  // EINTR, short transfers, latency) are in the default spec — the dist
+  // frames carry no payload checksums, so a silent bit flip there is not a
+  // survivable fault, and the differential verify below must stay clean.
+  const bool chaos = args.flag("--chaos");
+  const std::string chaos_spec = args.option_or(
+      "--chaos-spec", "seed:" + std::to_string(seed) +
+                          ",spec:wire.reset@0.02,spec:wire.eintr@0.05"
+                          ",spec:wire.short@0.05,spec:wire.delay@0.01");
+  if (chaos) {
+    std::string error;
+    if (!fault::configure(chaos_spec, &error)) {
+      std::cerr << "bombard: bad --chaos-spec: " << error << "\n";
+      return 2;
+    }
+  }
+
   // Self-host unless pointed at an external server: spin up the service and
   // a socket in-process so one command measures the full wire path.
   const std::size_t dist_workers = args.size_option("--workers", 0);
   std::optional<svc::QueryService> service;
   std::optional<svc::SocketServer> server;
   std::shared_ptr<dist::Coordinator> coordinator;
+  std::vector<pid_t> worker_pids;
   std::string socket = args.option_or("--socket", "");
   if (socket.empty()) {
     socket = (std::filesystem::temp_directory_path() /
@@ -675,7 +768,8 @@ int cmd_bombard(const std::string& dir, const Args& args) {
                  .string();
     service.emplace(open_service_engine(dir, args), service_config_from(args));
     if (dist_workers > 0) {
-      coordinator = spawn_local_workers(dir, socket, dist_workers);
+      coordinator = spawn_local_workers(dir, socket, dist_workers,
+                                        &worker_pids);
       service->set_distributor(coordinator);
     }
     server.emplace(*service, socket);
@@ -733,6 +827,17 @@ int cmd_bombard(const std::string& dir, const Args& args) {
   std::vector<double> pyramid_latencies_us;
   std::uint64_t pyr_responses = 0, zoom_responses = 0;
   std::uint64_t errors = 0;
+  // Chaos: take one worker down mid-phase. The coordinator must detect the
+  // death, reshard over the survivors, and keep every answer exact.
+  bool chaos_killed = false;
+  std::thread chaos_killer;
+  if (chaos && !worker_pids.empty()) {
+    chaos_killed = true;
+    chaos_killer = std::thread([pid = worker_pids.front()] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ::kill(pid, SIGKILL);
+    });
+  }
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
@@ -777,6 +882,7 @@ int cmd_bombard(const std::string& dir, const Args& args) {
     });
   }
   for (std::thread& t : threads) t.join();
+  if (chaos_killer.joinable()) chaos_killer.join();
 
   // Phase C (zoom): sequential exact=1 re-run of the distinct requests —
   // the honest no-pyramid baseline (exact-mode zooms are never answered
@@ -814,8 +920,36 @@ int cmd_bombard(const std::string& dir, const Args& args) {
   }
   if (server) server->stop();
 
+  // Chaos accounting: what the injector actually fired, plus the kill.
+  // Injection stops here — the verify phase below measures what state the
+  // chaos left behind, not fresh faults.
+  std::ostringstream chaos_json;
+  if (chaos) {
+    const auto wire = [](fault::Kind kind) {
+      return fault::injected(fault::Site::kWire, kind);
+    };
+    chaos_json << "  \"chaos\": {\"spec\": \"" << chaos_spec
+               << "\", \"killed_worker\": "
+               << (chaos_killed ? "true" : "false")
+               << ", \"injected\": {\"wire.reset\": "
+               << wire(fault::Kind::kConnReset)
+               << ", \"wire.eintr\": " << wire(fault::Kind::kEintr)
+               << ", \"wire.short\": " << wire(fault::Kind::kShortRead)
+               << ", \"wire.delay\": " << wire(fault::Kind::kLatency)
+               << "}, \"injected_total\": " << fault::injected_total()
+               << "},\n";
+    std::cout << "chaos: " << fault::injected_total()
+              << " faults injected (spec " << chaos_spec << ")"
+              << (chaos_killed ? ", 1 worker killed" : "") << "\n";
+    fault::reset();
+  }
+
   // Distributed correctness guard: scatter one count per timestep and check
-  // each merged answer against a direct single-process engine.
+  // each merged answer against a direct single-process engine. Under
+  // --chaos the whole fleet may have been declared dead (injected resets
+  // can fail the reconnect probe that would have cleared a healthy
+  // worker); that is graceful degradation, not a verification failure —
+  // the timed phase already answered through the service's local fallback.
   std::size_t verify_failures = 0;
   std::ostringstream dist_json;
   if (coordinator) {
@@ -828,8 +962,14 @@ int cmd_bombard(const std::string& dir, const Args& args) {
           var + " > " +
           qdv::format_double(domain.first +
                              0.5 * (domain.second - domain.first));
-      const dist::GatherResult g =
-          coordinator->execute(dist::ShardKind::kCount, t, query);
+      dist::GatherResult g;
+      try {
+        g = coordinator->execute(dist::ShardKind::kCount, t, query);
+      } catch (const dist::NoLiveWorkers& e) {
+        if (!chaos) throw;
+        std::cout << "distributed verify skipped: " << e.what() << "\n";
+        break;
+      }
       const std::uint64_t expect = direct.select(query).bits(t)->count();
       if (!g.ok || g.count != expect) ++verify_failures;
     }
@@ -900,6 +1040,7 @@ int cmd_bombard(const std::string& dir, const Args& args) {
        << ", \"mean\": " << mean << "},\n"
        << "  \"errors\": " << errors << ",\n"
        << pyramid_json.str()
+       << chaos_json.str()
        << dist_json.str()
        << "  \"server_stats\": \"" << server_stats << "\"\n"
        << "}\n";
@@ -936,6 +1077,8 @@ commands:
   serve      host the dataset as a concurrent query service (unix socket)
   worker     run one sharded worker process (spawned by serve --workers)
   bombard    replay a seeded concurrent workload against a service
+  fsck       verify every on-disk artifact against its checksum sidecars
+  corrupt    flip one byte of one artifact (integrity drills, CI chaos)
 
 run a command without options to see its required arguments.
 full reference: docs/qdv_tool.md
@@ -970,6 +1113,8 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(dir, args);
     if (command == "worker") return cmd_worker(dir, args);
     if (command == "bombard") return cmd_bombard(dir, args);
+    if (command == "fsck") return cmd_fsck(dir, args);
+    if (command == "corrupt") return cmd_corrupt(dir, args);
     std::cerr << "unknown command '" << command << "'\n";
     usage();
     return 2;

@@ -19,13 +19,25 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bitmap/bins.hpp"
 #include "bitmap/interval.hpp"
+#include "io/checksum.hpp"
 #include "io/memory_budget.hpp"
 
 namespace qdv::agg {
+
+/// Hook-up to the integrity layer (io/checksum.hpp, DESIGN.md §15): the
+/// directory's checksum set, this pyramid's sidecar key (its file name),
+/// and the dataset-wide counters. All members optional — a default
+/// PyramidIntegrity opens the file unverified.
+struct PyramidIntegrity {
+  std::shared_ptr<const io::ChecksumSet> sums;
+  std::string file_name;
+  std::shared_ptr<io::IntegrityStats> stats;
+};
 
 /// How a pyramid node's value range relates to a condition interval.
 enum class Cover { kOutside, kPartial, kInside };
@@ -68,11 +80,29 @@ class Pyramid {
   /// Open a `.pyr` file: header + edges eager, levels lazy (budget-cached
   /// under keys "<budget_prefix>|L<l>" when @p budget is non-null, else in a
   /// small local cache). Throws std::runtime_error on a missing or
-  /// malformed file.
+  /// malformed file, io::IntegrityError when @p integrity records a header
+  /// checksum that does not match. Level loads verify per-level checksums
+  /// the same way; a mismatching level quarantines the pyramid (see
+  /// quarantined()) and throws io::IntegrityError — the zoom layer then
+  /// falls back to the exact kernels.
   static std::shared_ptr<Pyramid> open(
       const std::filesystem::path& file,
       std::shared_ptr<io::MemoryBudget> budget = nullptr,
-      std::string budget_prefix = {});
+      std::string budget_prefix = {}, PyramidIntegrity integrity = {});
+
+  /// True once a level checksum mismatch (or quarantine()) marked this
+  /// pyramid unusable: the table accessors then report it absent, so every
+  /// later zoom routes to the exact path without re-verifying.
+  bool quarantined() const;
+  /// Mark unusable (idempotent; first call counts one integrity demotion).
+  /// Called internally on checksum mismatch and by the zoom layer when a
+  /// level read fails structurally (truncated file).
+  void quarantine() const;
+
+  /// Byte ranges of the on-disk file that are read as units — the header
+  /// (offset 0) and each level's count array — i.e. the sections the
+  /// integrity layer checksums. Only valid for file-backed pyramids.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> file_sections() const;
 
   std::size_t ndims() const { return edges_.size(); }
   /// Per-axis leaf bins = 1 << leaf_log2(); levels run 0..leaf_log2().

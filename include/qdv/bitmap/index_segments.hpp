@@ -55,8 +55,20 @@ class SegmentedBitmapIndex {
     return offsets_[s + 1] - offsets_[s];
   }
 
+  /// Byte offset of segment @p s in the image — segment_offset(0) is also
+  /// the header length. With segment_bytes() this names the exact byte
+  /// range a decode touches, which is the granularity the integrity layer
+  /// records checksums at (io/checksum.hpp).
+  std::uint64_t segment_offset(std::size_t s) const { return offsets_[s]; }
+
   /// Decode segment @p s from the image (no caching at this level).
   BitVector decode_segment(std::size_t s) const;
+
+  /// Raw serialized bytes of segment @p s — what the integrity layer
+  /// checksums before a decode trusts them.
+  std::span<const std::byte> segment_image(std::size_t s) const {
+    return image_.subspan(offsets_[s], segment_bytes(s));
+  }
 
   /// True when the outside bitmap has no set bits (checked once at open;
   /// lets range evaluation skip the outside candidate segment entirely).

@@ -56,6 +56,14 @@ struct EngineStats {
   std::uint64_t pyramid_served = 0;    // answered from pyramid levels
   std::uint64_t pyramid_fallback = 0;  // routed to the exact kernel path
 
+  // Integrity (DESIGN.md §15): checksum verification events across every
+  // table of the dataset, and how often a corrupt artifact was quarantined
+  // (its queries demoted to a slower-but-exact path).
+  std::uint64_t integrity_verified = 0;    // checks that passed
+  std::uint64_t integrity_failures = 0;    // checksum mismatches detected
+  std::uint64_t integrity_demotions = 0;   // artifacts quarantined
+  std::uint64_t integrity_unverified = 0;  // decodes with no recorded sum
+
   // SIMD dispatch (process-wide, see qdv::simd): the active ISA level and
   // per-kernel-family counts of vector vs scalar-fallback invocations.
   std::string simd_isa;

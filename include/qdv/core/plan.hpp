@@ -55,6 +55,11 @@ struct PredicateStep {
   std::string variable;
   AccessPath access = AccessPath::kScan;
   bool fused = false;     // true when the leaf is a fused IntervalQuery
+  // True when the index exists on disk but was quarantined after failing a
+  // checksum (DESIGN.md §15): the step planned kScan as a demotion, not
+  // because no index was built. Plans cached before the quarantine keep
+  // their index steps — the evaluation layer demotes those at run time.
+  bool demoted = false;
 };
 
 /// The executable shape of one canonical query. Immutable after

@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +49,19 @@ struct DistConfig {
   /// Reconnect-and-resend attempts per sub-request before the owning
   /// worker is declared dead and its window re-sharded.
   int max_retries = 1;
+  /// Jittered exponential backoff before each reconnect-and-resend: the
+  /// delay is min(backoff_base * 2^attempt, backoff_max) scaled by a
+  /// seeded jitter factor in [0.5, 1.0), so a momentarily overloaded
+  /// worker gets breathing room instead of an instant resend — and
+  /// coordinators retrying the same worker do not resend in lockstep.
+  std::chrono::milliseconds backoff_base{5};
+  std::chrono::milliseconds backoff_max{200};
+  /// Seed of the jitter PRNG; a fixed seed makes the delay sequence
+  /// reproducible in tests.
+  std::uint64_t backoff_seed = 0x9e3779b97f4a7c15ull;
+  /// Test seam: when set, called with each backoff delay instead of
+  /// sleeping the calling thread.
+  std::function<void(std::chrono::milliseconds)> backoff_sleep;
   /// Run the heartbeat thread (tests exercising only the in-query failure
   /// path can turn it off for determinism).
   bool heartbeats = true;
@@ -95,6 +109,15 @@ struct GatherResult {
   double max_shard_seconds = 0.0;      // critical-path worker CPU time
   double sum_shard_seconds = 0.0;      // total worker CPU time
 };
+
+/// Next retry delay: min(@p base * 2^attempt, @p max) scaled by a jitter
+/// factor in [0.5, 1.0) drawn from @p state (xorshift64 — seed it once,
+/// pass it back for each draw; the same seed replays the same sequence).
+/// Never returns less than 1 ms.
+std::chrono::milliseconds backoff_delay(int attempt,
+                                        std::chrono::milliseconds base,
+                                        std::chrono::milliseconds max,
+                                        std::uint64_t& state);
 
 /// No live worker remains (or none was ever attached): callers fall back
 /// to local execution.

@@ -77,6 +77,12 @@ class Dataset {
   /// (never null; unlimited unless configured).
   const std::shared_ptr<MemoryBudget>& memory_budget() const;
 
+  /// Dataset-wide integrity counters: every cached table (and every table
+  /// from open_table) reports its checksum verifications, failures, and
+  /// quarantine demotions here (never null; surfaced via EngineStats and
+  /// the svc stats verb — DESIGN.md §15).
+  const std::shared_ptr<IntegrityStats>& integrity_stats() const;
+
   /// Global [min, max] of a variable across all timesteps.
   std::pair<double, double> global_domain(const std::string& name) const;
 

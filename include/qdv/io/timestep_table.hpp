@@ -31,6 +31,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -38,6 +39,7 @@
 #include "bitmap/histogram.hpp"
 #include "bitmap/index_segments.hpp"
 #include "core/query.hpp"
+#include "io/checksum.hpp"
 #include "io/mapped_file.hpp"
 #include "io/memory_budget.hpp"
 
@@ -58,9 +60,15 @@ class TimestepTable {
   /// Open the timestep stored in @p dir (reads meta.txt eagerly, everything
   /// else lazily). @p budget, when given, is charged for every resident the
   /// table loads and may evict them; pass nullptr for an unbudgeted table.
+  /// @p integrity, when given, receives this table's verification /
+  /// degradation counters (Dataset shares one across all its tables);
+  /// nullptr allocates a private one. Checksums come from the directory's
+  /// `checksums.qdv` sidecar (io/checksum.hpp) — absent sidecar means every
+  /// decode counts as unverified but everything still opens.
   explicit TimestepTable(std::filesystem::path dir, std::size_t step = 0,
                          LoadMode mode = LoadMode::kLazy,
-                         std::shared_ptr<MemoryBudget> budget = nullptr);
+                         std::shared_ptr<MemoryBudget> budget = nullptr,
+                         std::shared_ptr<IntegrityStats> integrity = nullptr);
 
   std::uint64_t num_rows() const { return rows_; }
   std::size_t step() const { return step_; }
@@ -97,6 +105,21 @@ class TimestepTable {
   /// On-disk existence checks (no loading) — what the planner probes.
   bool has_value_index(const std::string& name) const;
   bool has_id_index(const std::string& name) const;
+
+  /// True once @p name's bitmap index was quarantined after a checksum
+  /// mismatch or structural corruption: its predicates demote to the scan
+  /// path (DESIGN.md §15) without re-verifying per query. The planner
+  /// consults this so fresh plans show the demotion in explain().
+  bool index_quarantined(const std::string& name) const;
+  /// Mark @p name's bitmap index unusable (idempotent; the first call
+  /// counts one integrity demotion). Called by the evaluation layer when an
+  /// index artifact fails verification mid-query.
+  void quarantine_index(const std::string& name) const;
+
+  /// The verification/degradation counters this table reports into.
+  const std::shared_ptr<IntegrityStats>& integrity_stats() const {
+    return integrity_;
+  }
 
   /// Histogram pyramid of one column (`<name>.pyr`) or of a column pair
   /// (`<x>__<y>.pyr`, exactly that axis order — callers try both
@@ -142,6 +165,8 @@ class TimestepTable {
   std::string budget_prefix_;  // per-directory key namespace in the budget
   std::vector<std::string> variables_;
   std::unordered_map<std::string, std::pair<double, double>> domains_;
+  std::shared_ptr<const ChecksumSet> sums_;  // sidecar; nullptr = unverified
+  std::shared_ptr<IntegrityStats> integrity_;  // never null
 
   // Lazy-loading state, guarded by mutex_. Handles are stored in node-based
   // maps, so references stay stable while the maps grow.
@@ -158,9 +183,21 @@ class TimestepTable {
   // Keyed by .pyr file stem ("x", "x__px"); nullptr = probed, absent.
   mutable std::unordered_map<std::string, std::shared_ptr<const agg::Pyramid>>
       pyramids_;
+  // Quarantined artifact file names ("a.bmi", "id.idi") and column files
+  // already verified once; both guarded by mutex_.
+  mutable std::unordered_set<std::string> quarantined_;
+  mutable std::unordered_set<std::string> verified_files_;
 
   std::shared_ptr<const agg::Pyramid> open_pyramid(
       const std::string& stem) const;
+
+  // Whole-file verification of a column/meta artifact, at most once per
+  // file (mutex_ held). Throws IntegrityError on mismatch — columns are
+  // ground truth, there is nothing to demote to.
+  void verify_file_locked(const std::string& filename, const void* data,
+                          std::size_t nbytes) const;
+  // Same contract, streaming from disk (the eager heap-read paths).
+  void verify_disk_locked(const std::string& filename) const;
 
   template <typename T>
   std::span<const T> lazy_column(

@@ -4,7 +4,7 @@
 // files, and asserted in tests.
 //
 // Requests:   <op> [t=N] [x=VAR] [y=VAR] [bins=N] [ybins=N] [adaptive=1]
-//             [vlo=F] [vhi=F] [ylo=F] [yhi=F] [exact=1]
+//             [vlo=F] [vhi=F] [ylo=F] [yhi=F] [exact=1] [deadline=MS]
 //             [pri=0|1|2] [limit=N] [q=QUERY TEXT TO END OF LINE]
 //   ops: hello | count | ids | hist1 | hist2 | sum | zoom1 | zoom2
 //        | stats | ping | quit
@@ -14,6 +14,10 @@
 //   (zoom2's y axis); exact=1 forces the kernel path (ZoomMode::kExact).
 //   Their responses carry `pyr=0|1 level=N`: whether the histogram was
 //   served from pyramid levels and at which snapped level.
+//   deadline=MS gives the request a time budget in milliseconds; a request
+//   that cannot be answered in time fails with `err deadline-expired`. A
+//   load-shedding server answers `err retry-after: ...` — back off and
+//   resend (DESIGN.md Section 15).
 // Responses:  `ok <key>=<value> ...` or `err <message>`.
 //
 // Versioning: a connection opens with a `hello v=N` greeting; the server
@@ -35,7 +39,7 @@ namespace qdv::svc {
 
 /// Line-protocol version. Bumped whenever the request/response shapes
 /// change incompatibly; the hello greeting pins it per connection.
-inline constexpr unsigned kProtocolVersion = 3;
+inline constexpr unsigned kProtocolVersion = 4;
 
 /// One parsed request line.
 struct WireRequest {

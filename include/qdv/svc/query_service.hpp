@@ -76,14 +76,24 @@ struct Request {
   double view_lo_y = 0.0;
   double view_hi_y = 0.0;
   core::ZoomMode zoom_mode = core::ZoomMode::kAuto;
+
+  /// Time budget from submission, milliseconds; 0 = none. The deadline
+  /// propagates through the queue: a flight whose deadline passes before
+  /// dispatch — or whose distributed merge finishes past it — resolves
+  /// kDeadlineExpired instead of wasting an evaluation (a result already
+  /// computed locally is still returned). Coalesced attaches keep the
+  /// leader's deadline.
+  std::uint64_t deadline_ms = 0;
 };
 
 enum class Status {
   kOk,
-  kError,           // evaluation threw (message in Result::error)
-  kRejectedQueue,   // admission queue at max_queue
-  kRejectedBudget,  // session in-flight byte budget exhausted
-  kShutdown,        // service stopping
+  kError,            // evaluation threw (message in Result::error)
+  kRejectedQueue,    // admission queue at max_queue
+  kRejectedBudget,   // session in-flight byte budget exhausted
+  kShutdown,         // service stopping
+  kRetryLater,       // load-shed at shed_queue_depth; retry after the hint
+  kDeadlineExpired,  // request deadline passed before an answer was produced
 };
 
 /// How a completed request's Result was produced. A request coalesced onto
@@ -146,6 +156,14 @@ struct ServiceConfig {
   /// Completed-request latency samples retained for the percentiles.
   std::size_t latency_capacity = 1 << 14;
 
+  /// Load shedding: queued flights at/above this depth bounce new
+  /// submissions with Status::kRetryLater and a retry_after_ms hint —
+  /// cheaper for everyone than queueing work that will blow its latency
+  /// target. 0 disables (only the hard max_queue cap rejects then).
+  std::size_t shed_queue_depth = 0;
+  /// Backoff hint carried by kRetryLater rejections.
+  std::uint64_t retry_after_ms = 50;
+
   static constexpr std::uint64_t kUnlimitedBudget = ~std::uint64_t{0};
 };
 
@@ -164,6 +182,8 @@ struct ServiceStats {
   std::uint64_t rejected_queue = 0;
   std::uint64_t rejected_budget = 0;
   std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_shed = 0;     // load-shed with kRetryLater
+  std::uint64_t deadline_expired = 0;  // flights resolved kDeadlineExpired
 
   std::uint64_t executed = 0;           // flights that ran an evaluation
   std::uint64_t coalesce_hits = 0;      // attached to an in-flight execution
@@ -173,6 +193,14 @@ struct ServiceStats {
   // zoom results count above, not here — they never touch the engine).
   std::uint64_t pyramid_served = 0;
   std::uint64_t pyramid_fallback = 0;
+
+  // Integrity (DESIGN.md §15), mirrored from the engine's dataset-wide
+  // counters: checksum checks passed/failed, artifacts quarantined (their
+  // queries demoted to slower-but-exact paths), and unverified decodes.
+  std::uint64_t integrity_verified = 0;
+  std::uint64_t integrity_failures = 0;
+  std::uint64_t integrity_demotions = 0;
+  std::uint64_t integrity_unverified = 0;
 
   std::uint64_t queue_depth = 0;      // flights waiting right now
   std::uint64_t peak_queue_depth = 0;

@@ -3,11 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
+
+#include "io/io_util.hpp"
 
 namespace qdv::agg {
 namespace {
@@ -15,14 +18,13 @@ namespace {
 constexpr char kMagic[8] = {'q', 'd', 'v', 'p', 'y', 'r', '1', '\0'};
 
 void read_exact(int fd, void* dst, std::size_t n, std::uint64_t offset) {
-  auto* out = static_cast<char*>(dst);
-  while (n > 0) {
-    const ssize_t got = ::pread(fd, out, n, static_cast<off_t>(offset));
-    if (got <= 0) throw std::runtime_error("qdv::agg: truncated .pyr read");
-    out += got;
-    offset += static_cast<std::uint64_t>(got);
-    n -= static_cast<std::size_t>(got);
-  }
+  if (io::pread_full(fd, dst, n, offset) != n)
+    throw std::runtime_error("qdv::agg: truncated .pyr read");
+}
+
+void bump(const std::shared_ptr<io::IntegrityStats>& stats,
+          std::atomic<std::uint64_t> io::IntegrityStats::* counter) {
+  if (stats) ((*stats).*counter).fetch_add(1, std::memory_order_relaxed);
 }
 
 template <typename T>
@@ -56,6 +58,8 @@ struct Pyramid::LevelIo {
   std::uint64_t data_offset = 0;
   std::shared_ptr<io::MemoryBudget> budget;
   std::string prefix;
+  PyramidIntegrity integrity;
+  std::atomic<bool> quarantined{false};
   // Fallback cache when the caller supplied no budget (tools, tests).
   std::mutex mutex;
   std::vector<std::shared_ptr<const std::vector<std::uint64_t>>> local;
@@ -154,7 +158,8 @@ void Pyramid::save(const std::filesystem::path& file) const {
 
 std::shared_ptr<Pyramid> Pyramid::open(const std::filesystem::path& file,
                                        std::shared_ptr<io::MemoryBudget> budget,
-                                       std::string budget_prefix) {
+                                       std::string budget_prefix,
+                                       PyramidIntegrity integrity) {
   const int fd = ::open(file.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0)
     throw std::runtime_error("qdv::agg: cannot open " + file.string());
@@ -162,6 +167,7 @@ std::shared_ptr<Pyramid> Pyramid::open(const std::filesystem::path& file,
   io->fd = fd;
   io->budget = std::move(budget);
   io->prefix = std::move(budget_prefix);
+  io->integrity = std::move(integrity);
 
   std::shared_ptr<Pyramid> p{new Pyramid()};
   {
@@ -197,8 +203,54 @@ std::shared_ptr<Pyramid> Pyramid::open(const std::filesystem::path& file,
     }
     io->data_offset = offset;
   }
+  // Header checksum (io/checksum.hpp): the header region is [0,
+  // data_offset) — verify it once here so corrupt edges can never steer a
+  // serve. A corrupt header that fails to parse threw above instead; both
+  // roads lead the caller to the exact-path fallback.
+  if (const auto& sums = io->integrity.sums) {
+    if (const auto* s =
+            sums->section(io->integrity.file_name, 0, io->data_offset)) {
+      std::vector<std::byte> header(static_cast<std::size_t>(io->data_offset));
+      read_exact(io->fd, header.data(), header.size(), 0);
+      if (io::crc32c(header.data(), header.size()) != s->crc) {
+        bump(io->integrity.stats, &io::IntegrityStats::failures);
+        throw io::IntegrityError("qdv::agg: header checksum mismatch in " +
+                                 file.string());
+      }
+      bump(io->integrity.stats, &io::IntegrityStats::verified);
+    } else {
+      bump(io->integrity.stats, &io::IntegrityStats::unverified);
+    }
+  } else {
+    bump(io->integrity.stats, &io::IntegrityStats::unverified);
+  }
   p->io_ = std::move(io);
   return p;
+}
+
+bool Pyramid::quarantined() const {
+  return io_ && io_->quarantined.load(std::memory_order_relaxed);
+}
+
+void Pyramid::quarantine() const {
+  if (io_ && !io_->quarantined.exchange(true, std::memory_order_relaxed))
+    bump(io_->integrity.stats, &io::IntegrityStats::demotions);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Pyramid::file_sections()
+    const {
+  if (!io_)
+    throw std::logic_error(
+        "qdv::agg: file_sections() requires a file-backed pyramid");
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sections;
+  sections.emplace_back(0, io_->data_offset);
+  std::uint64_t offset = io_->data_offset;
+  for (std::size_t l = 0; l < num_levels(); ++l) {
+    const std::uint64_t bytes = level_entries(l) * sizeof(std::uint64_t);
+    sections.emplace_back(offset, bytes);
+    offset += bytes;
+  }
+  return sections;
 }
 
 std::shared_ptr<const std::vector<std::uint64_t>> Pyramid::level(
@@ -207,14 +259,37 @@ std::shared_ptr<const std::vector<std::uint64_t>> Pyramid::level(
     throw std::out_of_range("qdv::agg: pyramid level out of range");
   if (!built_.empty()) return built_[l];
 
+  if (quarantined())
+    throw io::IntegrityError("qdv::agg: pyramid is quarantined");
   const std::uint64_t entries = level_entries(l);
   auto load = [&] {
     std::uint64_t offset = io_->data_offset;
     for (std::size_t k = 0; k < l; ++k)
       offset += level_entries(k) * sizeof(std::uint64_t);
+    const std::uint64_t nbytes = entries * sizeof(std::uint64_t);
     auto counts = std::make_shared<std::vector<std::uint64_t>>(entries);
-    read_exact(io_->fd, counts->data(), entries * sizeof(std::uint64_t),
-               offset);
+    read_exact(io_->fd, counts->data(), nbytes, offset);
+    // Per-level checksum, verified at decode granularity: a cached level is
+    // never re-verified; a mismatch quarantines the whole pyramid and the
+    // zoom layer falls back to the exact kernels.
+    const auto& integrity = io_->integrity;
+    const auto* s = integrity.sums
+                        ? integrity.sums->section(integrity.file_name, offset,
+                                                  nbytes)
+                        : nullptr;
+    if (s) {
+      if (io::crc32c(counts->data(), static_cast<std::size_t>(nbytes)) !=
+          s->crc) {
+        bump(integrity.stats, &io::IntegrityStats::failures);
+        quarantine();
+        throw io::IntegrityError(
+            "qdv::agg: level " + std::to_string(l) +
+            " checksum mismatch in " + integrity.file_name);
+      }
+      bump(integrity.stats, &io::IntegrityStats::verified);
+    } else {
+      bump(integrity.stats, &io::IntegrityStats::unverified);
+    }
     return counts;
   };
 

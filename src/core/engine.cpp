@@ -151,6 +151,11 @@ EngineStats Engine::stats() const {
   s.pyramid_served = state_->pyramid_served.load(std::memory_order_relaxed);
   s.pyramid_fallback =
       state_->pyramid_fallback.load(std::memory_order_relaxed);
+  const io::IntegrityStats& integ = *state_->dataset.integrity_stats();
+  s.integrity_verified = integ.verified.load(std::memory_order_relaxed);
+  s.integrity_failures = integ.failures.load(std::memory_order_relaxed);
+  s.integrity_demotions = integ.demotions.load(std::memory_order_relaxed);
+  s.integrity_unverified = integ.unverified.load(std::memory_order_relaxed);
   s.simd_isa = simd::isa_name(simd::active());
   const simd::DispatchCounts d = simd::dispatch_counts();
   s.positions_vector_calls = d.positions.vector;

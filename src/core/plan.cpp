@@ -264,7 +264,9 @@ void collect_steps(const Query& q, const io::TimestepTable* probe,
       PredicateStep step;
       step.predicate = cq.to_string();
       step.variable = cq.variable();
-      step.access = (!probe || probe->has_value_index(cq.variable()))
+      step.demoted = probe && probe->index_quarantined(cq.variable());
+      step.access = (!step.demoted &&
+                     (!probe || probe->has_value_index(cq.variable())))
                         ? AccessPath::kBitmapIndex
                         : AccessPath::kScan;
       steps.push_back(std::move(step));
@@ -276,12 +278,15 @@ void collect_steps(const Query& q, const io::TimestepTable* probe,
       step.predicate = vq.to_string();
       step.variable = vq.variable();
       step.fused = true;
-      if (vq.interval().empty())
+      if (vq.interval().empty()) {
         step.access = AccessPath::kConstant;
-      else
-        step.access = (!probe || probe->has_value_index(vq.variable()))
+      } else {
+        step.demoted = probe && probe->index_quarantined(vq.variable());
+        step.access = (!step.demoted &&
+                       (!probe || probe->has_value_index(vq.variable())))
                           ? AccessPath::kBitmapIndex
                           : AccessPath::kScan;
+      }
       steps.push_back(std::move(step));
       return;
     }
@@ -358,6 +363,7 @@ std::string ExecutionPlan::explain() const {
     out << "  [" << i << "] " << step.predicate << "  ->  "
         << access_text(step.access) << "(" << step.variable << ")";
     if (step.fused) out << "  [fused interval]";
+    if (step.demoted) out << "  [demoted: index quarantined]";
     out << "\n";
   }
   if (marginal_) {

@@ -211,7 +211,7 @@ Zoom1DResult Selection::zoom_histogram1d(std::size_t t,
                                 variable, view_lo, view_hi, nbins);
 
   Zoom1DResult out;
-  if (r && mode == ZoomMode::kAuto) {
+  if (r && mode == ZoomMode::kAuto) try {
     std::vector<std::uint64_t> counts;
     if (r->pyr->ndims() == 1) {
       counts = r->pyr->slice_counts1d(r->plan, r->cond_var);
@@ -241,6 +241,12 @@ Zoom1DResult Selection::zoom_histogram1d(std::size_t t,
     out.level = static_cast<int>(r->plan.level);
     state_->pyramid_served.fetch_add(1, std::memory_order_relaxed);
     return out;
+  } catch (const io::IntegrityError&) {
+    // A level failed its checksum mid-serve. The pyramid quarantined itself
+    // (it now reports as absent from the table), so re-resolving routes
+    // this — and every later — zoom to the exact path, and kAuto keeps
+    // agreeing with kExact bit-for-bit (DESIGN.md §15).
+    return zoom_histogram1d(t, variable, view_lo, view_hi, nbins, mode);
   }
 
   if (r) {
@@ -286,7 +292,7 @@ Zoom2DResult Selection::zoom_histogram2d(
                                 nxbins, nybins);
 
   Zoom2DResult out;
-  if (r && mode == ZoomMode::kAuto) {
+  if (r && mode == ZoomMode::kAuto) try {
     const agg::SlicePlan& p0 = r->swapped ? r->plan_y : r->plan_x;
     const agg::SlicePlan& p1 = r->swapped ? r->plan_x : r->plan_y;
     const auto c2 = r->pyr->slice_counts2d(p0, p1,
@@ -312,6 +318,11 @@ Zoom2DResult Selection::zoom_histogram2d(
     out.level = static_cast<int>(r->plan_x.level);
     state_->pyramid_served.fetch_add(1, std::memory_order_relaxed);
     return out;
+  } catch (const io::IntegrityError&) {
+    // Same recovery as the 1D serve: the quarantined pyramid reports as
+    // absent on re-resolve, so the exact path answers.
+    return zoom_histogram2d(t, x, y, view_lo_x, view_hi_x, view_lo_y,
+                            view_hi_y, nxbins, nybins, mode);
   }
 
   if (r) {

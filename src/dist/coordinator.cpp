@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <sstream>
@@ -42,6 +43,26 @@ double read_exec_seconds(const Frame& frame) {
 
 }  // namespace
 
+std::chrono::milliseconds backoff_delay(int attempt,
+                                        std::chrono::milliseconds base,
+                                        std::chrono::milliseconds max,
+                                        std::uint64_t& state) {
+  // xorshift64: tiny, seedable, and good enough for jitter (a zero state
+  // would stick at zero, so it is nudged to 1).
+  if (state == 0) state = 1;
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  const double jitter =
+      0.5 + 0.5 * static_cast<double>(state >> 11) /
+                      static_cast<double>(std::uint64_t{1} << 53);
+  const int k = std::clamp(attempt, 0, 30);
+  double ms = static_cast<double>(base.count()) * std::ldexp(1.0, k);
+  ms = std::min(ms, static_cast<double>(max.count())) * jitter;
+  return std::max(std::chrono::milliseconds(static_cast<std::int64_t>(ms)),
+                  std::chrono::milliseconds(1));
+}
+
 struct Coordinator::Impl {
   io::Dataset dataset;
   DistConfig config;
@@ -72,6 +93,8 @@ struct Coordinator::Impl {
   ShardManifest manifest;
   std::vector<std::uint64_t> rows_per_timestep;
 
+  std::uint64_t backoff_state = 0;  // jitter PRNG, guarded by state_mutex
+
   std::uint64_t queries = 0;
   std::uint64_t scatters = 0;
   std::uint64_t gathers = 0;
@@ -89,7 +112,9 @@ struct Coordinator::Impl {
 
   bool workers_shut_down = false;
 
-  Impl(io::Dataset d, DistConfig c) : dataset(std::move(d)), config(c) {
+  Impl(io::Dataset d, DistConfig c)
+      : dataset(std::move(d)), config(std::move(c)),
+        backoff_state(config.backoff_seed) {
     rows_per_timestep.reserve(dataset.num_timesteps());
     for (std::size_t t = 0; t < dataset.num_timesteps(); ++t)
       rows_per_timestep.push_back(dataset.table(t).num_rows());
@@ -345,6 +370,19 @@ struct Coordinator::Impl {
       bool retry = false;
       if (w.alive.load(std::memory_order_relaxed) &&
           sub.attempts < config.max_retries) {
+        // Back off before touching the worker again — even before the
+        // reconnect, so a worker restarting its listener gets the same
+        // breathing room as one that is merely slow.
+        std::chrono::milliseconds delay{};
+        {
+          std::lock_guard<std::mutex> lock(state_mutex);
+          delay = backoff_delay(sub.attempts, config.backoff_base,
+                                config.backoff_max, backoff_state);
+        }
+        if (config.backoff_sleep)
+          config.backoff_sleep(delay);
+        else
+          std::this_thread::sleep_for(delay);
         std::lock_guard<std::mutex> lock(w.qmutex);
         try {
           if (!w.query.open())

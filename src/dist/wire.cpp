@@ -8,6 +8,8 @@
 #include <cstring>
 #include <thread>
 
+#include "io/io_util.hpp"
+
 namespace qdv::dist {
 
 namespace {
@@ -209,46 +211,32 @@ void Channel::send(const Frame& frame) {
   encode_header(out, frame.type, frame.seq,
                 static_cast<std::uint32_t>(frame.payload.size()));
   out += frame.payload;
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      const int err = errno;
+  switch (io::send_full(fd_, out.data(), out.size(), fault::Site::kWire)) {
+    case io::XferResult::kOk:
+      return;
+    case io::XferResult::kTimeout:
       close();
-      throw std::runtime_error(std::string("channel send failed: ") +
-                               (n < 0 ? std::strerror(err) : "peer closed"));
-    }
-    sent += static_cast<std::size_t>(n);
+      throw std::runtime_error("channel send timed out");
+    case io::XferResult::kClosed:
+      close();
+      throw std::runtime_error("channel send failed: peer closed");
   }
 }
 
 Frame Channel::recv() {
   if (fd_ < 0) throw std::runtime_error("channel not connected");
-  // Full-frame loop: EINTR restarts, partial reads accumulate, EAGAIN means
-  // the SO_RCVTIMEO expired.
+  // io::recv_full handles EINTR restarts and partial-read accumulation;
+  // EAGAIN/EWOULDBLOCK (the SO_RCVTIMEO expiring) surfaces as kTimeout.
   const auto read_exact = [this](char* dst, std::size_t nbytes) {
-    std::size_t got = 0;
-    while (got < nbytes) {
-      const ssize_t n = ::recv(fd_, dst + got, nbytes - got, 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    switch (io::recv_full(fd_, dst, nbytes, fault::Site::kWire)) {
+      case io::XferResult::kOk:
+        return;
+      case io::XferResult::kTimeout:
         close();
         throw std::runtime_error("channel receive timed out");
-      }
-      if (n <= 0) {
+      case io::XferResult::kClosed:
         close();
-        throw std::runtime_error(n < 0 ? std::string("channel recv failed: ") +
-                                             std::strerror(errno)
-                                       : "peer closed the channel");
-      }
-      got += static_cast<std::size_t>(n);
+        throw std::runtime_error("peer closed the channel");
     }
   };
 

@@ -1,0 +1,406 @@
+#include "io/checksum.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "agg/pyramid.hpp"
+#include "bitmap/index_segments.hpp"
+#include "io/dataset.hpp"
+
+namespace qdv::io {
+
+namespace {
+
+// Slice-by-8 CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78)
+// — pure software so the library stays dependency-free; ~1 B/cycle, far
+// faster than any disk this guards.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+  Crc32cTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k)
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (std::size_t slice = 1; slice < 8; ++slice)
+        t[slice][i] = (t[slice - 1][i] >> 8) ^ t[0][t[slice - 1][i] & 0xFF];
+  }
+};
+
+const Crc32cTables& tables() {
+  static const Crc32cTables tbl;
+  return tbl;
+}
+
+std::vector<std::byte> read_file_bytes(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + file.string());
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size))
+    throw std::runtime_error("cannot read " + file.string());
+  return bytes;
+}
+
+bool has_extension(const std::string& name, const char* ext) {
+  const std::size_t n = std::string(ext).size();
+  return name.size() > n && name.compare(name.size() - n, n, ext) == 0;
+}
+
+// Record @p file into @p set: whole-file always; per-section for the
+// lazily-decoded formats.
+void record_file(ChecksumSet& set, const std::filesystem::path& file) {
+  const std::string name = file.filename().string();
+  const std::vector<std::byte> bytes = read_file_bytes(file);
+  set.set_file(name, bytes.size(), crc32c(bytes.data(), bytes.size()));
+  const auto crc_range = [&](std::uint64_t offset, std::uint64_t length) {
+    return crc32c(bytes.data() + offset, static_cast<std::size_t>(length));
+  };
+  if (has_extension(name, ".bmi")) {
+    auto keeper = std::make_shared<std::vector<std::byte>>(bytes);
+    const SegmentedBitmapIndex index = SegmentedBitmapIndex::open(
+        std::span<const std::byte>(keeper->data(), keeper->size()), keeper);
+    set.add_section(name, 0, index.segment_offset(0),
+                    crc_range(0, index.segment_offset(0)));
+    for (std::size_t s = 0; s < index.num_segments(); ++s)
+      set.add_section(name, index.segment_offset(s), index.segment_bytes(s),
+                      crc_range(index.segment_offset(s),
+                                index.segment_bytes(s)));
+  } else if (has_extension(name, ".pyr")) {
+    const auto pyramid = agg::Pyramid::open(file);
+    for (const auto& [offset, length] : pyramid->file_sections())
+      set.add_section(name, offset, length, crc_range(offset, length));
+  }
+}
+
+std::vector<std::filesystem::path> step_directories(
+    const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> steps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_directory() &&
+        std::filesystem::exists(entry.path() / "meta.txt"))
+      steps.push_back(entry.path());
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  while (n >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  return ~crc;
+}
+
+std::uint32_t crc32c_file(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + file.string());
+  std::array<char, 1 << 16> buffer;
+  std::uint32_t crc = 0;
+  while (in) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const std::streamsize got = in.gcount();
+    if (got > 0)
+      crc = crc32c(buffer.data(), static_cast<std::size_t>(got), crc);
+  }
+  return crc;
+}
+
+std::shared_ptr<const ChecksumSet> ChecksumSet::load_dir(
+    const std::filesystem::path& dir) {
+  const std::filesystem::path sidecar = dir / kChecksumSidecarName;
+  std::ifstream in(sidecar);
+  if (!in) return nullptr;
+  auto set = std::make_shared<ChecksumSet>();
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("qdv_checksums ", 0) != 0)
+    throw std::runtime_error("malformed checksum sidecar " + sidecar.string());
+  // Hand-rolled field scan: sidecars run to thousands of section lines and
+  // this parse sits on the cold-open path of every table, where a
+  // stringstream per line costs more than the checksums it describes.
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const char* p = line.c_str();
+    const auto word = [&p] {
+      while (*p == ' ') ++p;
+      const char* start = p;
+      while (*p && *p != ' ') ++p;
+      return std::string_view(start, static_cast<std::size_t>(p - start));
+    };
+    bool ok = true;
+    const auto number = [&p, &ok](int base) -> std::uint64_t {
+      while (*p == ' ') ++p;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(p, &end, base);
+      ok = ok && end != p;
+      p = end;
+      return v;
+    };
+    const std::string_view tag = word();
+    const std::string name(word());
+    ok = !name.empty();
+    if (tag == "file") {
+      const std::uint64_t size = number(10);
+      const std::uint32_t crc = static_cast<std::uint32_t>(number(16));
+      if (!ok)
+        throw std::runtime_error("malformed file line in " + sidecar.string());
+      set->set_file(name, size, crc);
+    } else if (tag == "section") {
+      const std::uint64_t offset = number(10);
+      const std::uint64_t length = number(10);
+      const std::uint32_t crc = static_cast<std::uint32_t>(number(16));
+      if (!ok)
+        throw std::runtime_error("malformed section line in " +
+                                 sidecar.string());
+      set->add_section(name, offset, length, crc);
+    } else {
+      throw std::runtime_error("unknown record '" + std::string(tag) +
+                               "' in " + sidecar.string());
+    }
+  }
+  return set;
+}
+
+const ChecksumSet::FileSum* ChecksumSet::file(const std::string& name) const {
+  const auto it = files_.find(name);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const ChecksumSet::Section* ChecksumSet::section(const std::string& name,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t length) const {
+  const auto it = sections_.find(name);
+  if (it == sections_.end()) return nullptr;
+  const auto& list = it->second;
+  const auto pos = std::lower_bound(
+      list.begin(), list.end(), offset,
+      [](const Section& s, std::uint64_t off) { return s.offset < off; });
+  if (pos == list.end() || pos->offset != offset || pos->length != length)
+    return nullptr;
+  return &*pos;
+}
+
+const std::vector<ChecksumSet::Section>* ChecksumSet::sections(
+    const std::string& name) const {
+  const auto it = sections_.find(name);
+  return it == sections_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ChecksumSet::file_names() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, sum] : files_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void ChecksumSet::set_file(const std::string& name, std::uint64_t size,
+                           std::uint32_t crc) {
+  files_[name] = FileSum{size, crc};
+}
+
+void ChecksumSet::add_section(const std::string& name, std::uint64_t offset,
+                              std::uint64_t length, std::uint32_t crc) {
+  // Writers and the sidecar loader record sections in file order, so this
+  // is almost always a plain append; keep the sorted-insert fallback for
+  // out-of-order callers. (A sort-per-insert here made loading a
+  // thousand-section sidecar quadratic — 30 ms on every cold table open.)
+  auto& list = sections_[name];
+  const Section entry{offset, length, crc};
+  if (list.empty() || list.back().offset <= offset) {
+    list.push_back(entry);
+    return;
+  }
+  const auto pos = std::upper_bound(
+      list.begin(), list.end(), offset,
+      [](std::uint64_t off, const Section& s) { return off < s.offset; });
+  list.insert(pos, entry);
+}
+
+void ChecksumSet::save_dir(const std::filesystem::path& dir) const {
+  const std::filesystem::path sidecar = dir / kChecksumSidecarName;
+  const std::filesystem::path tmp = sidecar.string() + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out)
+      throw std::runtime_error("cannot write " + tmp.string());
+    out << "qdv_checksums 1\n";
+    char crc_hex[16];
+    for (const std::string& name : file_names()) {
+      const FileSum& sum = files_.at(name);
+      std::snprintf(crc_hex, sizeof crc_hex, "%08x", sum.crc);
+      out << "file " << name << ' ' << sum.size << ' ' << crc_hex << "\n";
+      if (const auto* list = sections(name))
+        for (const Section& s : *list) {
+          std::snprintf(crc_hex, sizeof crc_hex, "%08x", s.crc);
+          out << "section " << name << ' ' << s.offset << ' ' << s.length
+              << ' ' << crc_hex << "\n";
+        }
+    }
+    if (!out.good())
+      throw std::runtime_error("cannot write " + tmp.string());
+  }
+  std::filesystem::rename(tmp, sidecar);
+}
+
+void write_dataset_checksums(const std::filesystem::path& dir) {
+  {
+    ChecksumSet root;
+    const std::filesystem::path manifest = dir / kManifestName;
+    if (std::filesystem::exists(manifest)) {
+      const std::vector<std::byte> bytes = read_file_bytes(manifest);
+      root.set_file(kManifestName, bytes.size(),
+                    crc32c(bytes.data(), bytes.size()));
+    }
+    root.save_dir(dir);
+  }
+  for (const std::filesystem::path& step : step_directories(dir)) {
+    ChecksumSet set;
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(step))
+      if (entry.is_regular_file() &&
+          entry.path().filename() != kChecksumSidecarName &&
+          entry.path().extension() != ".tmp")
+        files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    for (const std::filesystem::path& file : files) record_file(set, file);
+    set.save_dir(step);
+  }
+}
+
+namespace {
+
+void fsck_directory(const std::filesystem::path& root,
+                    const std::filesystem::path& dir, FsckReport& report) {
+  const std::string prefix =
+      dir == root ? ""
+                  : std::filesystem::relative(dir, root).string() + "/";
+  std::shared_ptr<const ChecksumSet> sums;
+  try {
+    sums = ChecksumSet::load_dir(dir);
+  } catch (const std::exception& e) {
+    report.entries.push_back({prefix + kChecksumSidecarName,
+                              FsckEntry::Status::kFailed, e.what()});
+    ++report.failed;
+    return;
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file() &&
+        entry.path().filename() != kChecksumSidecarName)
+      files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  for (const std::filesystem::path& file : files) {
+    const std::string name = file.filename().string();
+    // The root directory holds only the manifest worth checking; skip
+    // benches/readmes a user may have dropped next to it.
+    if (dir == root && name != kManifestName) continue;
+    FsckEntry entry{prefix + name, FsckEntry::Status::kOk, ""};
+    const ChecksumSet::FileSum* sum = sums ? sums->file(name) : nullptr;
+    if (!sum) {
+      entry.status = FsckEntry::Status::kUnverified;
+      entry.detail = sums ? "no recorded checksum" : "no checksum sidecar";
+      ++report.unverified;
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+    const std::uint64_t size = std::filesystem::file_size(file);
+    if (size != sum->size) {
+      entry.status = FsckEntry::Status::kFailed;
+      entry.detail = "size " + std::to_string(size) + ", recorded " +
+                     std::to_string(sum->size);
+      ++report.failed;
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+    const auto* section_list = sums->sections(name);
+    if (section_list) {
+      // Verify per-section too, so damage is reported at the granularity
+      // the lazy readers would hit it.
+      const std::vector<std::byte> bytes = read_file_bytes(file);
+      std::size_t bad_sections = 0;
+      std::string first_bad;
+      for (const auto& s : *section_list) {
+        ++report.sections_checked;
+        if (s.offset + s.length > bytes.size() ||
+            crc32c(bytes.data() + s.offset,
+                   static_cast<std::size_t>(s.length)) != s.crc) {
+          ++bad_sections;
+          if (first_bad.empty())
+            first_bad = "section [" + std::to_string(s.offset) + ", +" +
+                        std::to_string(s.length) + ")";
+        }
+      }
+      const std::uint32_t whole = crc32c(bytes.data(), bytes.size());
+      if (bad_sections > 0 || whole != sum->crc) {
+        entry.status = FsckEntry::Status::kFailed;
+        entry.detail = bad_sections > 0
+                           ? first_bad +
+                                 (bad_sections > 1
+                                      ? " and " +
+                                            std::to_string(bad_sections - 1) +
+                                            " more"
+                                      : "")
+                           : "whole-file checksum mismatch";
+        ++report.failed;
+        report.entries.push_back(std::move(entry));
+        continue;
+      }
+    } else if (crc32c_file(file) != sum->crc) {
+      entry.status = FsckEntry::Status::kFailed;
+      entry.detail = "checksum mismatch";
+      ++report.failed;
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+    ++report.ok;
+    report.entries.push_back(std::move(entry));
+  }
+  // Recorded files that vanished are damage too.
+  if (sums)
+    for (const std::string& name : sums->file_names())
+      if (!std::filesystem::exists(dir / name)) {
+        report.entries.push_back(
+            {prefix + name, FsckEntry::Status::kFailed, "missing"});
+        ++report.failed;
+      }
+}
+
+}  // namespace
+
+FsckReport fsck_dataset(const std::filesystem::path& dir) {
+  if (!std::filesystem::exists(dir / kManifestName))
+    throw std::runtime_error("not a qdv dataset (no " +
+                             std::string(kManifestName) + "): " +
+                             dir.string());
+  FsckReport report;
+  fsck_directory(dir, dir, report);
+  for (const std::filesystem::path& step : step_directories(dir))
+    fsck_directory(dir, step, report);
+  return report;
+}
+
+}  // namespace qdv::io

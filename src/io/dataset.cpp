@@ -21,6 +21,7 @@ struct Dataset::Impl {
   std::size_t timesteps = 0;
   LoadMode mode = LoadMode::kLazy;
   std::shared_ptr<MemoryBudget> budget;
+  std::shared_ptr<IntegrityStats> integrity;
   std::vector<std::string> variables;
   std::unordered_map<std::string, std::pair<double, double>> domains;
 
@@ -47,6 +48,30 @@ Dataset Dataset::open(const std::filesystem::path& dir,
   impl->dir = dir;
   impl->mode = options.mode;
   impl->budget = std::make_shared<MemoryBudget>(options.budget_bytes);
+  impl->integrity = std::make_shared<IntegrityStats>();
+  // The root sidecar covers the manifest — ground truth for timestep count
+  // and variables, so a mismatch is a typed open failure, while a missing
+  // sidecar (pre-checksum dataset) just counts as unverified.
+  try {
+    if (auto sums = ChecksumSet::load_dir(dir)) {
+      if (const auto* sum = sums->file(kManifestName)) {
+        if (crc32c_file(dir / kManifestName) != sum->crc) {
+          impl->integrity->failures.fetch_add(1, std::memory_order_relaxed);
+          throw IntegrityError("checksum mismatch in " +
+                               (dir / kManifestName).string());
+        }
+        impl->integrity->verified.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      impl->integrity->unverified.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const IntegrityError&) {
+    throw;
+  } catch (const std::exception&) {
+    // Corrupt sidecar (or the manifest is unreadable — the open below will
+    // say so): record the failure, open unverified.
+    impl->integrity->failures.fetch_add(1, std::memory_order_relaxed);
+  }
   std::ifstream manifest(dir / kManifestName);
   if (!manifest)
     throw std::runtime_error("not a qdv dataset (no " + std::string(kManifestName) +
@@ -93,8 +118,8 @@ const TimestepTable& Dataset::table(std::size_t t) const {
     throw std::out_of_range("timestep out of range: " + std::to_string(t));
   std::lock_guard<std::mutex> lock(impl_->mutex);
   if (!impl_->cache[t])
-    impl_->cache[t] = std::make_shared<TimestepTable>(step_dir(t), t,
-                                                      impl_->mode, impl_->budget);
+    impl_->cache[t] = std::make_shared<TimestepTable>(
+        step_dir(t), t, impl_->mode, impl_->budget, impl_->integrity);
   return *impl_->cache[t];
 }
 
@@ -102,11 +127,16 @@ std::shared_ptr<TimestepTable> Dataset::open_table(std::size_t t,
                                                    LoadMode mode) const {
   if (t >= impl_->timesteps)
     throw std::out_of_range("timestep out of range: " + std::to_string(t));
-  return std::make_shared<TimestepTable>(step_dir(t), t, mode);
+  return std::make_shared<TimestepTable>(step_dir(t), t, mode, nullptr,
+                                         impl_->integrity);
 }
 
 const std::shared_ptr<MemoryBudget>& Dataset::memory_budget() const {
   return impl_->budget;
+}
+
+const std::shared_ptr<IntegrityStats>& Dataset::integrity_stats() const {
+  return impl_->integrity;
 }
 
 std::pair<double, double> Dataset::global_domain(const std::string& name) const {

@@ -1,7 +1,8 @@
 #include "io/mapped_file.hpp"
 
 #include <cstdlib>
-#include <fstream>
+
+#include "io/io_util.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define QDV_HAVE_MMAP 1
@@ -22,14 +23,21 @@ bool mmap_disabled() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+// Heap fallback when mmap is unavailable: one EINTR-safe full read through
+// io_util (the fault injector's file-site choke point).
 std::vector<std::byte> read_whole_file(const std::filesystem::path& file,
                                        std::size_t size) {
-  std::ifstream in(file, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open file " + file.string());
+  const int fd = ::open(file.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw std::runtime_error("cannot open file " + file.string());
   std::vector<std::byte> data(size);
-  in.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(size));
-  if (!in) throw std::runtime_error("short read from " + file.string());
+  try {
+    if (read_full(fd, data.data(), size) != size)
+      throw std::runtime_error("short read from " + file.string());
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
   return data;
 }
 

@@ -23,12 +23,59 @@ std::vector<T> read_binary_column(const std::filesystem::path& file,
   return data;
 }
 
+// Verify one recorded section of @p filename against @p bytes (the exact
+// range a decode is about to trust). Unrecorded sections count as
+// unverified; a mismatch counts a failure and throws IntegrityError — the
+// caller decides whether that demotes (index artifacts) or surfaces
+// (ground truth).
+void verify_section(const ChecksumSet* sums, IntegrityStats& stats,
+                    const std::filesystem::path& dir,
+                    const std::string& filename, std::uint64_t offset,
+                    std::span<const std::byte> bytes) {
+  const ChecksumSet::Section* sum =
+      sums ? sums->section(filename, offset, bytes.size()) : nullptr;
+  if (!sum) {
+    stats.unverified.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (crc32c(bytes.data(), bytes.size()) != sum->crc) {
+    stats.failures.fetch_add(1, std::memory_order_relaxed);
+    throw IntegrityError("checksum mismatch at offset " +
+                         std::to_string(offset) + " of " +
+                         (dir / filename).string());
+  }
+  stats.verified.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 TimestepTable::TimestepTable(std::filesystem::path dir, std::size_t step,
-                             LoadMode mode, std::shared_ptr<MemoryBudget> budget)
-    : dir_(std::move(dir)), step_(step), mode_(mode), budget_(std::move(budget)) {
+                             LoadMode mode, std::shared_ptr<MemoryBudget> budget,
+                             std::shared_ptr<IntegrityStats> integrity)
+    : dir_(std::move(dir)), step_(step), mode_(mode), budget_(std::move(budget)),
+      integrity_(integrity ? std::move(integrity)
+                           : std::make_shared<IntegrityStats>()) {
   budget_prefix_ = dir_.string();
+  try {
+    sums_ = ChecksumSet::load_dir(dir_);
+  } catch (const std::exception&) {
+    // A corrupt sidecar must not take the dataset down: treat the
+    // directory as unverified and record the failure.
+    integrity_->failures.fetch_add(1, std::memory_order_relaxed);
+    sums_ = nullptr;
+  }
+  // meta.txt is ground truth for row counts and domains — verify it before
+  // trusting a parse of it.
+  if (sums_) {
+    if (const auto* sum = sums_->file("meta.txt")) {
+      if (crc32c_file(dir_ / "meta.txt") != sum->crc) {
+        integrity_->failures.fetch_add(1, std::memory_order_relaxed);
+        throw IntegrityError("checksum mismatch in " +
+                             (dir_ / "meta.txt").string());
+      }
+      integrity_->verified.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   std::ifstream meta(dir_ / "meta.txt");
   if (!meta)
     throw std::runtime_error("timestep has no meta.txt: " + dir_.string());
@@ -49,6 +96,43 @@ TimestepTable::TimestepTable(std::filesystem::path dir, std::size_t step,
   }
 }
 
+void TimestepTable::verify_file_locked(const std::string& filename,
+                                       const void* data,
+                                       std::size_t nbytes) const {
+  if (verified_files_.count(filename)) return;
+  verified_files_.insert(filename);
+  const ChecksumSet::FileSum* sum = sums_ ? sums_->file(filename) : nullptr;
+  if (!sum) {
+    integrity_->unverified.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (sum->size != nbytes || crc32c(data, nbytes) != sum->crc) {
+    integrity_->failures.fetch_add(1, std::memory_order_relaxed);
+    verified_files_.erase(filename);  // re-check (and re-throw) on retry
+    throw IntegrityError("checksum mismatch in " +
+                         (dir_ / filename).string());
+  }
+  integrity_->verified.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TimestepTable::verify_disk_locked(const std::string& filename) const {
+  if (verified_files_.count(filename)) return;
+  verified_files_.insert(filename);
+  const ChecksumSet::FileSum* sum = sums_ ? sums_->file(filename) : nullptr;
+  if (!sum) {
+    integrity_->unverified.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::filesystem::path file = dir_ / filename;
+  if (std::filesystem::file_size(file) != sum->size ||
+      crc32c_file(file) != sum->crc) {
+    integrity_->failures.fetch_add(1, std::memory_order_relaxed);
+    verified_files_.erase(filename);
+    throw IntegrityError("checksum mismatch in " + file.string());
+  }
+  integrity_->verified.fetch_add(1, std::memory_order_relaxed);
+}
+
 template <typename T>
 std::span<const T> TimestepTable::lazy_column(
     std::unordered_map<std::string, ColumnHandle<T>>& handles,
@@ -59,11 +143,20 @@ std::span<const T> TimestepTable::lazy_column(
     it = handles.emplace(name, ColumnHandle<T>(dir_ / (name + extension), rows_))
              .first;
   ColumnHandle<T>& handle = it->second;
-  if (!budget_) return handle.load();
+  if (!budget_) {
+    const std::span<const T> loaded = handle.load();
+    verify_file_locked(name + extension, handle.mapping()->bytes().data(),
+                       handle.mapping()->size());
+    return loaded;
+  }
   const std::string key = budget_prefix_ + "|col|" + name;
   if (budget_->get(key, ResidentClass::kColumn) && handle.loaded())
     return handle.values();
   const std::span<const T> values = handle.load();
+  // Whole-file verification on first touch (columns are the scan-path
+  // ground truth, so a mismatch is a typed error, not a demotion).
+  verify_file_locked(name + extension, handle.mapping()->bytes().data(),
+                     handle.mapping()->size());
   // A column larger than the whole budget streams through the page cache:
   // hint sequential access and let put() evict the charge right back out —
   // the mapping (and every span into it) stays valid regardless.
@@ -81,6 +174,7 @@ std::span<const double> TimestepTable::column(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = columns_.find(name);
   if (it == columns_.end()) {
+    verify_disk_locked(name + ".f64");
     it = columns_
              .emplace(name, read_binary_column<double>(dir_ / (name + ".f64"), rows_))
              .first;
@@ -93,6 +187,7 @@ std::span<const std::uint64_t> TimestepTable::id_column(const std::string& name)
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = id_columns_.find(name);
   if (it == id_columns_.end()) {
+    verify_disk_locked(name + ".u64");
     it = id_columns_
              .emplace(name,
                       read_binary_column<std::uint64_t>(dir_ / (name + ".u64"), rows_))
@@ -123,19 +218,39 @@ const SegmentedBitmapIndex* TimestepTable::value_index(
     const std::string& name) const {
   if (mode_ == LoadMode::kEager) return nullptr;
   std::lock_guard<std::mutex> lock(mutex_);
+  const std::string fname = name + ".bmi";
+  if (quarantined_.count(fname)) return nullptr;
   auto it = seg_indices_.find(name);
   if (it == seg_indices_.end()) {
     std::optional<SegmentedBitmapIndex> opened;
-    const std::filesystem::path file = dir_ / (name + ".bmi");
+    const std::filesystem::path file = dir_ / fname;
     if (std::filesystem::exists(file)) {
-      auto mapped = MappedFile::map(file);
-      opened = SegmentedBitmapIndex::open(mapped->bytes(), mapped);
-      // The directory (edges + offsets) is pinned: raw pointers to the
-      // index are handed out, so it must never be evicted.
-      if (budget_)
-        budget_->put(budget_prefix_ + "|idxmeta|" + name, mapped,
-                     opened->metadata_bytes(), ResidentClass::kIndexSegment,
-                     {}, /*pinned=*/true);
+      try {
+        auto mapped = MappedFile::map(file);
+        opened = SegmentedBitmapIndex::open(mapped->bytes(), mapped);
+        // open() decodes the header and the outside bitmap, so both must
+        // verify before anything trusts them; per-bin segments verify
+        // lazily inside segment_fetch().
+        verify_section(sums_.get(), *integrity_, dir_, fname, 0,
+                       mapped->bytes().first(opened->segment_offset(0)));
+        const std::size_t outside = opened->outside_segment();
+        verify_section(sums_.get(), *integrity_, dir_, fname,
+                       opened->segment_offset(outside),
+                       opened->segment_image(outside));
+        // The directory (edges + offsets) is pinned: raw pointers to the
+        // index are handed out, so it must never be evicted.
+        if (budget_)
+          budget_->put(budget_prefix_ + "|idxmeta|" + name, mapped,
+                       opened->metadata_bytes(), ResidentClass::kIndexSegment,
+                       {}, /*pinned=*/true);
+      } catch (const std::exception&) {
+        // Corrupt or truncated index: quarantine it — its predicates
+        // demote to the scan path (DESIGN.md §15).
+        if (quarantined_.insert(fname).second)
+          integrity_->demotions.fetch_add(1, std::memory_order_relaxed);
+        opened.reset();
+        return nullptr;
+      }
     }
     it = seg_indices_.emplace(name, std::move(opened)).first;
   }
@@ -144,12 +259,25 @@ const SegmentedBitmapIndex* TimestepTable::value_index(
 
 const BitmapIndex* TimestepTable::index(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  const std::string fname = name + ".bmi";
+  if (quarantined_.count(fname)) return nullptr;
   auto it = indices_.find(name);
   if (it == indices_.end()) {
     std::optional<BitmapIndex> loaded;
-    const std::filesystem::path file = dir_ / (name + ".bmi");
-    if (std::ifstream in(file, std::ios::binary); in)
-      loaded = BitmapIndex::load(in);
+    const std::filesystem::path file = dir_ / fname;
+    if (std::filesystem::exists(file)) {
+      try {
+        // Eager loads deserialize everything, so verification is the
+        // whole-file sum (still once per file).
+        verify_disk_locked(fname);
+        if (std::ifstream in(file, std::ios::binary); in)
+          loaded = BitmapIndex::load(in);
+      } catch (const std::exception&) {
+        if (quarantined_.insert(fname).second)
+          integrity_->demotions.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+    }
     it = indices_.emplace(name, std::move(loaded)).first;
   }
   return it->second ? &*it->second : nullptr;
@@ -157,17 +285,29 @@ const BitmapIndex* TimestepTable::index(const std::string& name) const {
 
 const IdIndex* TimestepTable::id_index(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  const std::string fname = name + ".idi";
+  if (quarantined_.count(fname)) return nullptr;
   auto it = id_indices_.find(name);
   if (it == id_indices_.end()) {
     std::optional<IdIndex> loaded;
-    const std::filesystem::path file = dir_ / (name + ".idi");
-    if (std::ifstream in(file, std::ios::binary); in) loaded = IdIndex::load(in);
-    // Pinned accounting-only charge: the id index is handed out as a raw
-    // pointer and must stay whole for binary search.
-    if (loaded && budget_)
-      budget_->put(budget_prefix_ + "|ididx|" + name, nullptr,
-                   loaded->memory_bytes(), ResidentClass::kIndexSegment, {},
-                   /*pinned=*/true);
+    const std::filesystem::path file = dir_ / fname;
+    if (std::filesystem::exists(file)) {
+      try {
+        verify_disk_locked(fname);
+        if (std::ifstream in(file, std::ios::binary); in)
+          loaded = IdIndex::load(in);
+      } catch (const std::exception&) {
+        if (quarantined_.insert(fname).second)
+          integrity_->demotions.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+      // Pinned accounting-only charge: the id index is handed out as a raw
+      // pointer and must stay whole for binary search.
+      if (loaded && budget_)
+        budget_->put(budget_prefix_ + "|ididx|" + name, nullptr,
+                     loaded->memory_bytes(), ResidentClass::kIndexSegment, {},
+                     /*pinned=*/true);
+    }
     it = id_indices_.emplace(name, std::move(loaded)).first;
   }
   return it->second ? &*it->second : nullptr;
@@ -181,28 +321,55 @@ bool TimestepTable::has_id_index(const std::string& name) const {
   return std::filesystem::exists(dir_ / (name + ".idi"));
 }
 
+bool TimestepTable::index_quarantined(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_.count(name + ".bmi") > 0;
+}
+
+void TimestepTable::quarantine_index(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (quarantined_.insert(name + ".bmi").second)
+    integrity_->demotions.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::shared_ptr<const agg::Pyramid> TimestepTable::open_pyramid(
     const std::string& stem) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  const std::string fname = stem + ".pyr";
+  if (quarantined_.count(fname)) return nullptr;
   auto it = pyramids_.find(stem);
   if (it != pyramids_.end()) return it->second;
   std::shared_ptr<const agg::Pyramid> pyramid;
-  const std::filesystem::path file = dir_ / (stem + ".pyr");
-  if (std::filesystem::exists(file))
-    pyramid =
-        agg::Pyramid::open(file, budget_, budget_prefix_ + "|pyr|" + stem);
+  const std::filesystem::path file = dir_ / fname;
+  if (std::filesystem::exists(file)) {
+    try {
+      pyramid = agg::Pyramid::open(file, budget_,
+                                   budget_prefix_ + "|pyr|" + stem,
+                                   agg::PyramidIntegrity{sums_, fname, integrity_});
+    } catch (const std::exception&) {
+      // Corrupt or truncated header: quarantine the pyramid — zoom queries
+      // fall back to the exact kernels (DESIGN.md §15).
+      if (quarantined_.insert(fname).second)
+        integrity_->demotions.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+  }
   pyramids_.emplace(stem, pyramid);
   return pyramid;
 }
 
 std::shared_ptr<const agg::Pyramid> TimestepTable::pyramid1d(
     const std::string& name) const {
-  return open_pyramid(name);
+  auto p = open_pyramid(name);
+  // A quarantined pyramid reports as absent, so kAuto and kExact resolve a
+  // zoom the same way after a mid-query demotion.
+  return (p && p->quarantined()) ? nullptr : p;
 }
 
 std::shared_ptr<const agg::Pyramid> TimestepTable::pyramid2d(
     const std::string& x, const std::string& y) const {
-  return open_pyramid(x + "__" + y);
+  auto p = open_pyramid(x + "__" + y);
+  return (p && p->quarantined()) ? nullptr : p;
 }
 
 bool TimestepTable::has_pyramid(const std::string& name) const {
@@ -222,13 +389,27 @@ bool TimestepTable::has_indices() const {
 
 SegmentedBitmapIndex::SegmentFetch TimestepTable::segment_fetch(
     const std::string& name, const SegmentedBitmapIndex& idx) const {
-  if (!budget_) return {};  // no budget: decode directly, cache nothing
+  // The fetch is where a decode first trusts a segment's bytes, so it is
+  // also where per-segment checksums verify — which is why a fetch is
+  // returned even without a budget (it just caches nothing then). A cached
+  // segment was verified when it was decoded; eviction re-decodes and
+  // therefore re-verifies.
+  auto verify_and_decode = [sums = sums_, integrity = integrity_, dir = dir_,
+                            fname = name + ".bmi", index = &idx](std::size_t s) {
+    verify_section(sums.get(), *integrity, dir, fname,
+                   index->segment_offset(s), index->segment_image(s));
+    return std::make_shared<const BitVector>(index->decode_segment(s));
+  };
+  if (!budget_)
+    return [verify_and_decode](std::size_t s) {
+      return std::shared_ptr<const BitVector>(verify_and_decode(s));
+    };
   return [budget = budget_, prefix = budget_prefix_ + "|seg|" + name + "|",
-          index = &idx](std::size_t s) {
+          verify_and_decode](std::size_t s) {
     const std::string key = prefix + std::to_string(s);
     if (auto cached = budget->get(key, ResidentClass::kIndexSegment))
       return std::static_pointer_cast<const BitVector>(cached);
-    auto decoded = std::make_shared<const BitVector>(index->decode_segment(s));
+    auto decoded = verify_and_decode(s);
     budget->put(key, decoded, decoded->memory_bytes(),
                 ResidentClass::kIndexSegment);
     return std::shared_ptr<const BitVector>(decoded);
@@ -279,24 +460,46 @@ BitVector scan_interval(const TimestepTable& table, const std::string& variable,
 BitVector eval_interval(const TimestepTable& table, const std::string& variable,
                         const Interval& iv, EvalMode mode, std::uint64_t rows) {
   if (mode != EvalMode::kScan) {
-    if (table.load_mode() == LoadMode::kLazy) {
-      if (const SegmentedBitmapIndex* idx = table.value_index(variable)) {
-        ApproxAnswer approx =
-            idx->evaluate_approx(iv, table.segment_fetch(variable, *idx));
+    if (table.index_quarantined(variable)) {
+      // Already demoted: go straight to the scan path, no re-verification
+      // per query. kIndex callers explicitly refused the fallback.
+      if (mode == EvalMode::kIndex)
+        throw IntegrityError("bitmap index for variable " + variable +
+                             " is quarantined");
+    } else {
+      bool have_index = false;
+      std::optional<ApproxAnswer> approx;
+      try {
+        if (table.load_mode() == LoadMode::kLazy) {
+          if (const SegmentedBitmapIndex* idx = table.value_index(variable)) {
+            have_index = true;
+            approx =
+                idx->evaluate_approx(iv, table.segment_fetch(variable, *idx));
+          }
+        } else if (const BitmapIndex* idx = table.index(variable)) {
+          have_index = true;
+          approx = idx->evaluate_approx(iv);
+        }
+      } catch (const IntegrityError&) {
+        // A segment failed its checksum mid-evaluation: quarantine the
+        // index and demote this predicate to the scan path — same bits,
+        // no index (DESIGN.md §15).
+        if (mode == EvalMode::kIndex) throw;
+        table.quarantine_index(variable);
+        approx.reset();
+      }
+      if (approx) {
         // Load the raw column only when boundary bins need checking —
         // index-only answers (precision binning) never touch the data.
-        if (approx.candidates.count() == 0) return std::move(approx.hits);
-        return detail::resolve_candidates(iv, std::move(approx),
+        // Column access stays outside the catch: a corrupt column is
+        // ground truth damage, not an index demotion.
+        if (approx->candidates.count() == 0) return std::move(approx->hits);
+        return detail::resolve_candidates(iv, std::move(*approx),
                                           table.column(variable), rows);
       }
-    } else if (const BitmapIndex* idx = table.index(variable)) {
-      ApproxAnswer approx = idx->evaluate_approx(iv);
-      if (approx.candidates.count() == 0) return std::move(approx.hits);
-      return detail::resolve_candidates(iv, std::move(approx),
-                                        table.column(variable), rows);
+      if (mode == EvalMode::kIndex && !have_index)
+        throw std::runtime_error("no bitmap index for variable " + variable);
     }
-    if (mode == EvalMode::kIndex)
-      throw std::runtime_error("no bitmap index for variable " + variable);
   }
   return scan_interval(table, variable, iv);
 }

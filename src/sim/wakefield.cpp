@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "agg/pyramid.hpp"
+#include "io/checksum.hpp"
 
 namespace qdv::sim {
 
@@ -289,6 +290,7 @@ std::uint64_t generate_dataset(const WakefieldConfig& config,
     manifest << "domain " << variables[v] << ' ' << global[v].first << ' '
              << global[v].second << "\n";
   manifest.close();
+  io::write_dataset_checksums(dir);
   std::uint64_t bytes = 0;
   for (const auto& entry : std::filesystem::recursive_directory_iterator(dir))
     if (entry.is_regular_file()) bytes += entry.file_size();

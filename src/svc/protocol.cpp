@@ -43,6 +43,8 @@ const char* status_text(Status status) {
     case Status::kRejectedQueue: return "queue-full";
     case Status::kRejectedBudget: return "over-budget";
     case Status::kShutdown: return "shutdown";
+    case Status::kRetryLater: return "retry-after";
+    case Status::kDeadlineExpired: return "deadline-expired";
   }
   return "?";
 }
@@ -151,6 +153,8 @@ bool parse_request_line(const std::string& line, WireRequest& out,
       ybins_given = true;
     } else if (key == "adaptive" && parse_size(value, n)) {
       r.binning = n != 0 ? BinningMode::kAdaptive : BinningMode::kUniform;
+    } else if (key == "deadline" && parse_size(value, n)) {
+      r.deadline_ms = n;
     } else if (key == "pri" && parse_size(value, n) && n < kNumPriorities) {
       r.priority = static_cast<Priority>(n);
     } else if (key == "limit" && parse_size(value, n)) {
@@ -207,6 +211,7 @@ std::string format_request_line(const WireRequest& wire) {
           << " yhi=" << format_double(r.view_hi_y);
     if (r.zoom_mode == core::ZoomMode::kExact) out << " exact=1";
   }
+  if (r.deadline_ms > 0) out << " deadline=" << r.deadline_ms;
   if (r.priority != Priority::kNormal)
     out << " pri=" << static_cast<unsigned>(r.priority);
   if (wire.ids_limit != 16) out << " limit=" << wire.ids_limit;
@@ -261,8 +266,14 @@ std::string format_stats_line(const ServiceStats& s) {
       << " executed=" << s.executed << " coalesced=" << s.coalesce_hits
       << " cached=" << s.result_cache_hits << " failed=" << s.failed
       << " rejected=" << (s.rejected_queue + s.rejected_budget)
+      << " shed=" << s.rejected_shed
+      << " deadline_expired=" << s.deadline_expired
       << " queue=" << s.queue_depth << " peak_queue=" << s.peak_queue_depth
       << " sessions=" << s.open_sessions
+      << " integrity_verified=" << s.integrity_verified
+      << " integrity_failures=" << s.integrity_failures
+      << " integrity_demotions=" << s.integrity_demotions
+      << " integrity_unverified=" << s.integrity_unverified
       << " p50_us=" << static_cast<std::uint64_t>(s.p50_seconds * 1e6)
       << " p95_us=" << static_cast<std::uint64_t>(s.p95_seconds * 1e6)
       << " p99_us=" << static_cast<std::uint64_t>(s.p99_seconds * 1e6);

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -126,6 +127,9 @@ struct Flight {
   std::shared_ptr<const core::Selection> selection;
   std::promise<ResultPtr> promise;
   ResultFuture future;
+  // Absolute deadline (leader's submit time + deadline_ms); unset when the
+  // request carries no time budget.
+  std::optional<Clock::time_point> deadline;
 
   struct Attach {
     SessionId session = 0;
@@ -261,6 +265,17 @@ struct QueryService::Impl {
         r.error = g.error;
         return true;
       }
+      if (flight.deadline && Clock::now() > *flight.deadline) {
+        // The scatter/gather (worker retries included) outran the time
+        // budget: the merged answer is stale to its requester.
+        r = Result{};
+        r.kind = req.kind;
+        r.status = Status::kDeadlineExpired;
+        r.error = "deadline expired during distributed merge";
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.deadline_expired;
+        return true;
+      }
       switch (req.kind) {
         case RequestKind::kCount:
           r.count = g.count;
@@ -389,7 +404,19 @@ struct QueryService::Impl {
         ++it->second.served_weight;
       lock.unlock();
 
-      const std::shared_ptr<Result> result = run_flight(*flight);
+      // Dispatch-time deadline check: work whose requester has already
+      // given up is not worth an evaluation.
+      std::shared_ptr<Result> result;
+      if (flight->deadline && Clock::now() > *flight->deadline) {
+        result = std::make_shared<Result>();
+        result->kind = flight->request.kind;
+        result->status = Status::kDeadlineExpired;
+        result->error = "deadline expired before dispatch";
+        std::lock_guard<std::mutex> guard(mutex);
+        ++counters.deadline_expired;
+      } else {
+        result = run_flight(*flight);
+      }
       result->sequence = ordinal;
       // Exact-mode zooms are deliberately never cached: they exist to
       // measure/verify the kernel path (bombard's verify and baseline
@@ -618,6 +645,17 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
     return it->second->future;
   }
 
+  // Load shedding fires below the hard queue cap: kRetryLater tells a
+  // well-behaved client to back off and come back, where kRejectedQueue
+  // means the request was dropped outright.
+  if (impl->config.shed_queue_depth > 0 &&
+      impl->queued >= impl->config.shed_queue_depth) {
+    ++impl->counters.rejected_shed;
+    return ready_future(make_rejection(
+        Status::kRetryLater,
+        "shedding load; retry after " +
+            std::to_string(impl->config.retry_after_ms) + " ms"));
+  }
   if (impl->queued >= impl->config.max_queue) {
     ++impl->counters.rejected_queue;
     return ready_future(
@@ -638,6 +676,9 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
   flight->selection = std::move(selection);
   flight->future = flight->promise.get_future().share();
   flight->attaches.push_back({session, now, estimate});
+  if (flight->request.deadline_ms > 0)
+    flight->deadline =
+        now + std::chrono::milliseconds(flight->request.deadline_ms);
   const auto priority = static_cast<unsigned>(flight->request.priority);
   impl->queue[priority < kNumPriorities ? priority : kNumPriorities - 1][session]
       .push_back(flight);
@@ -687,6 +728,11 @@ ServiceStats QueryService::stats() const {
   s.open_sessions = impl_->sessions.size();
   s.max_seconds = impl_->latency_max;
   s.dist_local_fallbacks = impl_->dist_local_fallbacks;
+  const io::IntegrityStats& integ = *impl_->engine.dataset().integrity_stats();
+  s.integrity_verified = integ.verified.load(std::memory_order_relaxed);
+  s.integrity_failures = integ.failures.load(std::memory_order_relaxed);
+  s.integrity_demotions = integ.demotions.load(std::memory_order_relaxed);
+  s.integrity_unverified = integ.unverified.load(std::memory_order_relaxed);
   const std::shared_ptr<dist::Coordinator> coordinator =
       impl_->distributor_handle;
   std::vector<double> sorted = impl_->latencies;

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "io/io_util.hpp"
 #include "svc/protocol.hpp"
 
 namespace qdv::svc {
@@ -37,26 +38,13 @@ sockaddr_un make_address(const std::filesystem::path& path) {
 bool write_line(int fd, const std::string& line) {
   std::string out = line;
   out.push_back('\n');
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+  return io::send_full(fd, out.data(), out.size(), fault::Site::kSvc) ==
+         io::XferResult::kOk;
 }
 
 /// Read up to the next newline (leftover bytes stay in @p buffer); false on
-/// EOF / error with nothing buffered.
+/// EOF / error with nothing buffered. On a receive timeout errno stays
+/// EAGAIN for the caller to inspect.
 bool read_line(int fd, std::string& buffer, std::string& line) {
   for (;;) {
     const std::size_t pos = buffer.find('\n');
@@ -67,10 +55,18 @@ bool read_line(int fd, std::string& buffer, std::string& line) {
       return true;
     }
     char chunk[4096];
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t got = 0;
+    switch (io::recv_some(fd, chunk, sizeof chunk, fault::Site::kSvc, got)) {
+      case io::XferResult::kOk:
+        buffer.append(chunk, got);
+        break;
+      case io::XferResult::kTimeout:
+        errno = EAGAIN;
+        return false;
+      case io::XferResult::kClosed:
+        errno = 0;
+        return false;
+    }
   }
 }
 

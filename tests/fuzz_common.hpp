@@ -18,6 +18,7 @@
 #include "agg/pyramid.hpp"
 #include "bitmap/bitmap_index.hpp"
 #include "core/query.hpp"
+#include "io/checksum.hpp"
 #include "io/dataset.hpp"
 #include "test_common.hpp"
 
@@ -147,6 +148,8 @@ inline std::filesystem::path write_random_dataset(const std::string& name,
   for (std::size_t v = 0; v < vars.size(); ++v)
     manifest << "domain " << vars[v] << ' ' << global[v].first << ' '
              << global[v].second << "\n";
+  manifest.close();
+  io::write_dataset_checksums(dir);
   return dir;
 }
 

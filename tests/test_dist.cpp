@@ -14,9 +14,11 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -308,6 +310,67 @@ void test_fuzz_differential(const std::filesystem::path& dir,
   }
 }
 
+// --------------------------------------------------------------- backoff ---
+
+void test_backoff_delay() {
+  using std::chrono::milliseconds;
+  // Same seed, same sequence — a failing chaos run replays exactly.
+  std::uint64_t s1 = 42, s2 = 42;
+  std::vector<milliseconds> a, b;
+  for (int k = 0; k < 8; ++k) {
+    a.push_back(dist::backoff_delay(k, milliseconds(5), milliseconds(200), s1));
+    b.push_back(dist::backoff_delay(k, milliseconds(5), milliseconds(200), s2));
+  }
+  CHECK(a == b);
+  // Each delay sits inside the jittered exponential envelope:
+  // [0.5, 1.0) x min(base * 2^k, max), never below 1 ms.
+  for (int k = 0; k < 8; ++k) {
+    const double nominal = std::min(5.0 * std::ldexp(1.0, k), 200.0);
+    CHECK(a[k] >= milliseconds(1));
+    CHECK(a[k].count() >= static_cast<std::int64_t>(0.5 * nominal));
+    CHECK(a[k].count() <= static_cast<std::int64_t>(nominal));
+  }
+  // A different seed jitters differently.
+  std::uint64_t s3 = 43;
+  std::vector<milliseconds> c;
+  for (int k = 0; k < 8; ++k)
+    c.push_back(dist::backoff_delay(k, milliseconds(5), milliseconds(200), s3));
+  CHECK(c != a);
+}
+
+/// The coordinator backs off (through the injectable sleeper, so the test
+/// takes no real wall-clock hit) before re-touching a failed worker — even
+/// when the reconnect then fails and the worker is declared dead.
+void test_retry_backoff_sleeper(const std::filesystem::path& dir,
+                                const core::Engine& direct) {
+  dist::DistConfig config = quiet_config();
+  config.connect_timeout = std::chrono::milliseconds(200);
+  config.backoff_base = std::chrono::milliseconds(4);
+  config.backoff_max = std::chrono::milliseconds(32);
+  config.backoff_seed = 77;
+  auto dmutex = std::make_shared<std::mutex>();
+  auto delays = std::make_shared<std::vector<std::chrono::milliseconds>>();
+  config.backoff_sleep = [dmutex, delays](std::chrono::milliseconds d) {
+    std::lock_guard<std::mutex> lock(*dmutex);
+    delays->push_back(d);
+  };
+  Fleet fleet = start_fleet(dir, 2, config);
+  ::kill(fleet.pids[0], SIGKILL);
+  // Still the exact answer — and the backoff ran before the dead worker's
+  // reconnect attempt.
+  check_query_matches(*fleet.coordinator, direct, 0, "a > 0");
+  {
+    std::lock_guard<std::mutex> lock(*dmutex);
+    CHECK(!delays->empty());
+    for (const std::chrono::milliseconds d : *delays) {
+      CHECK(d >= std::chrono::milliseconds(1));
+      CHECK(d <= config.backoff_max);
+    }
+  }
+  CHECK_EQ(fleet.coordinator->live_workers(), 1u);
+  CHECK_EQ(fleet.coordinator->stats().deaths, 1u);
+}
+
 // -------------------------------------------------------------- failures ---
 
 void test_worker_kill_reshard(const std::filesystem::path& dir,
@@ -465,8 +528,10 @@ int main(int argc, char** argv) {
       /*index_bins=*/24);
   const qdv::core::Engine direct = qdv::core::Engine::open(dir.string());
 
+  test_backoff_delay();
   test_differential_vs_single_process(dir, direct);
   test_fuzz_differential(dir, direct);
+  test_retry_backoff_sleeper(dir, direct);
   test_worker_kill_reshard(dir, direct);
   test_heartbeat_death_detection(dir, direct);
   test_service_distributed_path(dir, direct);

@@ -14,12 +14,14 @@
 // ctest runs a reduced iteration count; set QDV_FUZZ_ITERS for a deep run.
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/selection.hpp"
 #include "fuzz_common.hpp"
+#include "io/checksum.hpp"
 #include "test_common.hpp"
 
 namespace {
@@ -170,6 +172,113 @@ void test_zoom_concurrent() {
   CHECK(engine.stats().pyramid_served > 0);
 }
 
+// Flip 1-4 random bytes of @p file in place (the sidecar stays pristine,
+// so the damage is detectable).
+void flip_bytes(const std::filesystem::path& file, std::uint64_t& state) {
+  const std::uintmax_t size = std::filesystem::file_size(file);
+  if (size == 0) return;
+  std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+  const std::size_t flips = 1 + fuzz::next(state) % 4;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::uint64_t pos = fuzz::next(state) % size;
+    f.seekg(static_cast<std::streamoff>(pos));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^
+                             static_cast<char>(1 + fuzz::next(state) % 255));
+    f.seekp(static_cast<std::streamoff>(pos));
+    f.write(&byte, 1);
+  }
+  CHECK(f.good());
+}
+
+// Corruption leg (DESIGN.md §15): each iteration copies a pristine dataset,
+// flips a few bytes of one random .bmi / .pyr / .f64 artifact, and replays
+// random queries and zooms against a fresh engine (alternating eager/lazy).
+// The property: every answer is bit-identical to the pristine scan/exact
+// reference (degradation chose a clean path) or fails with the typed
+// io::IntegrityError (the damage was ground truth) — never a crash, never
+// silently wrong bits.
+void test_corruption_differential() {
+  const std::filesystem::path pristine = fuzz::write_random_dataset(
+      "fuzz_corrupt_src", /*timesteps=*/1, /*rows=*/400,
+      /*seed=*/0xdead5eedull, /*index_bins=*/24);
+  const core::Engine reference = core::Engine::open(pristine);
+  const io::TimestepTable& ref_table = reference.dataset().table(0);
+
+  std::vector<std::filesystem::path> victims;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(pristine)) {
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".bmi" || ext == ".pyr" || ext == ".f64")
+      victims.push_back(std::filesystem::relative(entry.path(), pristine));
+  }
+  CHECK(victims.size() >= 9);  // 3 .bmi + 3 .f64 + 3+1 .pyr per timestep
+
+  std::uint64_t state = 0xc0dedbadull;
+  const std::size_t iters = std::max<std::size_t>(fuzz::iterations(200), 200);
+  std::size_t matched = 0;
+  std::size_t typed_errors = 0;
+  std::uint64_t demotions = 0;
+  const std::filesystem::path work =
+      qdv::test::scratch_dir("fuzz_corrupt_work") / "ds";
+  for (std::size_t i = 0; i < iters; ++i) {
+    std::filesystem::remove_all(work);
+    std::filesystem::copy(pristine, work,
+                          std::filesystem::copy_options::recursive);
+    flip_bytes(work / victims[fuzz::next(state) % victims.size()], state);
+
+    try {
+      io::OpenOptions options;
+      if (i % 2 == 0) options.mode = io::LoadMode::kEager;
+      core::Engine engine{io::Dataset::open(work, options)};
+      for (int qn = 0; qn < 3; ++qn) {
+        const QueryPtr q = fuzz::random_query(state, 1 + fuzz::next(state) % 2);
+        try {
+          const auto got = engine.select(q).bits(0)->to_positions();
+          CHECK(got == ref_table.query(*q, EvalMode::kScan).to_positions());
+          ++matched;
+        } catch (const io::IntegrityError&) {
+          ++typed_errors;
+        }
+      }
+      // One zoom: kAuto and kExact on the SAME damaged store must stay
+      // mode-independent — a quarantined pyramid is absent for both, so
+      // they re-resolve to identical geometry. (Comparing against the
+      // pristine engine would be wrong: pyramid availability legitimately
+      // changes viewport snapping.)
+      const auto& vars = fuzz::variables();
+      const std::string& var = vars[fuzz::next(state) % vars.size()];
+      const auto [dlo, dhi] = reference.dataset().global_domain(var);
+      const double lo = fuzz::uniform(state, dlo, dhi);
+      const double span = (dhi - dlo) * (0.1 + 0.8 * fuzz::uniform(state, 0, 1));
+      const std::size_t nbins = 8 + fuzz::next(state) % 25;
+      try {
+        const core::Zoom1DResult got = engine.all().zoom_histogram1d(
+            0, var, lo, lo + span, nbins, core::ZoomMode::kAuto);
+        const core::Zoom1DResult want = engine.all().zoom_histogram1d(
+            0, var, lo, lo + span, nbins, core::ZoomMode::kExact);
+        CHECK(got.hist.counts == want.hist.counts);
+        CHECK(got.hist.bins.edges() == want.hist.bins.edges());
+        ++matched;
+      } catch (const io::IntegrityError&) {
+        ++typed_errors;
+      }
+      demotions += engine.stats().integrity_demotions;
+    } catch (const io::IntegrityError&) {
+      ++typed_errors;  // eager open of a damaged ground-truth artifact
+    }
+  }
+  // The leg must have seen all three outcomes: clean degraded answers,
+  // typed ground-truth failures, and actual quarantines.
+  CHECK(matched > 0);
+  CHECK(typed_errors > 0);
+  CHECK(demotions > 0);
+  std::printf("corruption: %zu matched, %zu typed errors, %llu demotions\n",
+              matched, typed_errors,
+              static_cast<unsigned long long>(demotions));
+}
+
 }  // namespace
 
 int main() {
@@ -177,5 +286,6 @@ int main() {
   test_out_of_core_differential();
   test_zoom_differential();
   test_zoom_concurrent();
+  test_corruption_differential();
   return qdv::test::finish("test_fuzz_query");
 }
