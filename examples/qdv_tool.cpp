@@ -19,7 +19,7 @@
 //   worker   <dir> --socket <path>
 //   bombard  <dir> [--socket <path>] [--workers N] [--clients N]
 //            [--requests M] [--seed S] [--dup F] [--json <file>]
-//            [--scenario mixed|zoom] [--bins N] [--chaos]
+//            [--scenario mixed|zoom|brush] [--bins N] [--chaos]
 //            [--chaos-spec <fault-spec>]
 //   fsck     <dir> [--verbose]
 //   corrupt  <dir> --file <rel-path> [--offset N | --tail N] [--xor B]
@@ -81,14 +81,28 @@ class Args {
     return option(name).value_or(fallback);
   }
 
+  // Strict numeric options via the wire parsers: std::stoull/std::stod
+  // accept prefixes ("8x" parses as 8) and throw bare std::invalid_argument
+  // on garbage; these reject the whole token with a message naming the
+  // flag.
   std::size_t size_option(const std::string& name, std::size_t fallback) const {
     const auto v = option(name);
-    return v ? static_cast<std::size_t>(std::stoull(*v)) : fallback;
+    if (!v) return fallback;
+    std::size_t n = 0;
+    if (!svc::parse_size(*v, n))
+      throw std::runtime_error("bad value for " + name + ": '" + *v +
+                               "' (need a non-negative integer)");
+    return n;
   }
 
   double double_option(const std::string& name, double fallback) const {
     const auto v = option(name);
-    return v ? std::stod(*v) : fallback;
+    if (!v) return fallback;
+    double f = 0.0;
+    if (!svc::parse_double(*v, f))
+      throw std::runtime_error("bad value for " + name + ": '" + *v +
+                               "' (need a finite number)");
+    return f;
   }
 
  private:
@@ -120,8 +134,8 @@ int cmd_generate(const std::string& dir, const Args& args) {
     std::cerr << "unknown preset '" << preset << "' (use 2d | 3d | bench)\n";
     return 2;
   }
-  if (const auto t = args.option("--timesteps"); t && preset != "bench")
-    cfg.num_timesteps = std::stoull(*t);
+  if (args.option("--timesteps") && preset != "bench")
+    cfg.num_timesteps = args.size_option("--timesteps", cfg.num_timesteps);
   io::IndexConfig index_config;
   index_config.nbins = args.size_option("--index-bins", 1024);
   if (args.flag("--no-pyramids")) index_config.build_pyramids = false;
@@ -185,8 +199,8 @@ int cmd_corrupt(const std::string& dir, const Args& args) {
   }
   const std::uint64_t size = std::filesystem::file_size(path);
   std::uint64_t offset = args.size_option("--offset", 0);
-  if (const auto tail = args.option("--tail"))
-    offset = size - std::min<std::uint64_t>(size, std::stoull(*tail));
+  if (args.option("--tail"))
+    offset = size - std::min<std::uint64_t>(size, args.size_option("--tail", 0));
   if (offset >= size) {
     std::cerr << "corrupt: offset " << offset << " out of range (file is "
               << size << " bytes)\n";
@@ -224,8 +238,9 @@ int cmd_query(const std::string& dir, const Args& args) {
   const std::size_t t = args.size_option("-t", 0);
   io::OpenOptions options = io::default_open_options();
   if (args.flag("--eager")) options.mode = io::LoadMode::kEager;
-  if (const auto mib = args.option("--budget"))
-    options.budget_bytes = static_cast<std::uint64_t>(std::stoull(*mib)) << 20;
+  if (args.option("--budget"))
+    options.budget_bytes =
+        static_cast<std::uint64_t>(args.size_option("--budget", 0)) << 20;
   const core::Engine engine(
       io::Dataset::open(dir, options),
       args.flag("--scan") ? EvalMode::kScan : EvalMode::kAuto);
@@ -395,8 +410,9 @@ svc::ServiceConfig service_config_from(const Args& args) {
 
 core::Engine open_service_engine(const std::string& dir, const Args& args) {
   io::OpenOptions options = io::default_open_options();
-  if (const auto mib = args.option("--budget"))
-    options.budget_bytes = static_cast<std::uint64_t>(std::stoull(*mib)) << 20;
+  if (args.option("--budget"))
+    options.budget_bytes =
+        static_cast<std::uint64_t>(args.size_option("--budget", 0)) << 20;
   return core::Engine(io::Dataset::open(dir, options));
 }
 
@@ -722,6 +738,337 @@ std::size_t verify_zoom_requests(
   return failures;
 }
 
+/// --scenario brush: each client owns one named brush and loops
+/// edit-then-query — `brush refine` followed by `count ... brush=` — the
+/// incremental delta path, recreating the brush every 32 edits to stay
+/// within the delta history. Every client tracks its composed query text
+/// locally; a cold phase then replays each text as a plain `count q=...`,
+/// which re-plans and re-executes the whole AND chain — the no-brush
+/// baseline. When self-hosting, the cold phase runs against a fresh
+/// server instance so both phases warm their own node-level bitvector
+/// caches and neither free-rides on leaves the other already evaluated
+/// (an external --socket cannot be restarted; its shared caches favor
+/// whichever phase runs second — the cold one, so the comparison stays
+/// conservative). The replayed `count=` must equal the brush query's
+/// count at the same step (differential exactness gate), and the server's
+/// brush_stale counter must be zero.
+int run_brush_bombard(const std::string& dir, const Args& args,
+                      std::size_t clients, std::size_t edits,
+                      std::uint64_t seed) {
+  struct Step {  // one edit-then-query measurement
+    std::string composed;           // full query text at this epoch
+    std::size_t client = 0;
+    std::size_t timestep = 0;
+    std::uint64_t brush_count = 0;  // count= of the brush-side response
+    double edit_us = 0.0;           // `brush refine` round trip
+    double query_us = 0.0;          // `count brush=` round trip
+  };
+
+  std::vector<std::pair<std::string, std::pair<double, double>>> domains;
+  std::size_t timesteps = 1;
+  {
+    const io::Dataset ds = io::Dataset::open(dir);
+    timesteps = std::max<std::size_t>(1, ds.num_timesteps());
+    for (const char* var : {"px", "x", "y"})
+      if (std::find(ds.variables().begin(), ds.variables().end(), var) !=
+          ds.variables().end())
+        domains.emplace_back(var, ds.global_domain(var));
+    if (domains.empty())
+      domains.emplace_back(ds.variables().front(),
+                           ds.global_domain(ds.variables().front()));
+  }
+
+  const auto next = [](std::uint64_t& state) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const auto count_of = [](const std::string& body) {
+    unsigned long long n = 0;
+    const std::size_t pos = body.find("count=");
+    if (pos != std::string::npos)
+      std::sscanf(body.c_str() + pos, "count=%llu", &n);
+    return static_cast<std::uint64_t>(n);
+  };
+  const auto stat_field = [](const std::string& body, const std::string& key) {
+    const std::size_t pos = body.find(" " + key + "=");
+    if (pos == std::string::npos) return std::uint64_t{0};
+    return static_cast<std::uint64_t>(
+        std::strtoull(body.c_str() + pos + key.size() + 2, nullptr, 10));
+  };
+
+  // One fresh self-hosted server per phase (see the header comment). With
+  // an external --socket both phases talk to that one server.
+  std::string socket = args.option_or("--socket", "");
+  const bool self_host = socket.empty();
+  std::optional<svc::QueryService> service;
+  std::optional<svc::SocketServer> server;
+  if (self_host)
+    socket = (std::filesystem::temp_directory_path() /
+              ("qdv_bombard_" + std::to_string(::getpid()) + ".sock"))
+                 .string();
+  const auto fresh_server = [&] {
+    if (!self_host) return;
+    if (server) server->stop();
+    server.reset();
+    service.reset();
+    service.emplace(open_service_engine(dir, args), service_config_from(args));
+    server.emplace(*service, socket);
+    server->start();
+  };
+  fresh_server();
+
+  std::mutex merge_mutex;
+  std::vector<Step> steps;
+  std::uint64_t errors = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<Step> local;
+      local.reserve(edits);
+      std::uint64_t local_errors = 0;
+      std::uint64_t state = (seed + c + 1) * 1099511628211ull + 13;
+      const std::size_t t = c % timesteps;
+      const std::string name = "b" + std::to_string(c);
+      const std::string query_line =
+          "count t=" + std::to_string(t) + " brush=" + name;
+      // Base cuts keep most records; each refinement carves a thin random
+      // slice out of one variable's domain — the brushing gesture — as
+      // `(var <= a || var > b)`. Slice exclusions stay distinct OR
+      // conjuncts under canonicalization (interval conjuncts would merge
+      // into one canonical interval, letting the cold phase dedupe into
+      // the result cache), so every step's canonical plan is new and the
+      // cold baseline honestly pays the whole growing chain.
+      const auto make_base = [&] {
+        const auto& [var, domain] = domains[next(state) % domains.size()];
+        const double f =
+            0.05 + 0.15 * static_cast<double>(next(state) % 1000) / 1000.0;
+        return var + " > " +
+               qdv::format_double(domain.first +
+                                  f * (domain.second - domain.first));
+      };
+      const auto make_refine = [&] {
+        const auto& [var, domain] = domains[next(state) % domains.size()];
+        const double span = domain.second - domain.first;
+        const double lo =
+            domain.first +
+            (0.10 + 0.78 * static_cast<double>(next(state) % 4096) / 4096.0) *
+                span;
+        const double hi =
+            lo + (0.02 + 0.03 * static_cast<double>(next(state) % 1000) /
+                             1000.0) *
+                     span;
+        return "(" + var + " <= " + qdv::format_double(lo) + " || " + var +
+               " > " + qdv::format_double(hi) + ")";
+      };
+      try {
+        svc::SocketClient client{std::filesystem::path(socket)};
+        std::string composed;
+        std::string body;
+        const auto create = [&] {
+          composed = make_base();
+          if (!svc::parse_response_line(
+                  client.request("brush create name=" + name +
+                                 " q=" + composed),
+                  body))
+            ++local_errors;
+        };
+        create();
+        for (std::size_t i = 0; i < edits; ++i) {
+          if (i > 0 && i % core::Brush::kMaxHistory == 0) {
+            if (!svc::parse_response_line(
+                    client.request("brush drop name=" + name), body))
+              ++local_errors;
+            create();
+          }
+          const std::string extra = make_refine();
+          const auto t0 = std::chrono::steady_clock::now();
+          const std::string edit_reply =
+              client.request("brush refine name=" + name + " q=" + extra);
+          const auto t1 = std::chrono::steady_clock::now();
+          const std::string query_reply = client.request(query_line);
+          const auto t2 = std::chrono::steady_clock::now();
+          composed += " && " + extra;
+          Step step;
+          step.composed = composed;
+          step.client = c;
+          step.timestep = t;
+          step.edit_us =
+              std::chrono::duration<double, std::micro>(t1 - t0).count();
+          step.query_us =
+              std::chrono::duration<double, std::micro>(t2 - t1).count();
+          if (!svc::parse_response_line(edit_reply, body)) ++local_errors;
+          if (!svc::parse_response_line(query_reply, body)) {
+            ++local_errors;
+          } else {
+            step.brush_count = count_of(body);
+          }
+          local.push_back(std::move(step));
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        std::cerr << "brush client " << c << ": " << e.what() << "\n";
+        ++local_errors;
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      steps.insert(steps.end(), std::make_move_iterator(local.begin()),
+                   std::make_move_iterator(local.end()));
+      errors += local_errors;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Brush-phase server stats (the brush counters live on this instance;
+  // read them before the cold phase replaces it).
+  std::string server_stats = "unavailable";
+  std::uint64_t stale_hits = 0, delta_evals = 0, full_evals = 0;
+  try {
+    svc::SocketClient client{std::filesystem::path(socket)};
+    std::string body;
+    if (svc::parse_response_line(client.request("stats"), body)) {
+      server_stats = body;
+      stale_hits = stat_field(body, "brush_stale");
+      delta_evals = stat_field(body, "brush_delta");
+      full_evals = stat_field(body, "brush_full");
+    }
+  } catch (const std::exception&) {
+    // Report latencies even when the server died mid-run.
+  }
+
+  fresh_server();
+
+  // Cold baseline + differential gate: every composed text replayed as a
+  // plain query must execute from scratch (distinct texts, distinct keys,
+  // cold caches) and report exactly the count the delta path reported.
+  // Replayed at the same concurrency as the brush phase — one connection
+  // per original client, each walking its own chain in order — so queue
+  // contention is matched, not a thumb on either scale.
+  std::vector<double> cold_us;
+  cold_us.reserve(steps.size());
+  std::size_t verify_failures = 0;
+  std::uint64_t cold_cached = 0;
+  {
+    std::vector<std::thread> cold_threads;
+    cold_threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      cold_threads.emplace_back([&, c] {
+        std::vector<double> local_us;
+        std::size_t local_failures = 0;
+        std::uint64_t local_errors = 0;
+        try {
+          svc::SocketClient client{std::filesystem::path(socket)};
+          for (const Step& step : steps) {
+            if (step.client != c) continue;
+            const std::string line = "count t=" +
+                                     std::to_string(step.timestep) +
+                                     " q=" + step.composed;
+            const auto start = std::chrono::steady_clock::now();
+            const std::string reply = client.request(line);
+            local_us.push_back(std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+            std::string body;
+            if (!svc::parse_response_line(reply, body)) {
+              ++local_errors;
+            } else if (count_of(body) != step.brush_count) {
+              ++local_failures;
+              std::lock_guard<std::mutex> lock(merge_mutex);
+              std::cerr << "brush verify mismatch: brush said "
+                        << step.brush_count << ", cold re-execution said "
+                        << count_of(body) << " for " << line << "\n";
+            }
+          }
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          std::cerr << "cold baseline client " << c << ": " << e.what()
+                    << "\n";
+          ++local_errors;
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        cold_us.insert(cold_us.end(), local_us.begin(), local_us.end());
+        verify_failures += local_failures;
+        errors += local_errors;
+      });
+    }
+    for (std::thread& t : cold_threads) t.join();
+  }
+  try {
+    svc::SocketClient client{std::filesystem::path(socket)};
+    std::string body;
+    if (svc::parse_response_line(client.request("stats"), body))
+      cold_cached = stat_field(body, "cached");
+  } catch (const std::exception&) {
+  }
+  if (server) server->stop();
+
+  std::vector<double> brush_us, edit_us, query_us;
+  brush_us.reserve(steps.size());
+  edit_us.reserve(steps.size());
+  query_us.reserve(steps.size());
+  for (const Step& step : steps) {
+    brush_us.push_back(step.edit_us + step.query_us);
+    edit_us.push_back(step.edit_us);
+    query_us.push_back(step.query_us);
+  }
+  std::sort(brush_us.begin(), brush_us.end());
+  std::sort(edit_us.begin(), edit_us.end());
+  std::sort(query_us.begin(), query_us.end());
+  std::sort(cold_us.begin(), cold_us.end());
+  const auto brush_at = [&](double q) {
+    return svc::sorted_percentile(brush_us, q);
+  };
+  const auto cold_at = [&](double q) {
+    return svc::sorted_percentile(cold_us, q);
+  };
+  const double speedup_p50 =
+      brush_at(0.50) > 0.0 ? cold_at(0.50) / brush_at(0.50) : 0.0;
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"workload\": {\"clients\": " << clients
+       << ", \"edits_per_client\": " << edits << ", \"seed\": " << seed
+       << ", \"scenario\": \"brush\"},\n"
+       << "  \"brush\": {\"steps\": " << steps.size()
+       << ", \"p50_us\": " << brush_at(0.50)
+       << ", \"p95_us\": " << brush_at(0.95)
+       << ", \"p99_us\": " << brush_at(0.99)
+       << ", \"refine_p50_us\": " << svc::sorted_percentile(edit_us, 0.50)
+       << ", \"query_p50_us\": " << svc::sorted_percentile(query_us, 0.50)
+       << ", \"delta_evals\": " << delta_evals
+       << ", \"full_evals\": " << full_evals << "},\n"
+       << "  \"cold\": {\"steps\": " << cold_us.size()
+       << ", \"p50_us\": " << cold_at(0.50)
+       << ", \"p95_us\": " << cold_at(0.95)
+       << ", \"p99_us\": " << cold_at(0.99)
+       << ", \"result_cache_hits\": " << cold_cached << "},\n"
+       << "  \"speedup_p50\": " << speedup_p50 << ",\n"
+       << "  \"verify_failures\": " << verify_failures << ",\n"
+       << "  \"stale_hits\": " << stale_hits << ",\n"
+       << "  \"errors\": " << errors << ",\n"
+       << "  \"server_stats\": \"" << server_stats << "\"\n"
+       << "}\n";
+  std::cout << "brush: " << steps.size() << " edit-then-query steps, p50 "
+            << brush_at(0.50) << " us (refine "
+            << svc::sorted_percentile(edit_us, 0.50) << " + query "
+            << svc::sorted_percentile(query_us, 0.50) << ") vs cold p50 "
+            << cold_at(0.50) << " us (speedup " << speedup_p50 << "x), "
+            << delta_evals << " delta / " << full_evals << " full evals, "
+            << verify_failures << " verify failures, " << stale_hits
+            << " stale hits, " << errors << " errors\n";
+  std::cout << "server: " << server_stats << "\n";
+  if (const auto out = args.option("--json")) {
+    std::ofstream file(*out);
+    file << json.str();
+    std::cout << "wrote " << *out << "\n";
+  } else {
+    std::cout << json.str();
+  }
+  return errors == 0 && verify_failures == 0 && stale_hits == 0 ? 0 : 1;
+}
+
 int cmd_bombard(const std::string& dir, const Args& args) {
   const std::size_t clients = args.size_option("--clients", 8);
   const std::size_t requests = args.size_option("--requests", 200);
@@ -730,9 +1077,9 @@ int cmd_bombard(const std::string& dir, const Args& args) {
   const std::size_t hot_pool = args.size_option("--hot", 8);
   const std::string scenario = args.option_or("--scenario", "mixed");
   const std::size_t zoom_bins = args.size_option("--bins", 64);
-  if (scenario != "mixed" && scenario != "zoom") {
+  if (scenario != "mixed" && scenario != "zoom" && scenario != "brush") {
     std::cerr << "bombard: unknown --scenario '" << scenario
-              << "' (use mixed | zoom)\n";
+              << "' (use mixed | zoom | brush)\n";
     return 2;
   }
 
@@ -753,6 +1100,12 @@ int cmd_bombard(const std::string& dir, const Args& args) {
       return 2;
     }
   }
+
+  // The brush scenario drives its own edit-then-query protocol exchange
+  // (stateful per client) and manages its own per-phase servers, so it
+  // bypasses the shared self-hosting and request matrix below.
+  if (scenario == "brush")
+    return run_brush_bombard(dir, args, clients, requests, seed);
 
   // Self-host unless pointed at an external server: spin up the service and
   // a socket in-process so one command measures the full wire path.

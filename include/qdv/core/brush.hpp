@@ -1,0 +1,180 @@
+// Brush: a named, mutable selection handle for linked-brushing sessions
+// (DESIGN.md Section 16). Where a Selection is one immutable canonical
+// query, a Brush is the thing an analyst drags: an epoch-counted sequence
+// of selections, each produced from the previous one by a small edit —
+// refine (AND an extra predicate), invert, or combine with another brush.
+//
+// The point of the class is *incremental* re-evaluation. An edit is O(1):
+// it records a delta op and splices one AST node onto the composed
+// predicate — no parse, no canonicalization, no planning. The brush keeps
+// the last materialized bitvector per timestep (budget-resident under
+// ResidentClass::kBrush), and evaluation after an edit applies the
+// recorded bit operations to that cached parent — one AND/OR/NOT over
+// words — instead of re-planning and re-executing the whole composed
+// query, whose canonical AST generally shares no cached subtree with its
+// parent (canonicalization re-sorts the operand list on every edit).
+// The composed predicate is still maintained at every epoch, so the full
+// from-scratch execution path always exists (the predicate is planned
+// lazily, only when that path runs): it is the delta path's bit-identical
+// differential twin (tests/test_brush.cpp) and the fallback when the
+// parent bitvector was evicted or the edit history outran kMaxHistory.
+//
+// Ownership: a Brush owns its composed predicate chain and shares the
+// engine state through the handle it was born from; materialized
+// bitvectors live in the engine's MemoryBudget and are erased when the
+// brush is destroyed.
+// Thread-safety: all methods are safe to call concurrently. Edits are
+// serialized by an internal mutex; evaluation runs outside it, so many
+// readers can evaluate one brush while another session edits it. Readers
+// pin an (epoch, composed) Snapshot first — results are always exact for
+// the pinned epoch, never a torn mix of two epochs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/selection.hpp"
+
+namespace qdv::core {
+
+class Brush {
+ public:
+  /// How combine() merges another brush into this one.
+  enum class CombineOp {
+    kAnd,     // this AND other
+    kOr,      // this OR other
+    kAndNot,  // this AND NOT other (subtract)
+  };
+
+  /// Shared evaluation counters (typically owned by the svc layer): how
+  /// many evaluations were answered by applying deltas to a cached parent
+  /// vs. by executing the composed plan from scratch.
+  struct Counters {
+    std::atomic<std::uint64_t> delta_evals{0};
+    std::atomic<std::uint64_t> full_evals{0};
+  };
+
+  /// A pinned (epoch, composed predicate) pair. Evaluating through a
+  /// snapshot is exact for that epoch even while the brush mutates — the
+  /// svc layer pins one per request so an edit racing a query can never
+  /// produce a torn answer (and cache keys carry the pinned epoch). The
+  /// predicate is an unplanned AST handle: pinning is two words, and the
+  /// plan is built only if the full-execution fallback actually runs.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    QueryPtr query;
+  };
+
+  /// @p initial must be a valid, non-select-all Selection (a brush is
+  /// always born from a concrete predicate, so invert always has an AST
+  /// form). Throws std::invalid_argument otherwise.
+  explicit Brush(Selection initial, std::shared_ptr<Counters> counters = {});
+  ~Brush();
+  Brush(const Brush&) = delete;
+  Brush& operator=(const Brush&) = delete;
+
+  /// Process-unique id; namespaces this brush's budget keys and the svc
+  /// result-cache keys built over it.
+  std::uint64_t id() const { return id_; }
+
+  /// Monotone edit counter, starting at 1. Every successful edit bumps it;
+  /// two observations with equal epoch are guaranteed the same selection.
+  std::uint64_t epoch() const;
+
+  Snapshot snapshot() const;
+
+  /// composed := composed AND extra. Returns the new epoch. O(1): splices
+  /// one AST node and records the delta; nothing is re-planned.
+  std::uint64_t refine(QueryPtr extra);
+  /// composed := NOT composed. O(1).
+  std::uint64_t invert();
+  /// composed := composed <op> other's current composed selection. The
+  /// operand is pinned first (other brush's lock only, never nested inside
+  /// ours), so concurrent A.combine(B) / B.combine(A) cannot deadlock;
+  /// combining a brush with itself is allowed.
+  std::uint64_t combine(const Brush& other, CombineOp op);
+
+  /// The matching rows at @p snap's epoch for timestep @p t. Applies
+  /// recorded deltas to the cached parent bitvector when possible
+  /// (Counters::delta_evals), else executes the composed plan
+  /// (Counters::full_evals). The result is cached under
+  /// ResidentClass::kBrush for the next edit to delta against.
+  std::shared_ptr<const BitVector> bits(const Snapshot& snap, std::size_t t);
+
+  /// Derived quantities at the snapshot epoch, computed from bits() with
+  /// Selection-identical semantics (same kernels, same binning).
+  std::uint64_t count(const Snapshot& snap, std::size_t t);
+  std::vector<std::uint64_t> ids(const Snapshot& snap, std::size_t t);
+  Histogram1D histogram1d(const Snapshot& snap, std::size_t t,
+                          const std::string& variable, std::size_t nbins,
+                          BinningMode binning = BinningMode::kUniform);
+  Histogram2D histogram2d(const Snapshot& snap, std::size_t t,
+                          const std::string& x, const std::string& y,
+                          std::size_t nxbins, std::size_t nybins,
+                          BinningMode binning = BinningMode::kUniform);
+  SummaryStats summary(const Snapshot& snap, std::size_t t,
+                       const std::string& variable);
+
+  /// Bytes of materialized brush bitvectors currently charged to the
+  /// memory budget (tracked through eviction hooks, so budget pressure is
+  /// reflected here).
+  std::uint64_t resident_bytes() const {
+    return slot_bytes_->load(std::memory_order_relaxed);
+  }
+
+  /// Edits retained for delta evaluation. An edit burst longer than this
+  /// between two evaluations falls back to one full execution (which
+  /// re-seeds the delta chain) — bounded memory, identical results.
+  static constexpr std::size_t kMaxHistory = 32;
+
+ private:
+  struct Op {
+    enum class Kind { kRefine, kInvert, kCombine };
+    Kind kind = Kind::kRefine;
+    Selection operand;  // refine: the extra; combine: other's pinned composed
+    CombineOp combine_op = CombineOp::kAnd;
+  };
+
+  struct Slot {
+    std::uint64_t epoch = 0;  // epoch of the budget-resident bitvector
+    bool valid = false;
+  };
+
+  /// Budget key of timestep @p t's bitvector at @p epoch. Epoch-stamped so
+  /// a reader that decided on a delta parent under the lock can never be
+  /// handed a concurrently-stored newer bitvector under the same key.
+  std::string slot_key(std::size_t t, std::uint64_t epoch) const;
+  /// Store @p bits as timestep @p t's parent for future deltas (callers
+  /// hold no lock; losing a race to a newer epoch is a no-op).
+  void store_slot(std::size_t t, std::uint64_t epoch,
+                  const std::shared_ptr<const BitVector>& bits);
+  std::uint64_t bump_locked(Op op);
+
+  const std::uint64_t id_;
+  std::shared_ptr<io::MemoryBudget> budget_;
+  std::shared_ptr<Counters> counters_;
+  // Slot byte accounting decrements from budget eviction hooks, which run
+  // under the budget's own mutex — an atomic keeps them lock-free and the
+  // shared_ptr keeps them safe after the brush is gone.
+  std::shared_ptr<std::atomic<std::uint64_t>> slot_bytes_;
+
+  Engine engine_;  // handle to the shared engine state (set once, const
+                   // after construction; safe to use without the mutex)
+
+  mutable std::mutex mutex_;
+  std::uint64_t epoch_ = 1;
+  QueryPtr composed_;  // unplanned composed predicate at epoch_
+  // history_[k] transforms epoch (epoch_ - history_.size() + k) into the
+  // next one; bounded at kMaxHistory (older deltas age out).
+  std::deque<Op> history_;
+  std::unordered_map<std::size_t, Slot> slots_;
+};
+
+}  // namespace qdv::core

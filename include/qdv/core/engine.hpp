@@ -122,7 +122,8 @@ class Engine {
 
  private:
   friend class Selection;
-  Engine() = default;  // used by Selection::engine()
+  friend class Brush;     // holds an Engine member, filled in after checks
+  Engine() = default;     // used by Selection::engine()
   std::shared_ptr<detail::EngineState> state_;
 };
 

@@ -27,9 +27,10 @@ enum class ResidentClass : unsigned {
   kBitVector = 2,     // evaluated per-timestep query bitvectors
   kResult = 3,        // completed service results (svc::QueryService cache)
   kPyramid = 4,       // lazily-loaded histogram-pyramid levels (agg::Pyramid)
+  kBrush = 5,         // materialized brush bitvectors (core::Brush slots)
 };
 
-inline constexpr std::size_t kNumResidentClasses = 5;
+inline constexpr std::size_t kNumResidentClasses = 6;
 
 /// Snapshot of one class's counters.
 struct ResidentClassStats {
@@ -139,7 +140,8 @@ class MemoryBudget {
   // One cap per class; a missing initializer here would silently become a
   // cap of zero, so keep the list in sync with kNumResidentClasses.
   std::size_t entry_caps_[kNumResidentClasses] = {
-      kNoEntryCap, kNoEntryCap, kNoEntryCap, kNoEntryCap, kNoEntryCap};
+      kNoEntryCap, kNoEntryCap, kNoEntryCap,
+      kNoEntryCap, kNoEntryCap, kNoEntryCap};
   EntryList lru_;  // front = most recently used
   ClassList class_lru_[kNumResidentClasses];
   std::unordered_map<std::string, EntryList::iterator> by_key_;

@@ -5,9 +5,10 @@
 //
 // Requests:   <op> [t=N] [x=VAR] [y=VAR] [bins=N] [ybins=N] [adaptive=1]
 //             [vlo=F] [vhi=F] [ylo=F] [yhi=F] [exact=1] [deadline=MS]
-//             [pri=0|1|2] [limit=N] [q=QUERY TEXT TO END OF LINE]
+//             [pri=0|1|2] [limit=N] [brush=NAME]
+//             [q=QUERY TEXT TO END OF LINE]
 //   ops: hello | count | ids | hist1 | hist2 | sum | zoom1 | zoom2
-//        | stats | ping | quit
+//        | brush | stats | ping | quit
 //   `q=` must come last — everything after it (spaces included) is the
 //   query; omitting it selects all records.
 //   zoom1/zoom2 take the viewport as vlo=/vhi= (x axis) and ylo=/yhi=
@@ -18,6 +19,18 @@
 //   that cannot be answered in time fails with `err deadline-expired`. A
 //   load-shedding server answers `err retry-after: ...` — back off and
 //   resend (DESIGN.md Section 15).
+//
+// Brush verbs (v5, DESIGN.md Section 16) — named mutable selections scoped
+// to the connection's session:
+//   brush create  name=B q=PREDICATE
+//   brush refine  name=B q=EXTRA PREDICATE
+//   brush invert  name=B
+//   brush combine name=B with=C op=and|or|andnot
+//   brush drop    name=B
+//   Each answers `ok brush=B epoch=E bytes=N brushes=K` (E = the brush's
+//   monotone edit epoch) or a typed `err`. Query ops then evaluate against
+//   a brush with `brush=B` in place of `q=` (zooms excepted); their `ok`
+//   responses carry `epoch=E` — the epoch the answer is exact for.
 // Responses:  `ok <key>=<value> ...` or `err <message>`.
 //
 // Versioning: a connection opens with a `hello v=N` greeting; the server
@@ -39,16 +52,31 @@ namespace qdv::svc {
 
 /// Line-protocol version. Bumped whenever the request/response shapes
 /// change incompatibly; the hello greeting pins it per connection.
-inline constexpr unsigned kProtocolVersion = 4;
+/// v5: brush verbs + brush= on query ops (and strict numeric fields).
+inline constexpr unsigned kProtocolVersion = 5;
 
 /// One parsed request line.
 struct WireRequest {
-  enum class Op { kQuery, kStats, kPing, kQuit, kHello };
+  enum class Op { kQuery, kBrush, kStats, kPing, kQuit, kHello };
+  enum class BrushAction { kCreate, kRefine, kInvert, kCombine, kDrop };
   Op op = Op::kQuery;
-  Request request;            // valid when op == kQuery
+  Request request;            // valid when op == kQuery (q= also feeds
+                              // brush create/refine via request.query)
   std::size_t ids_limit = 16; // ids listed in the response (limit=N)
   unsigned hello_version = 0; // v= of a hello line (op == kHello)
+
+  // op == kBrush only.
+  BrushAction brush_action = BrushAction::kCreate;
+  std::string brush_name;     // name=
+  std::string brush_with;     // with= (combine)
+  core::Brush::CombineOp brush_combine_op = core::Brush::CombineOp::kAnd;
 };
+
+/// Strict numeric field parsers used by the wire layer (and by qdv_tool's
+/// argument handling): the whole token must parse — trailing garbage,
+/// overflow, locale decimal forms, and non-finite doubles all reject.
+bool parse_size(const std::string& text, std::size_t& out);
+bool parse_double(const std::string& text, double& out);
 
 /// Parse @p line into @p out. False (with @p error set) on a malformed
 /// line; the server answers those with `err`.
@@ -63,6 +91,9 @@ std::string format_response_line(const Result& result, std::size_t ids_limit);
 
 /// `ok ...` response line for the `stats` op.
 std::string format_stats_line(const ServiceStats& stats);
+
+/// `ok brush=... epoch=...` / `err ...` response line for a brush verb.
+std::string format_brush_response_line(const BrushOutcome& outcome);
 
 /// Minimal response split for clients: true on `ok`, false on `err` (body
 /// receives everything after the tag either way).

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bitmap/histogram.hpp"
+#include "core/brush.hpp"
 #include "core/engine.hpp"
 #include "core/selection.hpp"
 #include "core/statistics.hpp"
@@ -59,6 +60,14 @@ struct Request {
   std::string query;        // query text; empty = all records
   std::size_t timestep = 0;
   Priority priority = Priority::kNormal;
+
+  /// Evaluate against this session's named brush (DESIGN.md §16) instead
+  /// of `query` — the two are mutually exclusive, and zoom kinds reject
+  /// brushes (the pyramid tier serves unconditioned marginal shapes). The
+  /// request pins the brush's (epoch, composed selection) at submission,
+  /// and its result-cache key carries that epoch: an edit racing the query
+  /// can never produce a torn or stale answer.
+  std::string brush;
 
   std::string var_x;        // histogram / summary / zoom variable
   std::string var_y;        // second histogram2d / zoom2d variable
@@ -119,6 +128,13 @@ struct Result {
   bool pyramid = false;               // zoom kinds: served from pyramid levels
   int pyramid_level = -1;             // snapped level when pyramid (else -1)
 
+  /// Brush requests: the brush epoch this result was computed at (0 for
+  /// plain queries). The serve path cross-checks it against the pinned
+  /// epoch on every result-cache hit — a mismatch is a stale hit
+  /// (ServiceStats::brush_stale_hits) and forces a re-execution instead of
+  /// serving the wrong epoch's histogram.
+  std::uint64_t brush_epoch = 0;
+
   std::uint64_t payload_bytes = 0;    // response-payload size (accounting)
   Served served = Served::kExecuted;
   double exec_seconds = 0.0;          // evaluation time (0 when kCached)
@@ -164,7 +180,26 @@ struct ServiceConfig {
   /// Backoff hint carried by kRetryLater rejections.
   std::uint64_t retry_after_ms = 50;
 
+  /// Most named brushes one session may hold live (brush create beyond it
+  /// fails with a typed error). Each brush is also charged an estimated
+  /// bitvector's worth of bytes against the session byte budget while it
+  /// lives, so brush state competes with in-flight requests under the one
+  /// session ceiling.
+  std::size_t max_brushes_per_session = 64;
+
   static constexpr std::uint64_t kUnlimitedBudget = ~std::uint64_t{0};
+};
+
+/// Outcome of one brush verb (create/refine/invert/combine/drop). Edits
+/// are metadata operations — they record the delta and bump the epoch;
+/// bitvector work happens lazily at the next query against the brush.
+struct BrushOutcome {
+  Status status = Status::kOk;
+  std::string error;              // set when status != kOk
+  std::string name;
+  std::uint64_t epoch = 0;        // brush epoch after the verb
+  std::uint64_t resident_bytes = 0;  // materialized brush bytes right now
+  std::uint64_t session_brushes = 0; // live brushes in the session after
 };
 
 /// Value at quantile @p q (in [0, 1]) of an ascending-sorted sample set,
@@ -201,6 +236,23 @@ struct ServiceStats {
   std::uint64_t integrity_failures = 0;
   std::uint64_t integrity_demotions = 0;
   std::uint64_t integrity_unverified = 0;
+
+  // Linked-brushing sessions (DESIGN.md §16). brush_edits counts
+  // refine/invert/combine verbs; brush_queries counts completed requests
+  // evaluated against a brush; delta/full split how those evaluations were
+  // answered (bit ops on a cached parent vs. composed-plan execution).
+  // brush_stale_hits is a tripwire: a cached brush result whose epoch
+  // disagreed with the pinned epoch at serve time — structurally
+  // impossible while epoch-tagged keys work, asserted zero in CI.
+  std::uint64_t brush_count = 0;        // live brushes across sessions
+  std::uint64_t brush_creates = 0;
+  std::uint64_t brush_edits = 0;
+  std::uint64_t brush_drops = 0;
+  std::uint64_t brush_queries = 0;
+  std::uint64_t brush_delta_evals = 0;
+  std::uint64_t brush_full_evals = 0;
+  std::uint64_t brush_bytes = 0;        // budget-resident brush bitvector bytes
+  std::uint64_t brush_stale_hits = 0;
 
   std::uint64_t queue_depth = 0;      // flights waiting right now
   std::uint64_t peak_queue_depth = 0;
@@ -273,6 +325,22 @@ class QueryService {
 
   /// submit() + wait. Convenience for synchronous callers (wire server).
   ResultPtr execute(SessionId session, Request request);
+
+  /// Brush verbs (protocol v5, DESIGN.md §16): named mutable selections
+  /// scoped to @p session. All synchronous — edits only record deltas and
+  /// bump the brush epoch; evaluation happens at the next submitted
+  /// request carrying Request::brush. Errors (unknown session/brush, bad
+  /// name, unparseable query text, brush cap, budget) come back as typed
+  /// BrushOutcome statuses, never exceptions.
+  BrushOutcome brush_create(SessionId session, const std::string& name,
+                            const std::string& query_text);
+  BrushOutcome brush_refine(SessionId session, const std::string& name,
+                            const std::string& query_text);
+  BrushOutcome brush_invert(SessionId session, const std::string& name);
+  BrushOutcome brush_combine(SessionId session, const std::string& name,
+                             const std::string& other,
+                             core::Brush::CombineOp op);
+  BrushOutcome brush_drop(SessionId session, const std::string& name);
 
   /// Block until no request is queued or executing.
   void drain();

@@ -11,18 +11,19 @@
 # differentially verified pyramid-vs-exact before timing) in
 # BENCH_pyramid.json.
 #
-#   scripts/run_benchmarks.sh <build-dir> [kernels.json] [service.json] [distributed.json] [pyramid.json]
+#   scripts/run_benchmarks.sh <build-dir> [kernels.json] [service.json] [distributed.json] [pyramid.json] [brush.json]
 #
 # Sizes scale via the usual QDV_BENCH_* environment variables; CI's smoke
 # job runs with tiny sizes (the benchmarks assert kernel/reference result
 # equality regardless of size, so the smoke run still verifies correctness).
 set -euo pipefail
 
-build_dir=${1:?usage: run_benchmarks.sh <build-dir> [kernels.json] [service.json] [distributed.json] [pyramid.json]}
+build_dir=${1:?usage: run_benchmarks.sh <build-dir> [kernels.json] [service.json] [distributed.json] [pyramid.json] [brush.json]}
 output=${2:-BENCH_kernels.json}
 service_output=${3:-BENCH_service.json}
 dist_output=${4:-BENCH_distributed.json}
 pyramid_output=${5:-BENCH_pyramid.json}
+brush_output=${6:-BENCH_brush.json}
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -88,6 +89,21 @@ if [ -x "$build_dir/qdv_tool" ]; then
     --requests "${QDV_BENCH_ZOOM_REQUESTS:-${QDV_BENCH_SERVICE_REQUESTS:-200}}" \
     --seed 42 --json "$pyramid_output" >&2
   echo "[run_benchmarks] wrote $pyramid_output" >&2
+
+  # Linked-brushing workload (DESIGN.md §16): each client drives a named
+  # brush through refine-then-query rounds against a fresh server, then a
+  # second fresh server replays every composed predicate cold at the same
+  # concurrency. Every cold count must match the brush-path count
+  # bit-for-bit and the stale-cache tripwire must stay zero, or the run
+  # exits nonzero. The JSON records the edit-then-query vs cold
+  # re-execution p50/p99 split (speedup_p50 is the headline number).
+  echo "[run_benchmarks] bombard --scenario brush ..." >&2
+  "$build_dir/qdv_tool" bombard "$svc_data" \
+    --scenario brush \
+    --clients "${QDV_BENCH_BRUSH_CLIENTS:-4}" \
+    --requests "${QDV_BENCH_BRUSH_EDITS:-64}" \
+    --seed 42 --json "$brush_output" >&2
+  echo "[run_benchmarks] wrote $brush_output" >&2
 else
   echo "[run_benchmarks] no qdv_tool in $build_dir: skipping service bench" >&2
 fi

@@ -1,17 +1,18 @@
 #include "svc/protocol.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
 namespace qdv::svc {
 
-namespace {
-
 bool parse_size(const std::string& text, std::size_t& out) {
   const char* begin = text.data();
   const char* end = begin + text.size();
   const auto [ptr, ec] = std::from_chars(begin, end, out);
+  // from_chars rejects signs, spaces, locale forms, and overflow on its
+  // own; ptr == end additionally rejects trailing garbage ("5junk", "1e3").
   return ec == std::errc{} && ptr == end;
 }
 
@@ -19,8 +20,12 @@ bool parse_double(const std::string& text, double& out) {
   const char* begin = text.data();
   const char* end = begin + text.size();
   const auto [ptr, ec] = std::from_chars(begin, end, out);
-  return ec == std::errc{} && ptr == end;
+  // from_chars accepts the "inf"/"nan" spellings, but no wire field is
+  // meaningfully non-finite (viewports, deadlines) — reject them too.
+  return ec == std::errc{} && ptr == end && std::isfinite(out);
 }
+
+namespace {
 
 /// Shortest round-trip-exact text of @p v: zoom viewports must survive the
 /// wire bit for bit, or the client's verify phase would compare against a
@@ -78,6 +83,94 @@ bool parse_request_line(const std::string& line, WireRequest& out,
     }
     return true;
   }
+  if (op == "brush") {
+    out.op = WireRequest::Op::kBrush;
+    std::string action;
+    if (!(in >> action)) {
+      error = "brush needs an action (create|refine|invert|combine|drop)";
+      return false;
+    }
+    using BA = WireRequest::BrushAction;
+    if (action == "create") {
+      out.brush_action = BA::kCreate;
+    } else if (action == "refine") {
+      out.brush_action = BA::kRefine;
+    } else if (action == "invert") {
+      out.brush_action = BA::kInvert;
+    } else if (action == "combine") {
+      out.brush_action = BA::kCombine;
+    } else if (action == "drop") {
+      out.brush_action = BA::kDrop;
+    } else {
+      error = "unknown brush action '" + action + "'";
+      return false;
+    }
+    std::string token;
+    bool op_given = false;
+    while (in >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        error = "expected key=value, got '" + token + "'";
+        return false;
+      }
+      const std::string key = token.substr(0, eq);
+      std::string value = token.substr(eq + 1);
+      if (key == "q") {
+        std::string rest;
+        std::getline(in, rest);
+        out.request.query = value + rest;
+        break;
+      }
+      if (key == "name") {
+        out.brush_name = std::move(value);
+      } else if (key == "with") {
+        out.brush_with = std::move(value);
+      } else if (key == "op") {
+        if (value == "and") {
+          out.brush_combine_op = core::Brush::CombineOp::kAnd;
+        } else if (value == "or") {
+          out.brush_combine_op = core::Brush::CombineOp::kOr;
+        } else if (value == "andnot") {
+          out.brush_combine_op = core::Brush::CombineOp::kAndNot;
+        } else {
+          error = "bad combine op '" + value + "' (and|or|andnot)";
+          return false;
+        }
+        op_given = true;
+      } else {
+        error = "bad brush option '" + token + "'";
+        return false;
+      }
+    }
+    if (out.brush_name.empty()) {
+      error = "brush " + action + " needs name=<brush>";
+      return false;
+    }
+    const bool needs_q =
+        out.brush_action == BA::kCreate || out.brush_action == BA::kRefine;
+    if (needs_q && out.request.query.empty()) {
+      error = "brush " + action + " needs q=<predicate>";
+      return false;
+    }
+    if (!needs_q && !out.request.query.empty()) {
+      error = "brush " + action + " takes no q=";
+      return false;
+    }
+    if (out.brush_action == BA::kCombine) {
+      if (out.brush_with.empty()) {
+        error = "brush combine needs with=<brush>";
+        return false;
+      }
+      if (!op_given) {
+        error = "brush combine needs op=and|or|andnot";
+        return false;
+      }
+    } else if (!out.brush_with.empty() || op_given) {
+      error = "with=/op= are only for brush combine";
+      return false;
+    }
+    return true;
+  }
   if (op == "stats") {
     out.op = WireRequest::Op::kStats;
     return true;
@@ -131,6 +224,8 @@ bool parse_request_line(const std::string& line, WireRequest& out,
     double f = 0.0;
     if (key == "x") {
       r.var_x = std::move(value);
+    } else if (key == "brush") {
+      r.brush = std::move(value);
     } else if (key == "y") {
       r.var_y = std::move(value);
     } else if (key == "vlo" && parse_double(value, f)) {
@@ -176,6 +271,27 @@ std::string format_request_line(const WireRequest& wire) {
       return "hello v=" + std::to_string(wire.hello_version != 0
                                              ? wire.hello_version
                                              : kProtocolVersion);
+    case WireRequest::Op::kBrush: {
+      std::string line = "brush ";
+      switch (wire.brush_action) {
+        case WireRequest::BrushAction::kCreate: line += "create"; break;
+        case WireRequest::BrushAction::kRefine: line += "refine"; break;
+        case WireRequest::BrushAction::kInvert: line += "invert"; break;
+        case WireRequest::BrushAction::kCombine: line += "combine"; break;
+        case WireRequest::BrushAction::kDrop: line += "drop"; break;
+      }
+      line += " name=" + wire.brush_name;
+      if (wire.brush_action == WireRequest::BrushAction::kCombine) {
+        line += " with=" + wire.brush_with + " op=";
+        switch (wire.brush_combine_op) {
+          case core::Brush::CombineOp::kAnd: line += "and"; break;
+          case core::Brush::CombineOp::kOr: line += "or"; break;
+          case core::Brush::CombineOp::kAndNot: line += "andnot"; break;
+        }
+      }
+      if (!wire.request.query.empty()) line += " q=" + wire.request.query;
+      return line;
+    }
     case WireRequest::Op::kQuery: break;
   }
   const Request& r = wire.request;
@@ -192,6 +308,7 @@ std::string format_request_line(const WireRequest& wire) {
   const bool zoom =
       r.kind == RequestKind::kZoom1D || r.kind == RequestKind::kZoom2D;
   out << " t=" << r.timestep;
+  if (!r.brush.empty()) out << " brush=" << r.brush;
   if (!r.var_x.empty()) out << " x=" << r.var_x;
   if (!r.var_y.empty()) out << " y=" << r.var_y;
   if (r.kind == RequestKind::kHistogram1D || r.kind == RequestKind::kHistogram2D) {
@@ -254,6 +371,7 @@ std::string format_response_line(const Result& result, std::size_t ids_limit) {
   if (result.kind == RequestKind::kSummary)
     out << " min=" << result.summary.min << " max=" << result.summary.max
         << " mean=" << result.summary.mean << " stddev=" << result.summary.stddev;
+  if (result.brush_epoch > 0) out << " epoch=" << result.brush_epoch;
   out << " src=" << (result.served == Served::kCached ? "cache" : "exec");
   out << " exec_us="
       << static_cast<std::uint64_t>(result.exec_seconds * 1e6);
@@ -280,6 +398,16 @@ std::string format_stats_line(const ServiceStats& s) {
   if (s.pyramid_served + s.pyramid_fallback > 0)
     out << " pyr_served=" << s.pyramid_served
         << " pyr_fallback=" << s.pyramid_fallback;
+  if (s.brush_creates + s.brush_edits + s.brush_queries > 0)
+    out << " brush_count=" << s.brush_count
+        << " brush_creates=" << s.brush_creates
+        << " brush_edits=" << s.brush_edits
+        << " brush_drops=" << s.brush_drops
+        << " brush_queries=" << s.brush_queries
+        << " brush_delta=" << s.brush_delta_evals
+        << " brush_full=" << s.brush_full_evals
+        << " brush_bytes=" << s.brush_bytes
+        << " brush_stale=" << s.brush_stale_hits;
   if (s.dist_workers > 0)
     out << " dist_workers=" << s.dist_workers << " dist_alive=" << s.dist_alive
         << " dist_queries=" << s.dist_queries
@@ -289,6 +417,20 @@ std::string format_stats_line(const ServiceStats& s) {
         << " dist_reshards=" << s.dist_reshards
         << " dist_deaths=" << s.dist_deaths
         << " dist_fallbacks=" << s.dist_local_fallbacks;
+  return out.str();
+}
+
+std::string format_brush_response_line(const BrushOutcome& outcome) {
+  if (outcome.status != Status::kOk) {
+    std::string line = "err ";
+    line += status_text(outcome.status);
+    if (!outcome.error.empty()) line += ": " + outcome.error;
+    return line;
+  }
+  std::ostringstream out;
+  out << "ok brush=" << outcome.name << " epoch=" << outcome.epoch
+      << " bytes=" << outcome.resident_bytes
+      << " brushes=" << outcome.session_brushes;
   return out.str();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -95,6 +96,17 @@ dist::ShardKind shard_kind(RequestKind kind) {
   }
 }
 
+/// Brush names travel the wire as bare tokens and become cache-key and
+/// stats material, so keep them to a tight charset.
+bool valid_brush_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '-' || c == '.'))
+      return false;
+  return true;
+}
+
 ResultPtr make_rejection(Status status, std::string message) {
   auto r = std::make_shared<Result>();
   r->status = status;
@@ -125,6 +137,11 @@ struct Flight {
   std::string key;
   Request request;
   std::shared_ptr<const core::Selection> selection;
+  // Brush requests: the brush (kept alive even if dropped mid-queue) and
+  // the (epoch, composed) snapshot pinned at submission — evaluation is
+  // exact for that epoch no matter how the brush mutates meanwhile.
+  std::shared_ptr<core::Brush> brush;
+  core::Brush::Snapshot brush_snap;
   std::promise<ResultPtr> promise;
   ResultFuture future;
   // Absolute deadline (leader's submit time + deadline_ms); unset when the
@@ -152,6 +169,12 @@ struct QueryService::Impl {
     std::uint64_t budget_bytes = ServiceConfig::kUnlimitedBudget;
     std::uint64_t inflight_bytes = 0;  // admission estimates currently held
     std::uint64_t served_weight = 0;   // executed flights led by this session
+    // Named brushes scoped to this session (DESIGN.md §16). brush_charge
+    // holds the admission estimate charged per live brush — released on
+    // drop and, crucially, when the session closes (a dead socket cannot
+    // leak brush budget).
+    std::unordered_map<std::string, std::shared_ptr<core::Brush>> brushes;
+    std::uint64_t brush_charge = 0;
   };
 
   mutable std::mutex mutex;
@@ -179,6 +202,11 @@ struct QueryService::Impl {
   // the mutex; the coordinator itself is internally synchronized.
   std::shared_ptr<dist::Coordinator> distributor_handle;
   std::uint64_t dist_local_fallbacks = 0;
+
+  // Shared delta-vs-full evaluation counters, aggregated across every brush
+  // this service creates (core::Brush increments them lock-free).
+  std::shared_ptr<core::Brush::Counters> brush_counters =
+      std::make_shared<core::Brush::Counters>();
 
   // Cumulative counters (the queue_depth/inflight/latency fields of the
   // public struct are derived in stats()).
@@ -216,6 +244,15 @@ struct QueryService::Impl {
         return engine.dataset().table(r.timestep).num_rows() * 8 + 64;
     }
     return 64;
+  }
+
+  /// Admission charge held per live brush: one materialized bitvector's
+  /// worth, so brush state competes with in-flight requests under the same
+  /// session byte ceiling.
+  std::uint64_t brush_estimate() const {
+    return engine.num_timesteps() == 0
+               ? 64
+               : engine.dataset().table(0).num_rows() / 8 + 64;
   }
 
   /// Highest-priority, fairness-ordered queued flight; nullptr when empty.
@@ -315,6 +352,55 @@ struct QueryService::Impl {
     auto r = std::make_shared<Result>();
     r->kind = flight.request.kind;
     const Clock::time_point start = Clock::now();
+
+    if (flight.brush) {
+      // Brush flights never distribute: the whole point is the local delta
+      // path against the cached parent bitvector (a remote worker re-parsing
+      // the composed text would execute from scratch every time).
+      try {
+        const Request& req = flight.request;
+        core::Brush& b = *flight.brush;
+        const core::Brush::Snapshot& snap = flight.brush_snap;
+        switch (req.kind) {
+          case RequestKind::kCount:
+            r->count = b.count(snap, req.timestep);
+            r->payload_bytes = 8;
+            break;
+          case RequestKind::kIds:
+            r->ids = b.ids(snap, req.timestep);
+            r->count = r->ids.size();
+            r->payload_bytes = r->ids.size() * 8;
+            break;
+          case RequestKind::kHistogram1D:
+            r->hist1d = b.histogram1d(snap, req.timestep, req.var_x,
+                                      req.nxbins, req.binning);
+            r->count = r->hist1d.total();
+            r->payload_bytes = histogram1d_bytes(r->hist1d);
+            break;
+          case RequestKind::kHistogram2D:
+            r->hist2d = b.histogram2d(snap, req.timestep, req.var_x,
+                                      req.var_y, req.nxbins, req.nybins,
+                                      req.binning);
+            r->count = r->hist2d.total();
+            r->payload_bytes = histogram2d_bytes(r->hist2d);
+            break;
+          case RequestKind::kSummary:
+            r->summary = b.summary(snap, req.timestep, req.var_x);
+            r->count = r->summary.count;
+            r->payload_bytes = 5 * 8;
+            break;
+          case RequestKind::kZoom1D:
+          case RequestKind::kZoom2D:
+            throw std::logic_error("zoom on a brush (rejected at submit)");
+        }
+        r->brush_epoch = snap.epoch;
+      } catch (const std::exception& e) {
+        r->status = Status::kError;
+        r->error = e.what();
+      }
+      r->exec_seconds = seconds_since(start, Clock::now());
+      return r;
+    }
 
     std::shared_ptr<dist::Coordinator> coordinator;
     {
@@ -454,6 +540,7 @@ struct QueryService::Impl {
       const Clock::time_point now = Clock::now();
       for (const Flight::Attach& attach : flight->attaches) {
         ++counters.completed;
+        if (flight->brush) ++counters.brush_queries;
         if (result->status != Status::kOk) ++counters.failed;
         counters.bytes_served += result->payload_bytes;
         record_latency_locked(seconds_since(attach.at, now));
@@ -521,6 +608,8 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
   // Parse/canonicalize/plan (shared, cached) and estimate the response size
   // before taking the service lock — both only touch their own locks.
   std::shared_ptr<const core::Selection> selection;
+  std::shared_ptr<core::Brush> brush;
+  core::Brush::Snapshot brush_snap;
   std::string key;
   std::uint64_t estimate = 0;
   try {
@@ -544,7 +633,32 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
           !(request.view_hi_y > request.view_lo_y))
         throw std::invalid_argument("zoom viewport needs view_hi > view_lo");
     }
-    selection = impl->engine.select_shared(request.query);
+    if (!request.brush.empty()) {
+      if (is_zoom(request.kind))
+        throw std::invalid_argument(
+            "zoom requests cannot target a brush (the pyramid tier serves "
+            "plain marginal selections)");
+      if (!request.query.empty())
+        throw std::invalid_argument(
+            "brush requests take no q= (edit the brush instead)");
+      {
+        std::lock_guard<std::mutex> resolve(impl->mutex);
+        const auto sit = impl->sessions.find(session);
+        if (sit == impl->sessions.end())
+          throw std::invalid_argument("unknown session");
+        const auto bit = sit->second.brushes.find(request.brush);
+        if (bit == sit->second.brushes.end())
+          throw std::invalid_argument("unknown brush '" + request.brush +
+                                      "'");
+        brush = bit->second;
+      }
+      // Pin (epoch, composed predicate) now: the flight evaluates exactly
+      // this epoch no matter how the brush mutates while the request is
+      // queued. No Selection is built — pinning never plans.
+      brush_snap = brush->snapshot();
+    } else {
+      selection = impl->engine.select_shared(request.query);
+    }
     key = "svc|";
     key += kind_tag(request.kind);
     key += "|t#" + std::to_string(request.timestep);
@@ -601,7 +715,16 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
         if (request.zoom_mode == core::ZoomMode::kExact) key += "#e";
       }
     }
-    key += '|' + selection->cache_key();
+    // Brush keys carry (id, epoch): the id makes the namespace
+    // session-scoped and collision-free across drops/recreates, the epoch
+    // makes a mutated brush structurally unable to hit its parent's cached
+    // result — together they identify the answer completely, so no
+    // composed cache_key (which would force a plan) is appended.
+    if (brush)
+      key += "|brush#" + std::to_string(brush->id()) + "@e" +
+             std::to_string(brush_snap.epoch);
+    else
+      key += '|' + selection->cache_key();
     estimate = impl->estimate_bytes(request);
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(impl->mutex);
@@ -628,12 +751,20 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
   // budget-resident cache without touching the queue.
   if (impl->config.cache_results) {
     if (auto cached = impl->budget->get(key, io::ResidentClass::kResult)) {
-      ++impl->counters.result_cache_hits;
-      ++impl->counters.completed;
-      impl->record_latency_locked(seconds_since(now, Clock::now()));
       auto result = std::static_pointer_cast<const Result>(cached);
-      impl->counters.bytes_served += result->payload_bytes;
-      return ready_future(std::move(result));
+      if (brush && result->brush_epoch != brush_snap.epoch) {
+        // Tripwire (asserted zero in CI): the epoch-tagged key handed back
+        // a result computed at a different epoch. Count it and fall through
+        // to a fresh execution rather than serve a stale answer.
+        ++impl->counters.brush_stale_hits;
+      } else {
+        ++impl->counters.result_cache_hits;
+        ++impl->counters.completed;
+        if (brush) ++impl->counters.brush_queries;
+        impl->record_latency_locked(seconds_since(now, Clock::now()));
+        impl->counters.bytes_served += result->payload_bytes;
+        return ready_future(std::move(result));
+      }
     }
   }
 
@@ -663,7 +794,7 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
   }
   Impl::Session& sess = sit->second;
   if (sess.budget_bytes != ServiceConfig::kUnlimitedBudget &&
-      sess.inflight_bytes + estimate > sess.budget_bytes) {
+      sess.inflight_bytes + sess.brush_charge + estimate > sess.budget_bytes) {
     ++impl->counters.rejected_budget;
     return ready_future(
         make_rejection(Status::kRejectedBudget, "session byte budget exhausted"));
@@ -674,6 +805,8 @@ ResultFuture QueryService::submit(SessionId session, Request request) {
   flight->key = std::move(key);
   flight->request = std::move(request);
   flight->selection = std::move(selection);
+  flight->brush = std::move(brush);
+  flight->brush_snap = std::move(brush_snap);
   flight->future = flight->promise.get_future().share();
   flight->attaches.push_back({session, now, estimate});
   if (flight->request.deadline_ms > 0)
@@ -701,6 +834,200 @@ ResultPtr QueryService::execute(SessionId session, Request request) {
   return submit(session, std::move(request)).get();
 }
 
+namespace {
+
+BrushOutcome brush_fail(std::string name, Status status, std::string message) {
+  BrushOutcome out;
+  out.status = status;
+  out.error = std::move(message);
+  out.name = std::move(name);
+  return out;
+}
+
+}  // namespace
+
+BrushOutcome QueryService::brush_create(SessionId session,
+                                        const std::string& name,
+                                        const std::string& query_text) {
+  const auto impl = impl_;
+  if (!valid_brush_name(name))
+    return brush_fail(name, Status::kError,
+                      "bad brush name '" + name +
+                          "' (need 1-64 chars of [A-Za-z0-9_.-])");
+  if (query_text.empty())
+    return brush_fail(name, Status::kError, "brush create needs q=<predicate>");
+  std::shared_ptr<core::Brush> brush;
+  try {
+    // Parse/canonicalize/plan outside the service lock; the Selection is
+    // copied into the brush, which owns its composed chain from here on.
+    auto sel = impl->engine.select_shared(query_text);
+    brush = std::make_shared<core::Brush>(*sel, impl->brush_counters);
+  } catch (const std::exception& e) {
+    return brush_fail(name, Status::kError, e.what());
+  }
+  const std::uint64_t charge = impl->brush_estimate();
+  std::lock_guard<std::mutex> lock(impl->mutex);
+  const auto sit = impl->sessions.find(session);
+  if (sit == impl->sessions.end())
+    return brush_fail(name, Status::kError, "unknown session");
+  Impl::Session& sess = sit->second;
+  if (sess.brushes.count(name) != 0)
+    return brush_fail(name, Status::kError,
+                      "brush '" + name + "' already exists");
+  if (sess.brushes.size() >= impl->config.max_brushes_per_session)
+    return brush_fail(
+        name, Status::kError,
+        "session brush cap reached (" +
+            std::to_string(impl->config.max_brushes_per_session) + ")");
+  if (sess.budget_bytes != ServiceConfig::kUnlimitedBudget &&
+      sess.inflight_bytes + sess.brush_charge + charge > sess.budget_bytes)
+    return brush_fail(name, Status::kRejectedBudget,
+                      "session byte budget exhausted (brush state counts "
+                      "against it)");
+  sess.brushes.emplace(name, brush);
+  sess.brush_charge += charge;
+  ++impl->counters.brush_creates;
+  BrushOutcome out;
+  out.name = name;
+  out.epoch = brush->epoch();
+  out.resident_bytes = brush->resident_bytes();
+  out.session_brushes = sess.brushes.size();
+  return out;
+}
+
+BrushOutcome QueryService::brush_refine(SessionId session,
+                                        const std::string& name,
+                                        const std::string& query_text) {
+  const auto impl = impl_;
+  if (query_text.empty())
+    return brush_fail(name, Status::kError, "brush refine needs q=<predicate>");
+  QueryPtr extra;
+  try {
+    extra = parse_query(query_text);
+  } catch (const std::exception& e) {
+    return brush_fail(name, Status::kError, e.what());
+  }
+  std::shared_ptr<core::Brush> brush;
+  std::uint64_t session_brushes = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    const auto sit = impl->sessions.find(session);
+    if (sit == impl->sessions.end())
+      return brush_fail(name, Status::kError, "unknown session");
+    const auto bit = sit->second.brushes.find(name);
+    if (bit == sit->second.brushes.end())
+      return brush_fail(name, Status::kError, "unknown brush '" + name + "'");
+    brush = bit->second;
+    session_brushes = sit->second.brushes.size();
+  }
+  BrushOutcome out;
+  out.name = name;
+  out.session_brushes = session_brushes;
+  try {
+    // Record the delta outside the service lock (refine plans the extra
+    // predicate); concurrent queries keep evaluating their pinned epochs.
+    out.epoch = brush->refine(std::move(extra));
+  } catch (const std::exception& e) {
+    return brush_fail(name, Status::kError, e.what());
+  }
+  out.resident_bytes = brush->resident_bytes();
+  std::lock_guard<std::mutex> lock(impl->mutex);
+  ++impl->counters.brush_edits;
+  return out;
+}
+
+BrushOutcome QueryService::brush_invert(SessionId session,
+                                        const std::string& name) {
+  const auto impl = impl_;
+  std::shared_ptr<core::Brush> brush;
+  std::uint64_t session_brushes = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    const auto sit = impl->sessions.find(session);
+    if (sit == impl->sessions.end())
+      return brush_fail(name, Status::kError, "unknown session");
+    const auto bit = sit->second.brushes.find(name);
+    if (bit == sit->second.brushes.end())
+      return brush_fail(name, Status::kError, "unknown brush '" + name + "'");
+    brush = bit->second;
+    session_brushes = sit->second.brushes.size();
+  }
+  BrushOutcome out;
+  out.name = name;
+  out.session_brushes = session_brushes;
+  try {
+    out.epoch = brush->invert();
+  } catch (const std::exception& e) {
+    return brush_fail(name, Status::kError, e.what());
+  }
+  out.resident_bytes = brush->resident_bytes();
+  std::lock_guard<std::mutex> lock(impl->mutex);
+  ++impl->counters.brush_edits;
+  return out;
+}
+
+BrushOutcome QueryService::brush_combine(SessionId session,
+                                         const std::string& name,
+                                         const std::string& other,
+                                         core::Brush::CombineOp op) {
+  const auto impl = impl_;
+  std::shared_ptr<core::Brush> brush;
+  std::shared_ptr<core::Brush> operand;
+  std::uint64_t session_brushes = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    const auto sit = impl->sessions.find(session);
+    if (sit == impl->sessions.end())
+      return brush_fail(name, Status::kError, "unknown session");
+    const auto bit = sit->second.brushes.find(name);
+    if (bit == sit->second.brushes.end())
+      return brush_fail(name, Status::kError, "unknown brush '" + name + "'");
+    const auto oit = sit->second.brushes.find(other);
+    if (oit == sit->second.brushes.end())
+      return brush_fail(name, Status::kError,
+                        "unknown brush '" + other + "'");
+    brush = bit->second;
+    operand = oit->second;
+    session_brushes = sit->second.brushes.size();
+  }
+  BrushOutcome out;
+  out.name = name;
+  out.session_brushes = session_brushes;
+  try {
+    out.epoch = brush->combine(*operand, op);
+  } catch (const std::exception& e) {
+    return brush_fail(name, Status::kError, e.what());
+  }
+  out.resident_bytes = brush->resident_bytes();
+  std::lock_guard<std::mutex> lock(impl->mutex);
+  ++impl->counters.brush_edits;
+  return out;
+}
+
+BrushOutcome QueryService::brush_drop(SessionId session,
+                                      const std::string& name) {
+  const auto impl = impl_;
+  std::shared_ptr<core::Brush> brush;  // destroyed outside the lock
+  BrushOutcome out;
+  out.name = name;
+  std::lock_guard<std::mutex> lock(impl->mutex);
+  const auto sit = impl->sessions.find(session);
+  if (sit == impl->sessions.end())
+    return brush_fail(name, Status::kError, "unknown session");
+  Impl::Session& sess = sit->second;
+  const auto bit = sess.brushes.find(name);
+  if (bit == sess.brushes.end())
+    return brush_fail(name, Status::kError, "unknown brush '" + name + "'");
+  brush = std::move(bit->second);
+  sess.brushes.erase(bit);
+  const std::uint64_t charge = impl->brush_estimate();
+  sess.brush_charge -= std::min(sess.brush_charge, charge);
+  ++impl->counters.brush_drops;
+  out.epoch = brush->epoch();
+  out.session_brushes = sess.brushes.size();
+  return out;
+}
+
 void QueryService::drain() {
   std::unique_lock<std::mutex> lock(impl_->mutex);
   impl_->idle_cv.wait(lock, [this] {
@@ -726,6 +1053,15 @@ ServiceStats QueryService::stats() const {
   s.queue_depth = impl_->queued;
   s.inflight = impl_->executing;
   s.open_sessions = impl_->sessions.size();
+  for (const auto& [sid, sess] : impl_->sessions) {
+    s.brush_count += sess.brushes.size();
+    for (const auto& [bname, b] : sess.brushes)
+      s.brush_bytes += b->resident_bytes();
+  }
+  s.brush_delta_evals =
+      impl_->brush_counters->delta_evals.load(std::memory_order_relaxed);
+  s.brush_full_evals =
+      impl_->brush_counters->full_evals.load(std::memory_order_relaxed);
   s.max_seconds = impl_->latency_max;
   s.dist_local_fallbacks = impl_->dist_local_fallbacks;
   const io::IntegrityStats& integ = *impl_->engine.dataset().integrity_stats();

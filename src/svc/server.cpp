@@ -99,6 +99,25 @@ struct SocketServer::Impl {
 
   void serve_connection(int fd, const std::shared_ptr<std::atomic<bool>>& done) {
     const QueryService::SessionId session = service.open_session("socket");
+    try {
+      handle_lines(fd, session);
+    } catch (const std::exception&) {
+      // A handler-side failure closes this connection only; the session
+      // teardown below still runs, so a dying socket can never leak its
+      // open_sessions slot or in-flight budget (it is released exactly
+      // once, on this path or the normal one).
+    }
+    service.close_session(session);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (Conn& c : conns)
+        if (c.done == done) c.fd = -1;
+    }
+    ::close(fd);
+    done->store(true, std::memory_order_release);
+  }
+
+  void handle_lines(int fd, QueryService::SessionId session) {
     std::string buffer;
     std::string line;
     bool greeted = false;
@@ -145,20 +164,36 @@ struct SocketServer::Impl {
         break;
       } else if (wire.op == WireRequest::Op::kStats) {
         response = format_stats_line(service.stats());
+      } else if (wire.op == WireRequest::Op::kBrush) {
+        BrushOutcome outcome;
+        switch (wire.brush_action) {
+          case WireRequest::BrushAction::kCreate:
+            outcome = service.brush_create(session, wire.brush_name,
+                                           wire.request.query);
+            break;
+          case WireRequest::BrushAction::kRefine:
+            outcome = service.brush_refine(session, wire.brush_name,
+                                           wire.request.query);
+            break;
+          case WireRequest::BrushAction::kInvert:
+            outcome = service.brush_invert(session, wire.brush_name);
+            break;
+          case WireRequest::BrushAction::kCombine:
+            outcome = service.brush_combine(session, wire.brush_name,
+                                            wire.brush_with,
+                                            wire.brush_combine_op);
+            break;
+          case WireRequest::BrushAction::kDrop:
+            outcome = service.brush_drop(session, wire.brush_name);
+            break;
+        }
+        response = format_brush_response_line(outcome);
       } else {
         const ResultPtr result = service.execute(session, wire.request);
         response = format_response_line(*result, wire.ids_limit);
       }
       if (!write_line(fd, response)) break;
     }
-    service.close_session(session);
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      for (Conn& c : conns)
-        if (c.done == done) c.fd = -1;
-    }
-    ::close(fd);
-    done->store(true, std::memory_order_release);
   }
 
   /// Join and drop finished connections (called on each accept, so a
@@ -272,12 +307,19 @@ SocketClient::SocketClient(const std::filesystem::path& socket_path,
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   }
   // Version handshake: fail construction with the server's own message on
-  // a mismatch.
-  const std::string reply =
-      request("hello v=" + std::to_string(kProtocolVersion));
-  std::string body;
-  if (!parse_response_line(reply, body))
-    throw std::runtime_error("server rejected handshake: " + body);
+  // a mismatch. The destructor never runs for a partially constructed
+  // object, so a throwing handshake must close the descriptor here.
+  try {
+    const std::string reply =
+        request("hello v=" + std::to_string(kProtocolVersion));
+    std::string body;
+    if (!parse_response_line(reply, body))
+      throw std::runtime_error("server rejected handshake: " + body);
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
 }
 
 SocketClient::~SocketClient() {

@@ -185,4 +185,32 @@ inline QueryPtr random_query(std::uint64_t& state, std::size_t depth) {
   return Query::lnot(random_query(state, depth - 1));
 }
 
+/// Corrupt valid query text for the malformed-input probes: truncation,
+/// garbage insertion, operator mangling, unbalanced parens, numeric junk.
+/// The result may occasionally still parse — the probes assert the server
+/// answers every line with a typed ok/err and stays usable, not that every
+/// probe is rejected.
+inline std::string malform(std::uint64_t& state, std::string text) {
+  switch (next(state) % 8) {
+    case 0:  // truncate mid-token
+      if (!text.empty()) text.resize(next(state) % text.size());
+      return text;
+    case 1:  // stray comparison with no right-hand side
+      return text + " && a >";
+    case 2:  // unbalanced paren
+      return "(" + text;
+    case 3:  // garbage token splice
+      text.insert(next(state) % (text.size() + 1), " @#$ ");
+      return text;
+    case 4:  // doubled operator
+      return text + " && && " + text;
+    case 5:  // non-finite / overflowing literal
+      return text + (next(state) % 2 ? " && a < inf" : " && b > 1e999");
+    case 6:  // unknown variable
+      return text + " && nosuchvar == 1";
+    default:  // bare operator soup
+      return "&& || ! " + text;
+  }
+}
+
 }  // namespace qdv::test::fuzz

@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "core/selection.hpp"
+#include "fuzz_common.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/wakefield.hpp"
 #include "svc/protocol.hpp"
@@ -272,6 +274,13 @@ void test_protocol_round_trip() {
       "zoom1 t=0 x=px bins=32 vlo=-1.5 vhi=2.25 q=y > 0",
       "zoom2 t=0 x=x y=px bins=32 ybins=16 vlo=0.125 vhi=0.5 ylo=-2 yhi=2 exact=1",
       "count t=0",
+      "brush create name=sel q=px > 1e9 && y > 0",
+      "brush refine name=sel q=x > 0",
+      "brush invert name=sel",
+      "brush combine name=sel with=other op=andnot",
+      "brush drop name=sel",
+      "count t=2 brush=sel",
+      "hist1 t=1 x=px bins=16 brush=sel",
       "stats",
       "ping",
       "quit",
@@ -300,6 +309,61 @@ void test_protocol_round_trip() {
   CHECK(!svc::parse_request_line("hello", wire, error));
   CHECK(!svc::parse_request_line("hello v=x", wire, error));
   CHECK(!svc::parse_request_line("hello bogus=1", wire, error));
+}
+
+/// The strict numeric field parsers: the whole token must parse. Every
+/// fixture here was accepted by the lax strtoull/strtod wire layer the v5
+/// sweep replaced (trailing garbage silently truncated, overflow clamped,
+/// non-finite doubles admitted into viewport math).
+void test_strict_numeric_field_parsing() {
+  std::size_t n = 0;
+  CHECK(svc::parse_size("10", n));
+  CHECK_EQ(n, 10u);
+  CHECK(svc::parse_size("0", n));
+  CHECK(!svc::parse_size("5junk", n));
+  CHECK(!svc::parse_size("", n));
+  CHECK(!svc::parse_size("-1", n));
+  CHECK(!svc::parse_size("1e3", n));
+  CHECK(!svc::parse_size(" 7", n));
+  CHECK(!svc::parse_size("7 ", n));
+  CHECK(!svc::parse_size("0x10", n));
+  CHECK(!svc::parse_size("99999999999999999999999", n));  // overflow
+
+  double d = 0.0;
+  CHECK(svc::parse_double("3.25", d));
+  CHECK_EQ(d, 3.25);
+  CHECK(svc::parse_double("-2e4", d));
+  CHECK(svc::parse_double("0", d));
+  CHECK(!svc::parse_double("1.5x", d));
+  CHECK(!svc::parse_double("", d));
+  CHECK(!svc::parse_double("inf", d));
+  CHECK(!svc::parse_double("-inf", d));
+  CHECK(!svc::parse_double("nan", d));
+  CHECK(!svc::parse_double("1e999", d));  // overflows to +inf
+
+  // The same strictness surfaces through whole request lines.
+  svc::WireRequest wire;
+  std::string error;
+  CHECK(!svc::parse_request_line("count t=5junk q=px > 0", wire, error));
+  CHECK(!svc::parse_request_line("count t=99999999999999999999999", wire, error));
+  CHECK(!svc::parse_request_line("hist1 t=0 x=px bins=1e3 q=y > 0", wire, error));
+  CHECK(!svc::parse_request_line("ids t=0 limit=-4 q=y > 0", wire, error));
+  CHECK(!svc::parse_request_line("zoom1 t=0 x=px bins=8 vlo=inf vhi=1", wire, error));
+  CHECK(!svc::parse_request_line("zoom1 t=0 x=px bins=8 vlo=nan vhi=1", wire, error));
+  CHECK(!svc::parse_request_line("hist2 t=0 x=px y=x bins=8 ybins=8junk q=y > 0",
+                                 wire, error));
+  CHECK(!svc::parse_request_line("count t=1 deadline=50ms", wire, error));
+  CHECK(!svc::parse_request_line("count t=1 pri=9", wire, error));
+
+  // Malformed brush lines reject with typed parse errors.
+  CHECK(!svc::parse_request_line("brush", wire, error));
+  CHECK(!svc::parse_request_line("brush frobnicate name=b", wire, error));
+  CHECK(!svc::parse_request_line("brush create q=px > 0", wire, error));
+  CHECK(!svc::parse_request_line("brush create name=b", wire, error));
+  CHECK(!svc::parse_request_line("brush invert name=b q=px > 0", wire, error));
+  CHECK(!svc::parse_request_line("brush combine name=b with=c op=xor", wire, error));
+  CHECK(!svc::parse_request_line("brush combine name=b op=and", wire, error));
+  CHECK(!svc::parse_request_line("brush drop name=b with=c", wire, error));
 }
 
 /// A hand-driven socket session (no SocketClient, so no automatic
@@ -404,6 +468,209 @@ void test_socket_server_end_to_end() {
   CHECK(!std::filesystem::exists(server.socket_path()));
 }
 
+/// Brush verbs end-to-end over the wire: create/refine/invert/combine/drop
+/// round-trip with epoch-carrying responses, answers match the equivalent
+/// Selection, and every error class comes back as a typed `err` that
+/// leaves the connection usable.
+void test_brush_wire_session() {
+  const core::Engine engine = core::Engine::open(dataset_dir());
+  svc::ServiceConfig config;
+  config.max_brushes_per_session = 2;
+  svc::QueryService service{core::Engine::open(dataset_dir()), config};
+  svc::SocketServer server(
+      service, qdv::test::scratch_dir("service_brush") / "qdv.sock");
+  server.start();
+  svc::SocketClient client(server.socket_path());
+
+  std::string body;
+  CHECK(svc::parse_response_line(
+      client.request("brush create name=sel q=px > 1e9"), body));
+  CHECK(body.find("brush=sel") != std::string::npos);
+  CHECK(body.find("epoch=1") != std::string::npos);
+  const core::Selection sel = engine.select("px > 1e9");
+  CHECK(svc::parse_response_line(client.request("count t=2 brush=sel"), body));
+  CHECK_EQ(body.find("count=" + std::to_string(sel.count(2))), 0u);
+  CHECK(body.find("epoch=1") != std::string::npos);
+
+  // refine bumps the epoch; the answer moves to the conjunction.
+  CHECK(svc::parse_response_line(
+      client.request("brush refine name=sel q=y > 0"), body));
+  CHECK(body.find("epoch=2") != std::string::npos);
+  const core::Selection refined = engine.select("px > 1e9 && y > 0");
+  CHECK(svc::parse_response_line(client.request("count t=2 brush=sel"), body));
+  CHECK_EQ(body.find("count=" + std::to_string(refined.count(2))), 0u);
+  CHECK(body.find("epoch=2") != std::string::npos);
+
+  // invert, then subtract a second brush; differential twin via Selection.
+  CHECK(svc::parse_response_line(
+      client.request("brush create name=other q=x > 0"), body));
+  CHECK(svc::parse_response_line(client.request("brush invert name=sel"), body));
+  CHECK(body.find("epoch=3") != std::string::npos);
+  CHECK(svc::parse_response_line(
+      client.request("brush combine name=sel with=other op=andnot"), body));
+  CHECK(body.find("epoch=4") != std::string::npos);
+  const core::Selection combined =
+      engine.select("!(px > 1e9 && y > 0) && !(x > 0)");
+  CHECK(svc::parse_response_line(client.request("count t=1 brush=sel"), body));
+  CHECK_EQ(body.find("count=" + std::to_string(combined.count(1))), 0u);
+
+  // Typed errors — and the connection stays usable after each.
+  CHECK(!svc::parse_response_line(client.request("count t=0 brush=nosuch"), body));
+  CHECK(!svc::parse_response_line(
+      client.request("count t=0 brush=sel q=px > 0"), body));  // both given
+  CHECK(!svc::parse_response_line(
+      client.request("zoom1 t=0 x=px bins=8 vlo=0 vhi=1 brush=sel"), body));
+  CHECK(!svc::parse_response_line(
+      client.request("brush create name=sel q=px > 0"), body));  // duplicate
+  CHECK(!svc::parse_response_line(
+      client.request("brush refine name=sel q=px >"), body));  // bad predicate
+  CHECK(!svc::parse_response_line(
+      client.request("brush refine name=nosuch q=px > 0"), body));
+  CHECK(svc::parse_response_line(client.request("count t=1 brush=sel"), body));
+  CHECK_EQ(body.find("count=" + std::to_string(combined.count(1))), 0u);
+
+  // Brush cap (2 per session here): drop frees a slot, the cap rejects.
+  CHECK(svc::parse_response_line(client.request("brush drop name=other"), body));
+  CHECK(svc::parse_response_line(
+      client.request("brush create name=b2 q=y > 0"), body));
+  CHECK(!svc::parse_response_line(
+      client.request("brush create name=b3 q=x > 0"), body));
+
+  // Brushes are session-scoped: a second connection neither sees nor can
+  // drop this one's, and may reuse the name.
+  std::thread other([&] {
+    svc::SocketClient c2(server.socket_path());
+    std::string b;
+    CHECK(!svc::parse_response_line(c2.request("count t=0 brush=sel"), b));
+    CHECK(!svc::parse_response_line(c2.request("brush drop name=sel"), b));
+    CHECK(svc::parse_response_line(
+        c2.request("brush create name=sel q=y > 0"), b));
+  });
+  other.join();
+
+  // c2's connection teardown drops its brush; ours still holds sel + b2.
+  for (int i = 0; i < 500 && service.stats().brush_count != 2; ++i)
+    ::usleep(10000);
+  const svc::ServiceStats stats = service.stats();
+  CHECK_EQ(stats.brush_count, 2u);
+  CHECK_EQ(stats.brush_stale_hits, 0u);
+  CHECK(stats.brush_queries >= 4u);
+  CHECK(svc::parse_response_line(client.request("stats"), body));
+  CHECK(body.find("brush_creates=") != std::string::npos);
+  CHECK(body.find("brush_stale=0") != std::string::npos);
+
+  server.stop();
+  // Server teardown closes every session, releasing all brush state.
+  CHECK_EQ(service.stats().brush_count, 0u);
+}
+
+/// The session-leak fix: a client that vanishes mid-conversation — work
+/// submitted, response unread, no quit — must release its open_sessions
+/// slot and its live brushes exactly once, leaving the server serviceable.
+void test_abrupt_disconnect_releases_session_state() {
+  svc::QueryService service{core::Engine::open(dataset_dir())};
+  svc::SocketServer server(
+      service, qdv::test::scratch_dir("service_kill") / "qdv.sock");
+  server.start();
+  const std::uint64_t base_sessions = service.stats().open_sessions;
+
+  const auto doomed_client = [&](int which) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = server.socket_path().string();
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = -1;
+    for (int attempt = 0; fd < 0 && attempt < 100; ++attempt) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      CHECK(fd >= 0);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) != 0) {
+        ::close(fd);
+        fd = -1;
+        ::usleep(10000);
+      }
+    }
+    CHECK(fd >= 0);
+    const auto send_line = [&](const std::string& text) {
+      const std::string out = text + "\n";
+      CHECK(::send(fd, out.data(), out.size(), 0) ==
+            static_cast<ssize_t>(out.size()));
+    };
+    const auto read_reply = [&] {
+      std::string reply;
+      char ch = 0;
+      while (reply.find('\n') == std::string::npos && ::recv(fd, &ch, 1, 0) == 1)
+        reply.push_back(ch);
+      return reply;
+    };
+    send_line("hello v=" + std::to_string(svc::kProtocolVersion));
+    CHECK(read_reply().find("ok qdv") == 0u);
+    send_line("brush create name=doomed q=px > " + std::to_string(which) + "e9");
+    CHECK(read_reply().find("ok brush=doomed") == 0u);
+    // Fire queries and hang up without reading a byte of the answers: the
+    // serve thread is mid-execute (or blocked writing) when the peer dies.
+    send_line("count t=3 brush=doomed");
+    send_line("ids t=2 limit=64 q=y > 0");
+    ::close(fd);
+  };
+  for (int i = 0; i < 3; ++i) doomed_client(i + 1);
+
+  // Teardown is asynchronous; poll until every doomed session is gone.
+  for (int i = 0; i < 500; ++i) {
+    const svc::ServiceStats s = service.stats();
+    if (s.open_sessions == base_sessions && s.brush_count == 0) break;
+    ::usleep(10000);
+  }
+  const svc::ServiceStats after = service.stats();
+  CHECK_EQ(after.open_sessions, base_sessions);
+  CHECK_EQ(after.brush_count, 0u);
+
+  // And the server is still fully serviceable.
+  svc::SocketClient client(server.socket_path());
+  CHECK_EQ(client.request("ping"), "ok pong");
+  std::string body;
+  CHECK(svc::parse_response_line(client.request("count t=0 q=px > 1e9"), body));
+  server.stop();
+}
+
+/// Malformed query text through the wire — plain queries and brush verbs
+/// alike: every probe answers with a typed ok/err line (never a hang, a
+/// crash, or a dropped connection), and the session stays usable.
+void test_malformed_query_text_probes() {
+  svc::QueryService service{core::Engine::open(dataset_dir())};
+  svc::SocketServer server(
+      service, qdv::test::scratch_dir("service_malform") / "qdv.sock");
+  server.start();
+  svc::SocketClient client(server.socket_path());
+
+  const char* bases[] = {"px > 1e9 && y > 0", "x > 0 || y < 0", "!(px > 2e9)"};
+  std::uint64_t state = 0xfeedfaceULL;
+  std::string body;
+  std::size_t rejected = 0;
+  const std::size_t probes = std::max<std::size_t>(test::fuzz::iterations(), 64);
+  for (std::size_t i = 0; i < probes; ++i) {
+    const std::string probe = test::fuzz::malform(state, bases[i % 3]);
+    const std::string line =
+        (i % 4 == 0)
+            ? "brush create name=p" + std::to_string(i) + " q=" + probe
+            : "count t=" + std::to_string(i % 8) + " q=" + probe;
+    const std::string reply = client.request(line);
+    CHECK(reply.rfind("ok", 0) == 0 || reply.rfind("err", 0) == 0);
+    if (!svc::parse_response_line(reply, body)) {
+      ++rejected;
+    } else if (i % 4 == 0) {
+      // A probe that happened to parse created a real brush; drop it so
+      // the session's brush cap never interferes with later probes.
+      CHECK(svc::parse_response_line(
+          client.request("brush drop name=p" + std::to_string(i)), body));
+    }
+  }
+  CHECK(rejected > 0);  // the corpus really does exercise the error path
+  CHECK_EQ(client.request("ping"), "ok pong");
+  CHECK_EQ(service.stats().brush_count, 0u);
+  server.stop();
+}
+
 }  // namespace
 
 int main() {
@@ -413,7 +680,11 @@ int main() {
   test_priority_and_fairness_order();
   test_session_byte_budget();
   test_protocol_round_trip();
+  test_strict_numeric_field_parsing();
   test_protocol_version_handshake();
   test_socket_server_end_to_end();
+  test_brush_wire_session();
+  test_abrupt_disconnect_releases_session_state();
+  test_malformed_query_text_probes();
   return qdv::test::finish("test_service");
 }
